@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at laptop scale.
+The sizes are chosen so the full ``pytest benchmarks/ --benchmark-only`` run
+finishes in minutes; pass ``--paper-scale`` to use larger inputs closer to the
+paper's setup (slower, sharper separation between the methods).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minidb import Database
+from repro.workloads.synthetic import clustered_points
+from repro.workloads.tpch import load_tpch
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at larger, paper-like scales",
+    )
+
+
+def pytest_configure(config):
+    # Keep the default benchmark run short: the interesting signal is the
+    # relative ordering of the methods, which two rounds already show.  Power
+    # users can override these on the command line.
+    if hasattr(config.option, "benchmark_min_rounds"):
+        config.option.benchmark_min_rounds = min(int(config.option.benchmark_min_rounds), 3)
+    if hasattr(config.option, "benchmark_max_time"):
+        config.option.benchmark_max_time = str(
+            min(float(config.option.benchmark_max_time), 0.5)
+        )
+    if hasattr(config.option, "benchmark_warmup"):
+        config.option.benchmark_warmup = "off"
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    """Global scale multiplier for benchmark workload sizes."""
+    return 4 if request.config.getoption("--paper-scale") else 1
+
+
+@pytest.fixture(scope="session")
+def bench_points(scale):
+    """The clustered 2-d point cloud used by the Figure 9/10 benchmarks."""
+    return clustered_points(
+        800 * scale, clusters=20, spread=0.005, low=0.0, high=100.0, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def tpch_bench_db(scale):
+    """A TPC-H database for the SQL-level benchmarks (Table 2, Figure 12)."""
+    db = Database(sgb_strategy="index")
+    load_tpch(db, scale_factor=0.001 * scale, seed=7)
+    return db

@@ -1,0 +1,36 @@
+"""Ablation: value of the convex-hull refinement for the L2 metric.
+
+Section 6.4 refines the epsilon-All rectangle filter with a convex-hull test
+when the metric is L2.  The L-infinity runs need no refinement, so comparing
+the two metrics on the same data isolates the refinement cost; the second
+class compares the L2 indexed run against the exact All-Pairs run to show the
+refinement still pays for itself.
+"""
+
+import pytest
+
+from repro.core.api import sgb_all
+
+EPS = 0.15
+
+
+@pytest.mark.parametrize("metric", ["L2", "LINF"])
+class TestHullFilterCost:
+    def test_metric_cost_with_index(self, benchmark, bench_points, metric):
+        benchmark.group = "ablation-hull-metric"
+        result = benchmark(
+            sgb_all, bench_points, eps=EPS, metric=metric, on_overlap="ELIMINATE",
+            strategy="index",
+        )
+        assert result.is_partition()
+
+
+@pytest.mark.parametrize("strategy", ["all-pairs", "index"])
+class TestHullFilterVsExact:
+    def test_l2_index_vs_all_pairs(self, benchmark, bench_points, strategy):
+        benchmark.group = "ablation-hull-vs-exact"
+        result = benchmark(
+            sgb_all, bench_points, eps=EPS, metric="L2", on_overlap="ELIMINATE",
+            strategy=strategy,
+        )
+        assert result.is_partition()

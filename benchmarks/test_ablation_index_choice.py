@@ -1,0 +1,53 @@
+"""Ablation: which spatial access method should back the on-the-fly index?
+
+The paper uses an in-memory R-tree for both ``Groups_IX`` (SGB-All) and
+``Points_IX`` (SGB-Any).  This ablation swaps in a uniform grid (cell size =
+epsilon) and, for SGB-Any, a kd-tree, keeping everything else fixed.
+"""
+
+import pytest
+
+from repro.core.api import sgb_all, sgb_any
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+from repro.spatial.rtree import RTree
+
+EPS = 0.15
+
+SGB_ALL_INDEXES = {
+    "rtree": lambda: RTree(max_entries=8),
+    "grid": lambda: GridIndex(cell_size=EPS),
+}
+
+SGB_ANY_INDEXES = {
+    "rtree": lambda: RTree(max_entries=8),
+    "grid": lambda: GridIndex(cell_size=EPS),
+    "kdtree": lambda: KDTree(dims=2),
+}
+
+
+@pytest.mark.parametrize("index_name", list(SGB_ALL_INDEXES))
+class TestSgbAllIndexChoice:
+    def test_sgb_all_with_index(self, benchmark, bench_points, index_name):
+        benchmark.group = "ablation-index-sgb-all"
+        factory = SGB_ALL_INDEXES[index_name]
+        result = benchmark(
+            sgb_all,
+            bench_points,
+            eps=EPS,
+            on_overlap="ELIMINATE",
+            strategy="index",
+            index_factory=factory,
+        )
+        assert result.is_partition()
+
+
+@pytest.mark.parametrize("index_name", list(SGB_ANY_INDEXES))
+class TestSgbAnyIndexChoice:
+    def test_sgb_any_with_index(self, benchmark, bench_points, index_name):
+        benchmark.group = "ablation-index-sgb-any"
+        factory = SGB_ANY_INDEXES[index_name]
+        result = benchmark(
+            sgb_any, bench_points, eps=EPS, strategy="index", index_factory=factory
+        )
+        assert result.group_count >= 1

@@ -1,0 +1,37 @@
+"""Figure 10a-c: effect of the data size on SGB-All runtime (eps fixed at 0.2).
+
+The paper compares Bounds-Checking against the on-the-fly Index as the TPC-H
+scale factor grows; All-Pairs is omitted because it grows quadratically.
+Expected shape: both curves grow roughly linearly, the Index variant staying
+below Bounds-Checking with a widening absolute gap.
+"""
+
+import pytest
+
+from repro.core.api import sgb_all
+from repro.workloads.synthetic import clustered_points
+
+SIZES = [400, 800, 1600]
+STRATEGIES = ["bounds-checking", "index"]
+OVERLAPS = ["JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP"]
+
+
+@pytest.fixture(scope="module")
+def sized_points(scale):
+    return {
+        n: clustered_points(n * scale, clusters=25, spread=0.005, low=0.0, high=100.0, seed=5)
+        for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("overlap", OVERLAPS)
+class TestFig10SgbAll:
+    def test_sgb_all_scale(self, benchmark, sized_points, n, strategy, overlap):
+        benchmark.group = f"fig10-{overlap.lower()}-n{n}"
+        points = sized_points[n]
+        result = benchmark(
+            sgb_all, points, eps=0.2, on_overlap=overlap, strategy=strategy
+        )
+        assert result.is_partition()

@@ -1,0 +1,33 @@
+"""Figure 10d: effect of the data size on SGB-Any runtime (eps fixed at 0.2).
+
+All-Pairs vs the on-the-fly Index.  Expected shape: All-Pairs grows
+quadratically with the input size while the indexed variant grows
+near-linearly — the paper reports roughly three orders of magnitude separation
+at its largest scale factors.
+"""
+
+import pytest
+
+from repro.core.api import sgb_any
+from repro.workloads.synthetic import clustered_points
+
+SIZES = [400, 800, 1600]
+STRATEGIES = ["all-pairs", "index"]
+
+
+@pytest.fixture(scope="module")
+def sized_points(scale):
+    return {
+        n: clustered_points(n * scale, clusters=25, spread=0.005, low=0.0, high=100.0, seed=5)
+        for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFig10SgbAny:
+    def test_sgb_any_scale(self, benchmark, sized_points, n, strategy):
+        benchmark.group = f"fig10d-sgb-any-n{n}"
+        points = sized_points[n]
+        result = benchmark(sgb_any, points, eps=0.2, strategy=strategy)
+        assert result.group_count >= 1

@@ -1,0 +1,52 @@
+"""Figure 11: SGB operators vs standalone clustering (DBSCAN, BIRCH, K-means).
+
+The paper clusters Brightkite / Gowalla check-ins by (latitude, longitude) and
+reports that the in-pipeline SGB operators beat the standalone clustering
+algorithms by one to three orders of magnitude.  Here the check-ins are the
+synthetic stand-in from :mod:`repro.workloads.checkins`, normalised to the
+unit square so the same epsilon applies to every method.
+"""
+
+import pytest
+
+from repro.clustering import birch, dbscan, kmeans
+from repro.core.api import sgb_all, sgb_any
+from repro.workloads.checkins import CheckinConfig, checkin_points, generate_checkins
+
+EPS = 0.2
+
+
+@pytest.fixture(scope="module", params=["brightkite", "gowalla"])
+def checkin_cloud(request, scale):
+    dataset = request.param
+    config = CheckinConfig(
+        n_checkins=1500 * scale,
+        n_users=200 * scale,
+        hotspots=25 if dataset == "brightkite" else 40,
+        seed=11 if dataset == "brightkite" else 23,
+    )
+    # Raw latitude/longitude degrees (the paper clusters check-ins directly on
+    # the coordinate attributes; eps is an absolute distance in degrees).
+    points = checkin_points(generate_checkins(config))
+    return dataset, points
+
+
+ALGORITHMS = {
+    "dbscan": lambda pts: dbscan(pts, eps=EPS, min_pts=4),
+    "birch": lambda pts: birch(pts, threshold=EPS / 2),
+    "kmeans20": lambda pts: kmeans(pts, k=20),
+    "kmeans40": lambda pts: kmeans(pts, k=40),
+    "sgb_all_join_any": lambda pts: sgb_all(pts, eps=EPS, on_overlap="JOIN-ANY"),
+    "sgb_all_eliminate": lambda pts: sgb_all(pts, eps=EPS, on_overlap="ELIMINATE"),
+    "sgb_all_form_new": lambda pts: sgb_all(pts, eps=EPS, on_overlap="FORM-NEW-GROUP"),
+    "sgb_any": lambda pts: sgb_any(pts, eps=EPS),
+}
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+class TestFig11:
+    def test_grouping_runtime(self, benchmark, checkin_cloud, algorithm):
+        dataset, points = checkin_cloud
+        benchmark.group = f"fig11-{dataset}"
+        result = benchmark(ALGORITHMS[algorithm], points)
+        assert result is not None

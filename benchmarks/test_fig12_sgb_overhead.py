@@ -1,0 +1,44 @@
+"""Figure 12: overhead of SGB queries relative to the standard GROUP BY.
+
+Panel (a): GB2 (profit per part) vs SGB3 (all three ON-OVERLAP variants) and
+SGB4.  Panel (b): GB3 (supplier revenue) vs SGB5 and SGB6.  The paper reports
+that the indexed SGB variants stay within roughly -10% to +40% of the plain
+hash GROUP BY on the same derived relation, ordered
+JOIN-ANY <= GROUP BY < ELIMINATE < ANY < FORM-NEW-GROUP.
+"""
+
+import pytest
+
+from repro.bench.queries import GB2, GB3, sgb3, sgb4, sgb5, sgb6
+
+EPS_PROFIT = 5000.0
+
+PANEL_A = {
+    "gb2": GB2,
+    "sgb3_join_any": sgb3(EPS_PROFIT, overlap="JOIN-ANY"),
+    "sgb3_eliminate": sgb3(EPS_PROFIT, overlap="ELIMINATE"),
+    "sgb3_form_new": sgb3(EPS_PROFIT, overlap="FORM-NEW-GROUP"),
+    "sgb4": sgb4(EPS_PROFIT),
+}
+
+PANEL_B = {
+    "gb3": GB3,
+    "sgb5_join_any": sgb5(EPS_PROFIT, overlap="JOIN-ANY"),
+    "sgb6": sgb6(EPS_PROFIT),
+}
+
+
+@pytest.mark.parametrize("query_name", list(PANEL_A))
+class TestFig12PanelA:
+    def test_gb2_vs_sgb3_sgb4(self, benchmark, tpch_bench_db, query_name):
+        benchmark.group = "fig12a-gb2-vs-sgb3-sgb4"
+        result = benchmark(tpch_bench_db.execute, PANEL_A[query_name])
+        assert len(result.rows) > 0
+
+
+@pytest.mark.parametrize("query_name", list(PANEL_B))
+class TestFig12PanelB:
+    def test_gb3_vs_sgb5_sgb6(self, benchmark, tpch_bench_db, query_name):
+        benchmark.group = "fig12b-gb3-vs-sgb5-sgb6"
+        result = benchmark(tpch_bench_db.execute, PANEL_B[query_name])
+        assert len(result.rows) > 0

@@ -1,0 +1,45 @@
+"""Figure 9a-c: effect of the similarity threshold on SGB-All runtime.
+
+The paper sweeps epsilon from 0.1 to 0.9 over normalised attributes and
+compares All-Pairs, Bounds-Checking, and the on-the-fly Index for the three
+ON-OVERLAP semantics.  Expected shape: Index < Bounds-Checking < All-Pairs,
+with the gap largest at small epsilon (many groups).
+"""
+
+import pytest
+
+from repro.core.api import sgb_all
+
+EPS_VALUES = [0.1, 0.5, 0.9]
+STRATEGIES = ["all-pairs", "bounds-checking", "index"]
+
+
+def _run(points, eps, strategy, overlap):
+    return sgb_all(points, eps=eps, on_overlap=overlap, strategy=strategy)
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFig9JoinAny:
+    def test_sgb_all_join_any(self, benchmark, bench_points, eps, strategy):
+        benchmark.group = f"fig9a-join-any-eps{eps}"
+        result = benchmark(_run, bench_points, eps, strategy, "JOIN-ANY")
+        assert result.is_partition()
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFig9Eliminate:
+    def test_sgb_all_eliminate(self, benchmark, bench_points, eps, strategy):
+        benchmark.group = f"fig9b-eliminate-eps{eps}"
+        result = benchmark(_run, bench_points, eps, strategy, "ELIMINATE")
+        assert result.is_partition()
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFig9FormNewGroup:
+    def test_sgb_all_form_new_group(self, benchmark, bench_points, eps, strategy):
+        benchmark.group = f"fig9c-form-new-eps{eps}"
+        result = benchmark(_run, bench_points, eps, strategy, "FORM-NEW-GROUP")
+        assert result.is_partition()

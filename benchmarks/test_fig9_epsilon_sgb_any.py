@@ -1,0 +1,22 @@
+"""Figure 9d: effect of the similarity threshold on SGB-Any runtime.
+
+All-Pairs vs the on-the-fly Index (R-tree + Union-Find).  Expected shape:
+the indexed method is roughly flat across epsilon; All-Pairs is one to two
+orders of magnitude slower at this scale.
+"""
+
+import pytest
+
+from repro.core.api import sgb_any
+
+EPS_VALUES = [0.1, 0.5, 0.9]
+STRATEGIES = ["all-pairs", "index"]
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFig9SgbAny:
+    def test_sgb_any_epsilon(self, benchmark, bench_points, eps, strategy):
+        benchmark.group = f"fig9d-sgb-any-eps{eps}"
+        result = benchmark(sgb_any, bench_points, eps=eps, strategy=strategy)
+        assert result.group_count >= 1

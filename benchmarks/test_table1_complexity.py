@@ -1,0 +1,54 @@
+"""Table 1: average-case complexity of the SGB-All strategies.
+
+The paper's Table 1 is analytical: O(n^2) / O(n^3) for All-Pairs,
+O(n |G|) for Bounds-Checking, O(n log |G|) for the on-the-fly Index.  This
+benchmark measures every strategy at two input sizes per overlap option so the
+empirical growth factor (and the absolute ranking) can be read off the
+pytest-benchmark table; the companion unit check asserts the fitted scaling
+exponent of All-Pairs exceeds the indexed variant's.
+"""
+
+import pytest
+
+from repro.bench.experiments import table1_scaling_exponents
+from repro.core.api import sgb_all
+from repro.workloads.synthetic import clustered_points
+
+SIZES = [500, 1000]
+STRATEGIES = ["all-pairs", "bounds-checking", "index"]
+OVERLAPS = ["JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP"]
+
+
+@pytest.fixture(scope="module")
+def sized_points(scale):
+    return {
+        n: clustered_points(n * scale, clusters=20, spread=0.005, low=0.0, high=100.0, seed=9)
+        for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("overlap", OVERLAPS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestTable1Runtime:
+    def test_strategy_runtime(self, benchmark, sized_points, n, overlap, strategy):
+        benchmark.group = f"table1-{overlap.lower()}-n{n}"
+        points = sized_points[n]
+        result = benchmark(
+            sgb_all, points, eps=0.15, metric="LINF", on_overlap=overlap, strategy=strategy
+        )
+        assert result.is_partition()
+
+
+class TestTable1Exponents:
+    def test_empirical_scaling_exponents(self, benchmark):
+        """All-Pairs must scale with a higher exponent than the indexed variant."""
+        benchmark.group = "table1-exponent-fit"
+        rows = benchmark.pedantic(
+            table1_scaling_exponents,
+            kwargs={"sizes": (400, 800, 1600)},
+            iterations=1,
+            rounds=1,
+        )
+        exponents = {r["strategy"]: r["empirical_exponent"] for r in rows}
+        assert exponents["all-pairs"] > exponents["index"]

@@ -1,0 +1,32 @@
+"""Table 2: the TPC-H evaluation queries (GB1-GB3, SGB1-SGB6).
+
+Each benchmark runs one of the paper's evaluation queries end-to-end through
+the SQL engine (parse -> plan -> execute) against the synthetic TPC-H data,
+mirroring the workload Table 2 defines.
+"""
+
+import pytest
+
+from repro.bench.queries import sgb_queries, standard_queries
+
+ALL_QUERIES = dict(standard_queries())
+ALL_QUERIES.update(sgb_queries(eps_power=500.0, eps_profit=5000.0))
+
+
+@pytest.mark.parametrize("query_name", list(ALL_QUERIES))
+class TestTable2Queries:
+    def test_query_runtime(self, benchmark, tpch_bench_db, query_name):
+        benchmark.group = "table2-tpch-queries"
+        result = benchmark(tpch_bench_db.execute, ALL_QUERIES[query_name])
+        assert len(result.rows) > 0
+
+
+@pytest.mark.parametrize("strategy", ["all-pairs", "bounds-checking", "index"])
+class TestTable2StrategyComparison:
+    """The same SGB query under each physical strategy (the paper's headline claim)."""
+
+    def test_sgb3_by_strategy(self, benchmark, tpch_bench_db, strategy):
+        benchmark.group = "table2-sgb3-by-strategy"
+        sql = ALL_QUERIES["SGB3"]
+        result = benchmark(tpch_bench_db.execute, sql, sgb_strategy=strategy)
+        assert len(result.rows) > 0

@@ -1,0 +1,76 @@
+"""Quickstart: group 2-d points with SGB-All and SGB-Any.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example reproduces the paper's Figure 1 / Figure 2 scenarios on a small
+point set, then runs the same grouping through the SQL interface.
+"""
+
+from __future__ import annotations
+
+from repro import sgb_all, sgb_any
+from repro.minidb import Database
+
+
+def algorithm_level() -> None:
+    """Use the algorithm-level API on plain point tuples."""
+    # Two natural clusters plus one point that bridges them (paper Figure 2).
+    points = [
+        (2.0, 8.0),   # a1
+        (3.0, 7.0),   # a2
+        (7.0, 5.0),   # a3
+        (8.0, 4.0),   # a4
+        (5.0, 6.5),   # a5 - within eps of both clusters
+    ]
+    eps = 3.0
+
+    print("== SGB-All (distance-to-all, LINF, eps=3) ==")
+    for overlap in ("JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP"):
+        result = sgb_all(points, eps=eps, metric="LINF", on_overlap=overlap)
+        sizes = sorted(result.group_sizes(), reverse=True)
+        print(f"  ON-OVERLAP {overlap:<15} -> group sizes {sizes}, "
+              f"eliminated {result.eliminated}")
+
+    print("\n== SGB-Any (distance-to-any, L2, eps=3) ==")
+    result = sgb_any(points, eps=eps, metric="L2")
+    print(f"  group sizes {result.group_sizes()} (the bridge point merges both clusters)")
+    for gid in range(result.group_count):
+        polygon = result.group_polygon(gid)
+        print(f"  group {gid}: members {result.groups[gid]}, hull {polygon.wkt()}")
+
+
+def sql_level() -> None:
+    """Run the same grouping through the extended SQL syntax."""
+    db = Database()
+    db.execute("CREATE TABLE gpspoints (id INT, lat FLOAT, lon FLOAT)")
+    db.execute(
+        "INSERT INTO gpspoints VALUES "
+        "(1, 2.0, 8.0), (2, 3.0, 7.0), (3, 7.0, 5.0), (4, 8.0, 4.0), (5, 5.0, 6.5)"
+    )
+
+    print("\n== SQL: SGB-All with ON-OVERLAP ELIMINATE ==")
+    result = db.execute(
+        "SELECT count(*), array_agg(id) FROM gpspoints "
+        "GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE"
+    )
+    for row in result.rows:
+        print(f"  count={row[0]}, members={row[1]}")
+
+    print("\n== SQL: SGB-Any ==")
+    result = db.execute(
+        "SELECT count(*) FROM gpspoints GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 3"
+    )
+    print(f"  group counts: {[row[0] for row in result.rows]}")
+
+    print("\n== Physical plan ==")
+    print(db.explain(
+        "SELECT count(*) FROM gpspoints "
+        "GROUP BY lat, lon DISTANCE-TO-ALL L2 WITHIN 3 ON-OVERLAP JOIN-ANY"
+    ))
+
+
+if __name__ == "__main__":
+    algorithm_level()
+    sql_level()

@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` / `setup.py develop` work without the wheel package."""
+from setuptools import setup
+
+setup()

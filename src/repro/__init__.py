@@ -1,0 +1,40 @@
+"""repro — Similarity Group-By operators for multi-dimensional relational data.
+
+A from-scratch reproduction of Tang et al., "Similarity Group-by Operators for
+Multi-dimensional Relational Data" (ICDE 2016).  The package provides:
+
+* ``repro.core``       — the SGB-All and SGB-Any operators and their All-Pairs,
+                          Bounds-Checking, and on-the-fly Index algorithms;
+* ``repro.minidb``     — an in-memory SQL engine with the extended
+                          ``GROUP BY ... DISTANCE-TO-ALL/ANY`` syntax;
+* ``repro.spatial``    — R-tree / grid / kd-tree spatial indexes;
+* ``repro.clustering`` — K-means, DBSCAN, BIRCH baselines;
+* ``repro.workloads``  — TPC-H and social check-in data generators;
+* ``repro.bench``      — the experiment harness regenerating the paper's
+                          tables and figures.
+"""
+
+from repro.core import (
+    GroupingResult,
+    Metric,
+    OverlapAction,
+    SGBAllStrategy,
+    SGBAnyStrategy,
+    cluster_by,
+    sgb_all,
+    sgb_any,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Metric",
+    "OverlapAction",
+    "SGBAllStrategy",
+    "SGBAnyStrategy",
+    "GroupingResult",
+    "sgb_all",
+    "sgb_any",
+    "cluster_by",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+Each ``figNN_*`` / ``tableN_*`` function in :mod:`repro.bench.experiments`
+runs one experiment of the paper's Section 8 at a configurable scale and
+returns structured rows; :mod:`repro.bench.report` renders them the way the
+paper reports them (runtime series per method).  The pytest-benchmark files
+under ``benchmarks/`` are thin wrappers over these runners.
+"""
+
+from repro.bench.harness import Measurement, measure, sweep
+from repro.bench.report import format_series, format_table
+
+__all__ = ["measure", "Measurement", "sweep", "format_table", "format_series"]

@@ -1,0 +1,60 @@
+"""Timing utilities shared by the experiment runners."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List
+
+__all__ = ["Measurement", "measure", "sweep"]
+
+
+@dataclass
+class Measurement:
+    """One timed run: the wall-clock seconds plus the callable's return value."""
+
+    seconds: float
+    value: Any = None
+    label: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, Any]:
+        """Return a flat dict suitable for tabular reporting."""
+        out: Dict[str, Any] = {"label": self.label, "seconds": round(self.seconds, 6)}
+        out.update(self.params)
+        return out
+
+
+def measure(fn: Callable[[], Any], label: str = "", repeat: int = 1, **params: Any) -> Measurement:
+    """Run ``fn`` ``repeat`` times and return the best (minimum) wall-clock time.
+
+    The minimum over repeats is the conventional way to suppress scheduler
+    noise for CPU-bound micro-benchmarks.
+    """
+    best = float("inf")
+    value: Any = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return Measurement(seconds=best, value=value, label=label, params=dict(params))
+
+
+def sweep(
+    fn: Callable[..., Any],
+    parameter: str,
+    values: Iterable[Any],
+    label: str = "",
+    **fixed: Any,
+) -> List[Measurement]:
+    """Run ``fn`` once per value of ``parameter`` and time each run."""
+    results: List[Measurement] = []
+    for value in values:
+        kwargs = dict(fixed)
+        kwargs[parameter] = value
+        results.append(
+            measure(lambda kw=kwargs: fn(**kw), label=label, **{parameter: value})
+        )
+    return results

@@ -1,0 +1,173 @@
+"""The TPC-H evaluation queries of Table 2, adapted to the synthetic schema.
+
+Each entry pairs a *business question* from the paper with the SQL text run
+against :class:`repro.minidb.Database`.  The SGB queries are templated on the
+similarity threshold, the metric, and (for SGB-All) the ON-OVERLAP action so
+the Figure 12 overhead sweep can exercise every variant.
+
+Naming follows the paper:
+
+* ``GB1`` / ``GB2`` / ``GB3`` — the standard GROUP BY baselines (TPC-H Q18,
+  Q9, Q15 style aggregations on the same derived relations).
+* ``SGB1`` / ``SGB2`` — customers with similar buying power & account balance
+  (SGB-All / SGB-Any over ``(c_acctbal, sum(o_totalprice))``).
+* ``SGB3`` / ``SGB4`` — parts with similar profit & shipment time.
+* ``SGB5`` / ``SGB6`` — suppliers with similar revenue & account balance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "GB1",
+    "GB2",
+    "GB3",
+    "sgb1",
+    "sgb2",
+    "sgb3",
+    "sgb4",
+    "sgb5",
+    "sgb6",
+    "standard_queries",
+    "sgb_queries",
+]
+
+
+# -- derived relations shared by GB / SGB variants ---------------------------
+
+_CUSTOMER_POWER = """
+    (SELECT c_custkey, c_acctbal AS ab FROM customer WHERE c_acctbal > 100) AS r1,
+    (SELECT o_custkey, sum(o_totalprice) AS tp
+     FROM orders, lineitem
+     WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+                          GROUP BY l_orderkey HAVING sum(l_quantity) > {qty})
+       AND o_orderkey = l_orderkey AND o_totalprice > 30000
+     GROUP BY o_custkey) AS r2
+"""
+
+_PART_PROFIT = """
+    (SELECT ps_partkey AS partkey,
+            sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS tprof,
+            sum(l_receiptdate - l_shipdate) AS stime
+     FROM lineitem, partsupp, supplier
+     WHERE ps_partkey = l_partkey AND s_suppkey = ps_suppkey
+     GROUP BY ps_partkey) AS profit
+"""
+
+_SUPPLIER_REVENUE = """
+    (SELECT l_suppkey AS suppkey,
+            sum(l_extendedprice * (1 - l_discount)) AS trevenue,
+            sum(s_acctbal) AS acctbal
+     FROM lineitem, supplier
+     WHERE s_suppkey = l_suppkey
+       AND l_shipdate > date '1995-01-01'
+       AND l_shipdate < date '1995-01-01' + interval '10' month
+     GROUP BY l_suppkey) AS r
+"""
+
+
+# -- standard GROUP BY baselines ------------------------------------------------
+
+#: GB1 — large-volume customers (TPC-H Q18 style).
+GB1 = f"""
+SELECT r1.c_custkey, max(ab), max(tp)
+FROM {_CUSTOMER_POWER.format(qty=100)}
+WHERE r1.c_custkey = r2.o_custkey
+GROUP BY r1.c_custkey
+"""
+
+#: GB2 — profit per part (TPC-H Q9 style aggregation).
+GB2 = f"""
+SELECT count(*), sum(tprof), sum(stime)
+FROM {_PART_PROFIT}
+GROUP BY partkey
+"""
+
+#: GB3 — top suppliers by revenue (TPC-H Q15 style aggregation).
+GB3 = f"""
+SELECT suppkey, sum(trevenue), sum(acctbal)
+FROM {_SUPPLIER_REVENUE}
+GROUP BY suppkey
+"""
+
+
+# -- similarity group-by variants -----------------------------------------------
+
+
+def sgb1(eps: float = 500.0, metric: str = "ltwo", overlap: str = "JOIN-ANY") -> str:
+    """SGB1 — customers with similar buying power & balance (SGB-All)."""
+    return f"""
+SELECT max(ab), min(tp), max(tp), avg(ab), array_agg(r1.c_custkey)
+FROM {_CUSTOMER_POWER.format(qty=100)}
+WHERE r1.c_custkey = r2.o_custkey
+GROUP BY ab, tp DISTANCE-ALL WITHIN {eps} USING {metric} ON-OVERLAP {overlap}
+"""
+
+
+def sgb2(eps: float = 500.0, metric: str = "ltwo") -> str:
+    """SGB2 — customers with similar buying power & balance (SGB-Any)."""
+    return f"""
+SELECT max(ab), min(tp), max(tp), avg(ab), array_agg(r1.c_custkey)
+FROM {_CUSTOMER_POWER.format(qty=100)}
+WHERE r1.c_custkey = r2.o_custkey
+GROUP BY ab, tp DISTANCE-ANY WITHIN {eps} USING {metric}
+"""
+
+
+def sgb3(eps: float = 5000.0, metric: str = "ltwo", overlap: str = "JOIN-ANY") -> str:
+    """SGB3 — parts with similar profit & shipment time (SGB-All)."""
+    return f"""
+SELECT count(*), sum(tprof), sum(stime)
+FROM {_PART_PROFIT}
+GROUP BY tprof, stime DISTANCE-ALL WITHIN {eps} USING {metric} ON-OVERLAP {overlap}
+"""
+
+
+def sgb4(eps: float = 5000.0, metric: str = "ltwo") -> str:
+    """SGB4 — parts with similar profit & shipment time (SGB-Any)."""
+    return f"""
+SELECT count(*), sum(tprof), sum(stime)
+FROM {_PART_PROFIT}
+GROUP BY tprof, stime DISTANCE-ANY WITHIN {eps} USING {metric}
+"""
+
+
+def sgb5(eps: float = 5000.0, metric: str = "ltwo", overlap: str = "JOIN-ANY") -> str:
+    """SGB5 — suppliers with similar revenue & account balance (SGB-All)."""
+    return f"""
+SELECT array_agg(suppkey), sum(trevenue), sum(acctbal)
+FROM {_SUPPLIER_REVENUE}
+GROUP BY trevenue, acctbal DISTANCE-ALL WITHIN {eps} USING {metric} ON-OVERLAP {overlap}
+"""
+
+
+def sgb6(eps: float = 5000.0, metric: str = "ltwo") -> str:
+    """SGB6 — suppliers with similar revenue & account balance (SGB-Any)."""
+    return f"""
+SELECT array_agg(suppkey), sum(trevenue), sum(acctbal)
+FROM {_SUPPLIER_REVENUE}
+GROUP BY trevenue, acctbal DISTANCE-ANY WITHIN {eps} USING {metric}
+"""
+
+
+def standard_queries() -> Dict[str, str]:
+    """Return the three standard GROUP BY baseline queries."""
+    return {"GB1": GB1, "GB2": GB2, "GB3": GB3}
+
+
+def sgb_queries(
+    eps_power: float = 500.0,
+    eps_profit: float = 5000.0,
+    metric: str = "ltwo",
+    overlap: str = "JOIN-ANY",
+) -> Dict[str, str]:
+    """Return all six SGB evaluation queries with the given parameters."""
+    return {
+        "SGB1": sgb1(eps_power, metric, overlap),
+        "SGB2": sgb2(eps_power, metric),
+        "SGB3": sgb3(eps_profit, metric, overlap),
+        "SGB4": sgb4(eps_profit, metric),
+        "SGB5": sgb5(eps_profit, metric, overlap),
+        "SGB6": sgb6(eps_profit, metric),
+    }

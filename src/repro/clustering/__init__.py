@@ -1,0 +1,29 @@
+"""Standalone clustering baselines used by the paper's Figure 11 comparison.
+
+The paper compares the in-pipeline SGB operators with three classic
+clustering algorithms run as standalone passes over the data:
+
+* :func:`kmeans` — Lloyd's algorithm with k-means++ seeding.
+* :func:`dbscan` — density-based clustering, region queries answered by the
+  same R-tree used by the SGB index variants.
+* :func:`birch`  — the CF-tree based hierarchical method (build CF-tree, then
+  cluster the leaf centroids).
+
+All three return a :class:`~repro.clustering.base.ClusteringResult` with a
+per-point label array so tests can compare their outputs with the SGB
+groupings on the same data.
+"""
+
+from repro.clustering.base import ClusteringResult
+from repro.clustering.birch import BirchParams, birch
+from repro.clustering.dbscan import dbscan
+from repro.clustering.kmeans import KMeansResult, kmeans
+
+__all__ = [
+    "ClusteringResult",
+    "KMeansResult",
+    "kmeans",
+    "dbscan",
+    "birch",
+    "BirchParams",
+]

@@ -1,0 +1,58 @@
+"""Shared result container for the clustering baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ClusteringResult", "NOISE"]
+
+#: Label assigned by DBSCAN to points not belonging to any cluster.
+NOISE = -1
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of a standalone clustering run.
+
+    Attributes
+    ----------
+    labels:
+        Per-point cluster label, index-aligned with the input.  ``-1`` marks
+        noise (DBSCAN only).
+    iterations:
+        Number of passes over the data the algorithm needed (K-means rounds,
+        DBSCAN expansion sweeps, BIRCH phases); reported because the paper
+        attributes the SGB speedup to clustering's multiple passes.
+    """
+
+    labels: List[int]
+    iterations: int = 1
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of distinct clusters (noise excluded)."""
+        return len({label for label in self.labels if label != NOISE})
+
+    @property
+    def noise_count(self) -> int:
+        """Number of points labelled as noise."""
+        return sum(1 for label in self.labels if label == NOISE)
+
+    def clusters(self) -> Dict[int, List[int]]:
+        """Return ``{cluster label -> member indices}`` (noise excluded)."""
+        out: Dict[int, List[int]] = {}
+        for idx, label in enumerate(self.labels):
+            if label != NOISE:
+                out.setdefault(label, []).append(idx)
+        return out
+
+    def sizes(self) -> List[int]:
+        """Return the cluster sizes in descending order."""
+        return sorted((len(v) for v in self.clusters().values()), reverse=True)
+
+
+def as_points(points: Sequence[Sequence[float]]) -> List[Tuple[float, ...]]:
+    """Normalise arbitrary numeric sequences into tuples of floats."""
+    return [tuple(float(c) for c in p) for p in points]

@@ -1,0 +1,40 @@
+"""Core SGB operators: distance metrics, predicates, SGB-All and SGB-Any.
+
+The most convenient entry points are :func:`repro.core.sgb_all` and
+:func:`repro.core.sgb_any`, which group plain point arrays.  The incremental
+:class:`SGBAllGrouper` / :class:`SGBAnyGrouper` classes are what the
+relational executor drives tuple-at-a-time.
+"""
+
+from repro.core.api import cluster_by, sgb_all, sgb_any
+from repro.core.distance import Metric, chebyshev, euclidean, manhattan, minkowski
+from repro.core.groups import Group
+from repro.core.overlap import OverlapAction
+from repro.core.predicates import SimilarityPredicate
+from repro.core.rectangle import EpsAllRectangle, Rect
+from repro.core.result import GroupingResult
+from repro.core.sgb_all import SGBAllGrouper, SGBAllStrategy, sgb_all_grouping
+from repro.core.sgb_any import SGBAnyGrouper, SGBAnyStrategy, sgb_any_grouping
+
+__all__ = [
+    "Metric",
+    "OverlapAction",
+    "SimilarityPredicate",
+    "EpsAllRectangle",
+    "Rect",
+    "Group",
+    "GroupingResult",
+    "SGBAllGrouper",
+    "SGBAllStrategy",
+    "SGBAnyGrouper",
+    "SGBAnyStrategy",
+    "sgb_all",
+    "sgb_any",
+    "cluster_by",
+    "sgb_all_grouping",
+    "sgb_any_grouping",
+    "euclidean",
+    "chebyshev",
+    "manhattan",
+    "minkowski",
+]

@@ -1,0 +1,129 @@
+"""High-level convenience API for the SGB operators on plain point arrays.
+
+These functions are the entry point recommended in the README: they accept
+any sequence of numeric 2-d (or d-dimensional) points — lists, tuples, or a
+numpy array — and return a :class:`~repro.core.result.GroupingResult`.
+
+For SQL-level access (the paper's extended ``GROUP BY`` syntax interleaved
+with joins, filters, and aggregates) use :class:`repro.minidb.Database`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.distance import Metric
+from repro.core.overlap import OverlapAction
+from repro.core.result import GroupingResult
+from repro.core.sgb_all import IndexFactory, SGBAllStrategy, sgb_all_grouping
+from repro.core.sgb_any import SGBAnyStrategy, sgb_any_grouping
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["sgb_all", "sgb_any", "cluster_by"]
+
+
+def _normalise_points(points: Sequence[Sequence[float]]) -> list[tuple[float, ...]]:
+    out: list[tuple[float, ...]] = []
+    dims: Optional[int] = None
+    for p in points:
+        pt = tuple(float(c) for c in p)
+        if dims is None:
+            dims = len(pt)
+            if dims == 0:
+                raise InvalidParameterError("points must have at least one dimension")
+        elif len(pt) != dims:
+            raise InvalidParameterError(
+                f"inconsistent point dimensionality: expected {dims}, got {len(pt)}"
+            )
+        out.append(pt)
+    return out
+
+
+def sgb_all(
+    points: Sequence[Sequence[float]],
+    eps: float,
+    metric: "Metric | str" = Metric.L2,
+    on_overlap: "OverlapAction | str" = OverlapAction.JOIN_ANY,
+    strategy: "SGBAllStrategy | str" = SGBAllStrategy.INDEX,
+    seed: int = 0,
+    index_factory: Optional[IndexFactory] = None,
+) -> GroupingResult:
+    """Run the SGB-All (distance-to-all / clique) operator over ``points``.
+
+    Parameters
+    ----------
+    points:
+        Sequence of d-dimensional numeric points, processed in order.
+    eps:
+        Similarity threshold (the SQL ``WITHIN`` value); must be positive.
+    metric:
+        ``"L2"`` (Euclidean, default) or ``"LINF"`` (maximum distance).
+    on_overlap:
+        Arbitration for points qualifying for several groups: ``"JOIN-ANY"``,
+        ``"ELIMINATE"``, or ``"FORM-NEW-GROUP"``.
+    strategy:
+        ``"all-pairs"``, ``"bounds-checking"``, or ``"index"`` (default; the
+        paper's on-the-fly R-tree algorithm).
+    seed:
+        Seed for the pseudo-random choice made by ``JOIN-ANY``.
+    index_factory:
+        Optional callable returning an empty spatial index, used by the
+        ``index`` strategy (defaults to an R-tree).
+
+    Returns
+    -------
+    GroupingResult
+        Group membership by input row index, plus any eliminated rows.
+    """
+    return sgb_all_grouping(
+        _normalise_points(points),
+        eps=eps,
+        metric=metric,
+        on_overlap=on_overlap,
+        strategy=strategy,
+        seed=seed,
+        index_factory=index_factory,
+    )
+
+
+def sgb_any(
+    points: Sequence[Sequence[float]],
+    eps: float,
+    metric: "Metric | str" = Metric.L2,
+    strategy: "SGBAnyStrategy | str" = SGBAnyStrategy.INDEX,
+    index_factory: Optional[IndexFactory] = None,
+) -> GroupingResult:
+    """Run the SGB-Any (distance-to-any / connectivity) operator over ``points``.
+
+    Groups are the connected components of the graph linking points within
+    ``eps`` of each other under the chosen metric.  There is no overlap
+    clause: overlapping groups merge by definition.
+    """
+    return sgb_any_grouping(
+        _normalise_points(points),
+        eps=eps,
+        metric=metric,
+        strategy=strategy,
+        index_factory=index_factory,
+    )
+
+
+def cluster_by(
+    points: Sequence[Sequence[float]],
+    eps: float,
+    metric: "Metric | str" = Metric.L2,
+    semantics: str = "any",
+    **kwargs,
+) -> GroupingResult:
+    """Convenience wrapper mirroring the related-work ``CLUSTER BY`` construct.
+
+    ``semantics="any"`` gives connectivity clustering (SGB-Any, the behaviour
+    of ``CLUSTER BY`` with a DBSCAN-like grouping); ``semantics="all"`` gives
+    clique grouping (SGB-All with ``JOIN-ANY``).
+    """
+    kind = semantics.strip().lower()
+    if kind == "any":
+        return sgb_any(points, eps, metric=metric, **kwargs)
+    if kind == "all":
+        return sgb_all(points, eps, metric=metric, **kwargs)
+    raise InvalidParameterError(f"unknown cluster_by semantics: {semantics!r}")

@@ -1,0 +1,154 @@
+"""Metric-space distance functions used by the similarity predicates.
+
+The paper (Definition 1) works in a metric space ``M = <D, delta>`` and uses
+two Minkowski distances:
+
+* ``L2``  — the Euclidean distance ``sqrt(sum (x_i - y_i)^2)``
+* ``LINF`` — the maximum (Chebyshev) distance ``max |x_i - y_i|``
+
+This module also provides the general ``Lp`` family as an extension (the
+paper leaves metrics beyond L2/L-infinity to future work).  All functions
+accept plain sequences of floats; no numpy arrays are required on the hot
+path because the SGB algorithms operate point-at-a-time.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Callable, Sequence
+
+from repro.exceptions import DimensionalityError, InvalidParameterError
+
+Point = Sequence[float]
+DistanceFunction = Callable[[Point, Point], float]
+
+__all__ = [
+    "Point",
+    "DistanceFunction",
+    "Metric",
+    "euclidean",
+    "chebyshev",
+    "manhattan",
+    "minkowski",
+    "get_distance_function",
+    "resolve_metric",
+]
+
+
+def _check_dims(p: Point, q: Point) -> None:
+    if len(p) != len(q):
+        raise DimensionalityError(
+            f"points have different dimensionality: {len(p)} vs {len(q)}"
+        )
+
+
+def euclidean(p: Point, q: Point) -> float:
+    """Return the Euclidean (L2) distance between two points."""
+    _check_dims(p, q)
+    total = 0.0
+    for a, b in zip(p, q):
+        diff = a - b
+        total += diff * diff
+    return math.sqrt(total)
+
+
+def squared_euclidean(p: Point, q: Point) -> float:
+    """Return the squared Euclidean distance (avoids the sqrt for comparisons)."""
+    _check_dims(p, q)
+    total = 0.0
+    for a, b in zip(p, q):
+        diff = a - b
+        total += diff * diff
+    return total
+
+
+def chebyshev(p: Point, q: Point) -> float:
+    """Return the maximum-coordinate (L-infinity / Chebyshev) distance."""
+    _check_dims(p, q)
+    best = 0.0
+    for a, b in zip(p, q):
+        diff = abs(a - b)
+        if diff > best:
+            best = diff
+    return best
+
+
+def manhattan(p: Point, q: Point) -> float:
+    """Return the L1 (Manhattan) distance."""
+    _check_dims(p, q)
+    return sum(abs(a - b) for a, b in zip(p, q))
+
+
+def minkowski(p: Point, q: Point, order: float) -> float:
+    """Return the general Minkowski Lp distance of the given ``order`` >= 1."""
+    if order < 1:
+        raise InvalidParameterError(f"Minkowski order must be >= 1, got {order}")
+    if math.isinf(order):
+        return chebyshev(p, q)
+    _check_dims(p, q)
+    return sum(abs(a - b) ** order for a, b in zip(p, q)) ** (1.0 / order)
+
+
+class Metric(Enum):
+    """Named distance metrics accepted by the SGB operators.
+
+    ``L2`` and ``LINF`` are the two metrics evaluated in the paper; ``L1`` is
+    provided as an extension.  The enum value is the SQL keyword used by the
+    extended ``GROUP BY ... DISTANCE-TO-ALL <metric> WITHIN eps`` syntax.
+    """
+
+    L2 = "L2"
+    LINF = "LINF"
+    L1 = "L1"
+
+    @property
+    def function(self) -> DistanceFunction:
+        """Return the callable computing this metric."""
+        return _METRIC_FUNCTIONS[self]
+
+    def distance(self, p: Point, q: Point) -> float:
+        """Compute the distance between ``p`` and ``q`` under this metric."""
+        return self.function(p, q)
+
+
+_METRIC_FUNCTIONS: dict[Metric, DistanceFunction] = {
+    Metric.L2: euclidean,
+    Metric.LINF: chebyshev,
+    Metric.L1: manhattan,
+}
+
+_METRIC_ALIASES: dict[str, Metric] = {
+    "l2": Metric.L2,
+    "euclidean": Metric.L2,
+    "ltwo": Metric.L2,
+    "linf": Metric.LINF,
+    "l_inf": Metric.LINF,
+    "linfinity": Metric.LINF,
+    "chebyshev": Metric.LINF,
+    "maximum": Metric.LINF,
+    "lone": Metric.L1,
+    "l1": Metric.L1,
+    "manhattan": Metric.L1,
+}
+
+
+def resolve_metric(metric: "Metric | str") -> Metric:
+    """Resolve a :class:`Metric` from an enum member or a (case-insensitive) name.
+
+    Accepts the SQL keywords used by the paper's syntax (``L2``, ``LINF``) and
+    the aliases that appear in the TPC-H evaluation queries (``ltwo``,
+    ``lone``).
+    """
+    if isinstance(metric, Metric):
+        return metric
+    if isinstance(metric, str):
+        key = metric.strip().lower()
+        if key in _METRIC_ALIASES:
+            return _METRIC_ALIASES[key]
+    raise InvalidParameterError(f"unknown distance metric: {metric!r}")
+
+
+def get_distance_function(metric: "Metric | str") -> DistanceFunction:
+    """Return the distance callable for a metric name or enum member."""
+    return resolve_metric(metric).function

@@ -1,0 +1,126 @@
+"""Group bookkeeping shared by the SGB-All algorithm variants.
+
+A :class:`Group` owns the points admitted so far, their original input
+indices, the epsilon-All bounding rectangle used by the bounds-checking /
+indexed filters, and a lazily rebuilt convex hull used by the L2 refinement
+step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.distance import Metric
+from repro.core.predicates import SimilarityPredicate
+from repro.core.rectangle import EpsAllRectangle, Rect
+from repro.geometry.convex_hull import convex_hull
+
+Point = Tuple[float, ...]
+
+__all__ = ["Group"]
+
+
+class Group:
+    """One output group under construction during SGB-All processing."""
+
+    __slots__ = (
+        "gid",
+        "points",
+        "indices",
+        "eps_rect",
+        "indexed_rect",
+        "_hull",
+        "_hull_dirty",
+    )
+
+    def __init__(self, gid: int, eps: float, index: int, point: Point) -> None:
+        self.gid = gid
+        self.points: List[Point] = [point]
+        self.indices: List[int] = [index]
+        self.eps_rect = EpsAllRectangle(eps, point)
+        #: Rectangle currently registered in the group R-tree (indexed variant).
+        self.indexed_rect: Optional[Rect] = None
+        self._hull: Optional[List[Tuple[float, float]]] = None
+        self._hull_dirty = True
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Group(gid={self.gid}, size={len(self.points)})"
+
+    # -- membership maintenance -------------------------------------------
+
+    def add(self, index: int, point: Point) -> None:
+        """Admit ``point`` (input row ``index``) and shrink the bounding rectangle."""
+        self.points.append(point)
+        self.indices.append(index)
+        self.eps_rect.add(point)
+        self._hull_dirty = True
+
+    def remove_indices(self, to_remove: Sequence[int]) -> List[Tuple[int, Point]]:
+        """Remove the listed input indices; return the removed (index, point) pairs.
+
+        Rebuilds the epsilon-All rectangle from the remaining members so the
+        bounds filter stays tight after ELIMINATE / FORM-NEW-GROUP deletions.
+        """
+        removal = set(to_remove)
+        removed: List[Tuple[int, Point]] = []
+        kept_points: List[Point] = []
+        kept_indices: List[int] = []
+        for idx, pt in zip(self.indices, self.points):
+            if idx in removal:
+                removed.append((idx, pt))
+            else:
+                kept_indices.append(idx)
+                kept_points.append(pt)
+        self.points = kept_points
+        self.indices = kept_indices
+        if kept_points:
+            rebuilt = EpsAllRectangle(self.eps_rect.eps, kept_points[0])
+            for pt in kept_points[1:]:
+                rebuilt.add(pt)
+            self.eps_rect = rebuilt
+        self._hull_dirty = True
+        return removed
+
+    # -- membership tests ---------------------------------------------------
+
+    def rect_contains(self, point: Point) -> bool:
+        """Constant-time epsilon-All rectangle filter."""
+        return self.eps_rect.contains(point)
+
+    def all_within(self, point: Point, predicate: SimilarityPredicate) -> bool:
+        """Exact distance-to-all test against every member."""
+        return predicate.similar_to_all(point, self.points)
+
+    def any_within(self, point: Point, predicate: SimilarityPredicate) -> bool:
+        """Exact distance-to-any test against the members."""
+        return predicate.similar_to_any(point, self.points)
+
+    def members_within(self, point: Point, predicate: SimilarityPredicate) -> List[int]:
+        """Return the input indices of members within ``eps`` of ``point``."""
+        return [
+            idx
+            for idx, member in zip(self.indices, self.points)
+            if predicate.similar(point, member)
+        ]
+
+    def hull(self) -> List[Tuple[float, float]]:
+        """Return the (cached) 2-d convex hull of the group's members."""
+        if self._hull_dirty or self._hull is None:
+            self._hull = convex_hull(self.points)
+            self._hull_dirty = False
+        return self._hull
+
+    def passes_hull_test(self, point: Point, predicate: SimilarityPredicate) -> bool:
+        """L2 refinement (Procedure 6): exact membership using the convex hull.
+
+        Only meaningful for 2-d points under the L2 metric; other
+        configurations fall back to the exact all-members check.
+        """
+        if predicate.metric is not Metric.L2 or len(point) != 2:
+            return self.all_within(point, predicate)
+        from repro.core.hull_filter import convex_hull_test
+
+        return convex_hull_test(point, self.hull(), predicate)

@@ -1,0 +1,40 @@
+"""Convex-hull refinement for the L2 metric (paper Section 6.4, Procedure 6).
+
+The epsilon-All bounding rectangle is exact for the L-infinity metric but only
+conservative for L2: a point inside the rectangle can still be more than
+``eps`` (Euclidean) away from some group member — the grey "false positive"
+region of Figure 7b.  The refinement uses the group's convex hull:
+
+* a point inside the hull is a true member (the hull diameter is at most
+  ``eps`` by the SGB-All invariant, so every member is within ``eps``);
+* a point outside the hull only needs to be checked against the *farthest*
+  hull vertex: if that vertex is within ``eps`` then so is every member.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.core.predicates import SimilarityPredicate
+from repro.geometry.convex_hull import farthest_point, point_in_convex_polygon
+
+__all__ = ["convex_hull_test"]
+
+
+def convex_hull_test(
+    point: Sequence[float],
+    hull: Sequence[Tuple[float, float]],
+    predicate: SimilarityPredicate,
+) -> bool:
+    """Return True if ``point`` is within ``eps`` of every point enclosed by ``hull``.
+
+    Implements Procedure 6: the point is accepted if it lies inside the hull,
+    or if its distance to the farthest hull vertex is within the threshold.
+    """
+    if not hull:
+        return True
+    if point_in_convex_polygon(point, hull):
+        return True
+    farthest = farthest_point(point, hull)
+    return math.dist((float(point[0]), float(point[1])), farthest) <= predicate.eps

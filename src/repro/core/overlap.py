@@ -1,0 +1,49 @@
+"""The ON-OVERLAP arbitration semantics of SGB-All (paper Section 4.1).
+
+When a point satisfies the distance-to-all membership criterion of more than
+one existing group, the query's ``ON-OVERLAP`` clause decides what happens:
+
+* ``JOIN_ANY``        — insert the point into one of the qualifying groups,
+                        chosen (pseudo-)randomly;
+* ``ELIMINATE``       — discard the point (and the already-grouped points it
+                        overlaps with);
+* ``FORM_NEW_GROUP``  — defer the point to a fresh grouping round that forms
+                        new groups out of all deferred points.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["OverlapAction"]
+
+
+class OverlapAction(Enum):
+    """Arbitration policy for points that qualify for multiple SGB-All groups."""
+
+    JOIN_ANY = "JOIN-ANY"
+    ELIMINATE = "ELIMINATE"
+    FORM_NEW_GROUP = "FORM-NEW-GROUP"
+
+    @staticmethod
+    def parse(value: "OverlapAction | str") -> "OverlapAction":
+        """Resolve an action from an enum member or SQL keyword (case-insensitive)."""
+        if isinstance(value, OverlapAction):
+            return value
+        if isinstance(value, str):
+            key = value.strip().upper().replace("_", "-")
+            aliases = {
+                "JOIN-ANY": OverlapAction.JOIN_ANY,
+                "JOINANY": OverlapAction.JOIN_ANY,
+                "ANY": OverlapAction.JOIN_ANY,
+                "ELIMINATE": OverlapAction.ELIMINATE,
+                "DROP": OverlapAction.ELIMINATE,
+                "FORM-NEW-GROUP": OverlapAction.FORM_NEW_GROUP,
+                "FORM-NEW": OverlapAction.FORM_NEW_GROUP,
+                "NEW-GROUP": OverlapAction.FORM_NEW_GROUP,
+            }
+            if key in aliases:
+                return aliases[key]
+        raise InvalidParameterError(f"unknown ON-OVERLAP action: {value!r}")

@@ -1,0 +1,68 @@
+"""Similarity predicates (paper Definition 2).
+
+A similarity predicate ``xi_{delta,eps}(p, q)`` is true when the metric
+distance between ``p`` and ``q`` is at most ``eps``.  The predicate object
+also exposes the squared-threshold fast path used for L2 so the inner loops
+of the SGB algorithms avoid the square root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.distance import (
+    DistanceFunction,
+    Metric,
+    resolve_metric,
+    squared_euclidean,
+)
+from repro.exceptions import InvalidParameterError
+
+Point = Sequence[float]
+
+__all__ = ["SimilarityPredicate"]
+
+
+@dataclass(frozen=True)
+class SimilarityPredicate:
+    """Boolean predicate: ``distance(p, q) <= eps`` under a chosen metric."""
+
+    metric: Metric
+    eps: float
+    _distance: DistanceFunction = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.eps <= 0:
+            raise InvalidParameterError(
+                f"similarity threshold eps must be positive, got {self.eps}"
+            )
+        metric = resolve_metric(self.metric)
+        object.__setattr__(self, "metric", metric)
+        object.__setattr__(self, "_distance", metric.function)
+
+    @staticmethod
+    def create(metric: "Metric | str", eps: float) -> "SimilarityPredicate":
+        """Build a predicate from a metric name (``"L2"``, ``"LINF"``) or enum."""
+        return SimilarityPredicate(resolve_metric(metric), eps)
+
+    def distance(self, p: Point, q: Point) -> float:
+        """Return the metric distance between ``p`` and ``q``."""
+        return self._distance(p, q)
+
+    def similar(self, p: Point, q: Point) -> bool:
+        """Return True if ``p`` and ``q`` are within ``eps`` of each other."""
+        if self.metric is Metric.L2:
+            return squared_euclidean(p, q) <= self.eps * self.eps
+        return self._distance(p, q) <= self.eps
+
+    def similar_to_all(self, p: Point, others: "Sequence[Point]") -> bool:
+        """Return True if ``p`` is within ``eps`` of *every* point in ``others``."""
+        return all(self.similar(p, q) for q in others)
+
+    def similar_to_any(self, p: Point, others: "Sequence[Point]") -> bool:
+        """Return True if ``p`` is within ``eps`` of *at least one* point in ``others``."""
+        return any(self.similar(p, q) for q in others)
+
+    def __call__(self, p: Point, q: Point) -> bool:
+        return self.similar(p, q)

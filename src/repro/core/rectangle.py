@@ -1,0 +1,256 @@
+"""Axis-aligned (hyper-)rectangles and the epsilon-All bounding rectangle.
+
+Two kinds of rectangles appear in the SGB algorithms:
+
+* A plain *minimum bounding rectangle* (:class:`Rect`) used by the R-tree and
+  by the window queries of the indexed algorithms.
+* The *epsilon-All bounding rectangle* (:class:`EpsAllRectangle`,
+  Definition 5 in the paper): the region in which a new point is guaranteed
+  (L-infinity) or likely (L2, conservative filter) to be within ``eps`` of
+  every current member of a group.  It starts as a ``2*eps`` box centred on
+  the first member and *shrinks* as members are added; it never shrinks below
+  ``eps`` per side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import DimensionalityError, InvalidParameterError
+
+Point = Sequence[float]
+
+__all__ = ["Rect", "EpsAllRectangle", "point_rect", "union_rects"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned hyper-rectangle ``[low_i, high_i]`` per dimension.
+
+    Immutable; all combination operations return new rectangles.
+    """
+
+    low: tuple[float, ...]
+    high: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.low) != len(self.high):
+            raise DimensionalityError(
+                f"low/high dimensionality mismatch: {len(self.low)} vs {len(self.high)}"
+            )
+        for lo, hi in zip(self.low, self.high):
+            if lo > hi:
+                raise InvalidParameterError(
+                    f"rectangle has low > high on a dimension: {self.low} / {self.high}"
+                )
+
+    # -- constructors --------------------------------------------------
+
+    @staticmethod
+    def from_point(point: Point, radius: float = 0.0) -> "Rect":
+        """Build the box of half-side ``radius`` centred at ``point``."""
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be non-negative, got {radius}")
+        return Rect(
+            tuple(c - radius for c in point),
+            tuple(c + radius for c in point),
+        )
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Rect":
+        """Build the minimum bounding rectangle of a non-empty point set."""
+        points = list(points)
+        if not points:
+            raise InvalidParameterError("cannot build a rectangle from zero points")
+        dims = len(points[0])
+        low = [float("inf")] * dims
+        high = [float("-inf")] * dims
+        for p in points:
+            if len(p) != dims:
+                raise DimensionalityError("points with mixed dimensionality")
+            for i, c in enumerate(p):
+                if c < low[i]:
+                    low[i] = c
+                if c > high[i]:
+                    high[i] = c
+        return Rect(tuple(low), tuple(high))
+
+    # -- geometry -------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions."""
+        return len(self.low)
+
+    @property
+    def center(self) -> tuple[float, ...]:
+        """Centre point of the rectangle."""
+        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.low, self.high))
+
+    @property
+    def extents(self) -> tuple[float, ...]:
+        """Side length in each dimension."""
+        return tuple(hi - lo for lo, hi in zip(self.low, self.high))
+
+    def area(self) -> float:
+        """Return the (hyper-)volume of the rectangle."""
+        result = 1.0
+        for lo, hi in zip(self.low, self.high):
+            result *= hi - lo
+        return result
+
+    def margin(self) -> float:
+        """Return the sum of the side lengths (used by R-tree split heuristics)."""
+        return sum(hi - lo for lo, hi in zip(self.low, self.high))
+
+    def contains_point(self, point: Point) -> bool:
+        """Return True if ``point`` lies inside (or on the border of) the rectangle."""
+        low = self.low
+        high = self.high
+        if len(point) != len(low):
+            raise DimensionalityError(
+                f"point has {len(point)} dims, rectangle has {len(low)}"
+            )
+        for c, lo, hi in zip(point, low, high):
+            if c < lo or c > hi:
+                return False
+        return True
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return True if ``other`` is fully contained in this rectangle."""
+        return all(
+            slo <= olo and ohi <= shi
+            for slo, shi, olo, ohi in zip(self.low, self.high, other.low, other.high)
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True if the two rectangles overlap (boundaries count)."""
+        if other.dims != self.dims:
+            raise DimensionalityError("rectangles with different dimensionality")
+        for slo, shi, olo, ohi in zip(self.low, self.high, other.low, other.high):
+            if slo > ohi or olo > shi:
+                return False
+        return True
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the intersection rectangle, or None if they do not overlap."""
+        if not self.intersects(other):
+            return None
+        low = tuple(max(a, b) for a, b in zip(self.low, other.low))
+        high = tuple(min(a, b) for a, b in zip(self.high, other.high))
+        return Rect(low, high)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle containing both rectangles."""
+        if other.dims != self.dims:
+            raise DimensionalityError("rectangles with different dimensionality")
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.low, other.low)),
+            tuple(max(a, b) for a, b in zip(self.high, other.high)),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to include ``other`` (R-tree ChooseLeaf metric)."""
+        return self.union(other).area() - self.area()
+
+    def expand(self, point: Point) -> "Rect":
+        """Return the smallest rectangle containing this rectangle and ``point``."""
+        return self.union(Rect.from_point(point))
+
+    def min_distance_to_point(self, point: Point) -> float:
+        """Return the minimum Euclidean distance from ``point`` to the rectangle."""
+        if len(point) != self.dims:
+            raise DimensionalityError("point/rectangle dimensionality mismatch")
+        total = 0.0
+        for c, lo, hi in zip(point, self.low, self.high):
+            if c < lo:
+                d = lo - c
+            elif c > hi:
+                d = c - hi
+            else:
+                d = 0.0
+            total += d * d
+        return total ** 0.5
+
+
+def point_rect(point: Point) -> Rect:
+    """Return the degenerate rectangle covering exactly one point."""
+    return Rect.from_point(point, 0.0)
+
+
+def union_rects(rects: Iterable[Rect]) -> Rect:
+    """Return the minimum bounding rectangle of a non-empty set of rectangles."""
+    rects = list(rects)
+    if not rects:
+        raise InvalidParameterError("cannot union zero rectangles")
+    result = rects[0]
+    for r in rects[1:]:
+        result = result.union(r)
+    return result
+
+
+class EpsAllRectangle:
+    """The epsilon-All bounding rectangle of a group (paper Definition 5).
+
+    Invariant maintained for the **L-infinity** metric: a point inside the
+    rectangle is within ``eps`` of *every* member of the group.  For the
+    **L2** metric the rectangle is only a conservative filter: a point
+    *outside* the rectangle cannot possibly join the group, while a point
+    inside still has to pass the convex-hull refinement.
+
+    The rectangle for a single member ``p`` is the ``2*eps`` box centred at
+    ``p``; adding a member intersects the current rectangle with the new
+    member's box (rectangles are closed under intersection), which makes the
+    rectangle shrink monotonically.  Its side length never drops below
+    ``eps``... actually the geometric lower bound is reached when the group
+    spans the full ``eps`` extent in that dimension; the intersection
+    construction enforces this automatically.
+    """
+
+    __slots__ = ("eps", "_rect", "_count")
+
+    def __init__(self, eps: float, first_point: Point) -> None:
+        if eps <= 0:
+            raise InvalidParameterError(f"eps must be positive, got {eps}")
+        self.eps = float(eps)
+        self._rect = Rect.from_point(first_point, self.eps)
+        self._count = 1
+
+    @property
+    def rect(self) -> Rect:
+        """Current admissible region for new members."""
+        return self._rect
+
+    @property
+    def member_count(self) -> int:
+        """Number of points folded into the rectangle so far."""
+        return self._count
+
+    def contains(self, point: Point) -> bool:
+        """Constant-time membership filter (exact for L-infinity)."""
+        return self._rect.contains_point(point)
+
+    def add(self, point: Point) -> None:
+        """Shrink the rectangle to account for a newly admitted member.
+
+        The new admissible region is the intersection of the current region
+        with the ``2*eps`` box centred at ``point``.
+        """
+        box = Rect.from_point(point, self.eps)
+        shrunk = self._rect.intersection(box)
+        if shrunk is None:
+            # The caller admitted a point outside the admissible region (can
+            # only happen through the L2 refinement path when the point is a
+            # legitimate member anyway); clamp to the overlap-free degenerate
+            # rectangle at the point so the filter stays conservative.
+            shrunk = Rect.from_point(point, 0.0)
+        self._rect = shrunk
+        self._count += 1
+
+    def window(self) -> Rect:
+        """Return the rectangle itself (used as an R-tree entry for the group)."""
+        return self._rect
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"EpsAllRectangle(eps={self.eps}, rect={self._rect}, members={self._count})"

@@ -1,0 +1,107 @@
+"""Result containers returned by the SGB algorithm layer.
+
+The algorithm layer works on bare points (sequences of floats).  A
+:class:`GroupingResult` maps every input row index to an output group (or to
+"eliminated"), mirroring what the relational operator does when it feeds the
+groups into aggregate functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.geometry.polygon import Polygon
+
+Point = Tuple[float, ...]
+
+__all__ = ["GroupingResult"]
+
+ELIMINATED = -1
+
+
+@dataclass
+class GroupingResult:
+    """Outcome of an SGB-All / SGB-Any run over a list of points.
+
+    Attributes
+    ----------
+    groups:
+        One entry per output group: the list of *input row indices* that ended
+        up in the group, in admission order.
+    eliminated:
+        Input row indices dropped by the ``ON-OVERLAP ELIMINATE`` semantics
+        (always empty for SGB-Any and the other overlap actions).
+    points:
+        The input points, index-aligned with the original input.
+    """
+
+    groups: List[List[int]]
+    eliminated: List[int] = field(default_factory=list)
+    points: List[Point] = field(default_factory=list)
+
+    # -- basic views -------------------------------------------------------
+
+    @property
+    def group_count(self) -> int:
+        """Number of output groups."""
+        return len(self.groups)
+
+    def group_sizes(self) -> List[int]:
+        """Return the size of every group (the paper's ``count(*)`` output)."""
+        return [len(g) for g in self.groups]
+
+    def labels(self) -> List[int]:
+        """Return a per-input-row group label (``-1`` for eliminated rows)."""
+        n = len(self.points)
+        out = [ELIMINATED] * n
+        for gid, members in enumerate(self.groups):
+            for idx in members:
+                out[idx] = gid
+        return out
+
+    def assignment(self) -> Dict[int, int]:
+        """Return ``{input index -> group id}`` for every non-eliminated row."""
+        return {
+            idx: gid for gid, members in enumerate(self.groups) for idx in members
+        }
+
+    def group_points(self, gid: int) -> List[Point]:
+        """Return the coordinates of the members of group ``gid``."""
+        return [self.points[idx] for idx in self.groups[gid]]
+
+    def group_polygon(self, gid: int) -> Polygon:
+        """Return the convex-hull polygon of group ``gid`` (the ``ST_Polygon`` aggregate)."""
+        return Polygon.from_points(self.group_points(gid))
+
+    # -- validation helpers used by tests -----------------------------------
+
+    def is_partition(self) -> bool:
+        """Return True if every input row appears in exactly one group or is eliminated."""
+        seen: set[int] = set()
+        for members in self.groups:
+            for idx in members:
+                if idx in seen:
+                    return False
+                seen.add(idx)
+        for idx in self.eliminated:
+            if idx in seen:
+                return False
+            seen.add(idx)
+        return len(seen) == len(self.points)
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        sizes = sorted(self.group_sizes(), reverse=True)
+        preview = ", ".join(str(s) for s in sizes[:8])
+        if len(sizes) > 8:
+            preview += ", ..."
+        return (
+            f"{self.group_count} groups over {len(self.points)} points "
+            f"({len(self.eliminated)} eliminated); sizes: [{preview}]"
+        )
+
+    @staticmethod
+    def empty() -> "GroupingResult":
+        """Return the result of grouping zero points."""
+        return GroupingResult(groups=[], eliminated=[], points=[])

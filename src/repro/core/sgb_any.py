@@ -1,0 +1,167 @@
+"""SGB-Any: distance-to-any (connectivity) similarity grouping (paper Section 7).
+
+A point joins a group when it is within ``eps`` of *at least one* member; a
+point close to several groups causes those groups to merge.  The output is
+therefore the set of connected components of the epsilon-neighbourhood graph.
+
+Two strategies are provided, matching the paper's evaluation:
+
+* ``ALL_PAIRS`` — compare the incoming point against every processed point
+  (quadratic).
+* ``INDEX``     — Procedure 8: an on-the-fly spatial index (``Points_IX``,
+  an R-tree by default) answers the epsilon window query, and a Union-Find
+  forest (Procedure 9 / ``MergeGroupsInsert``) tracks existing, new, and
+  merged groups; O(n log n) on average.
+
+For the L2 metric the window query is refined with an exact distance check
+(the ``VerifyPoints`` step of Procedure 8).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.distance import Metric, resolve_metric
+from repro.core.predicates import SimilarityPredicate
+from repro.core.rectangle import Rect
+from repro.core.result import GroupingResult
+from repro.dstruct.union_find import UnionFind
+from repro.exceptions import InvalidParameterError
+from repro.spatial.base import SpatialIndex
+from repro.spatial.rtree import RTree
+
+Point = Tuple[float, ...]
+
+__all__ = ["SGBAnyStrategy", "SGBAnyGrouper", "sgb_any_grouping"]
+
+
+class SGBAnyStrategy(Enum):
+    """Neighbour discovery strategy used by SGB-Any."""
+
+    ALL_PAIRS = "all-pairs"
+    INDEX = "index"
+
+    @staticmethod
+    def parse(value: "SGBAnyStrategy | str") -> "SGBAnyStrategy":
+        """Resolve a strategy from an enum member or its name."""
+        if isinstance(value, SGBAnyStrategy):
+            return value
+        if isinstance(value, str):
+            key = value.strip().lower().replace("_", "-")
+            aliases = {
+                "all-pairs": SGBAnyStrategy.ALL_PAIRS,
+                "naive": SGBAnyStrategy.ALL_PAIRS,
+                "index": SGBAnyStrategy.INDEX,
+                "rtree": SGBAnyStrategy.INDEX,
+                "on-the-fly-index": SGBAnyStrategy.INDEX,
+            }
+            if key in aliases:
+                return aliases[key]
+        raise InvalidParameterError(f"unknown SGB-Any strategy: {value!r}")
+
+
+IndexFactory = Callable[[], SpatialIndex]
+
+
+class SGBAnyGrouper:
+    """Stateful SGB-Any operator: feed points one at a time, then finalise."""
+
+    def __init__(
+        self,
+        eps: float,
+        metric: "Metric | str" = Metric.L2,
+        strategy: "SGBAnyStrategy | str" = SGBAnyStrategy.INDEX,
+        index_factory: Optional[IndexFactory] = None,
+    ) -> None:
+        self.predicate = SimilarityPredicate(resolve_metric(metric), eps)
+        self.eps = float(eps)
+        self.strategy = SGBAnyStrategy.parse(strategy)
+        self._index_factory = index_factory or (lambda: RTree(max_entries=8))
+        self._points: List[Point] = []
+        self._indices: List[int] = []
+        self._point_by_index: dict[int, Point] = {}
+        self._uf = UnionFind()
+        self._point_index: Optional[SpatialIndex] = (
+            self._index_factory() if self.strategy is SGBAnyStrategy.INDEX else None
+        )
+
+    # ------------------------------------------------------------------
+    # public incremental interface
+    # ------------------------------------------------------------------
+
+    def add(self, point: Sequence[float], index: Optional[int] = None) -> None:
+        """Process one input point (Procedure 7 body)."""
+        pt: Point = tuple(float(c) for c in point)
+        if index is None:
+            index = len(self._points)
+        neighbours = self._find_neighbours(pt)
+        self._uf.add(index)
+        self._points.append(pt)
+        self._indices.append(index)
+        self._point_by_index[index] = pt
+        # MergeGroupsInsert: union the point with every neighbouring group.
+        for other in neighbours:
+            self._uf.union(index, other)
+        if self._point_index is not None:
+            self._point_index.insert(Rect.from_point(pt), index)
+
+    def add_all(self, points: Iterable[Sequence[float]]) -> None:
+        """Process points in arrival order."""
+        for point in points:
+            self.add(point)
+
+    def finalize(self) -> GroupingResult:
+        """Return the grouping (connected components of the epsilon graph)."""
+        components = self._uf.components()
+        groups = [sorted(members) for members in components.values()]
+        groups.sort(key=lambda members: members[0])
+        return GroupingResult(groups=groups, eliminated=[], points=list(self._points))
+
+    @property
+    def group_count(self) -> int:
+        """Current number of groups (Union-Find components)."""
+        return self._uf.component_count
+
+    # ------------------------------------------------------------------
+    # FindCandidateGroups (Procedure 8) — returns neighbouring point indices
+    # ------------------------------------------------------------------
+
+    def _find_neighbours(self, point: Point) -> List[int]:
+        if self.strategy is SGBAnyStrategy.ALL_PAIRS:
+            return [
+                idx
+                for idx, other in zip(self._indices, self._points)
+                if self.predicate.similar(point, other)
+            ]
+        assert self._point_index is not None
+        window = Rect.from_point(point, self.eps)
+        hits = self._point_index.search(window)
+        if self.predicate.metric is Metric.LINF:
+            return hits
+        # VerifyPoints: for L2 (and other metrics) the square window is only a
+        # conservative filter; confirm with the exact distance.
+        verified: List[int] = []
+        for idx in hits:
+            other = self._point_by_index[idx]
+            if self.predicate.similar(point, other):
+                verified.append(idx)
+        return verified
+
+
+def sgb_any_grouping(
+    points: Sequence[Sequence[float]],
+    eps: float,
+    metric: "Metric | str" = Metric.L2,
+    strategy: "SGBAnyStrategy | str" = SGBAnyStrategy.INDEX,
+    index_factory: Optional[IndexFactory] = None,
+) -> GroupingResult:
+    """Group ``points`` with the SGB-Any operator and return the result.
+
+    Mirrors the SQL clause ``GROUP BY ... DISTANCE-TO-ANY <metric> WITHIN eps``.
+    """
+    grouper = SGBAnyGrouper(
+        eps=eps, metric=metric, strategy=strategy, index_factory=index_factory
+    )
+    grouper.add_all(points)
+    return grouper.finalize()

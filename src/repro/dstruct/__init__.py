@@ -1,0 +1,6 @@
+"""Supporting data structures: Union-Find forest and per-group tuple stores."""
+
+from repro.dstruct.tuple_store import TupleStore
+from repro.dstruct.union_find import UnionFind
+
+__all__ = ["UnionFind", "TupleStore"]

@@ -1,0 +1,68 @@
+"""Per-group tuple storage used by the SGB executor nodes.
+
+The PostgreSQL implementation in the paper extends ``AggHashEntry`` with a
+*TupleStore* that buffers the tuples assigned to a group, because the
+ELIMINATE and FORM-NEW-GROUP semantics can only finalise the grouping after
+the full input has been consumed.  This class is the in-memory equivalent: an
+append-only buffer with stable positional handles so points can later be
+moved to another group or dropped without copying payloads around.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+__all__ = ["TupleStore"]
+
+
+class TupleStore:
+    """Append-only store of tuples with tombstone-based removal."""
+
+    __slots__ = ("_rows", "_deleted", "_live")
+
+    def __init__(self) -> None:
+        self._rows: List[Any] = []
+        self._deleted: List[bool] = []
+        self._live = 0
+
+    def append(self, row: Any) -> int:
+        """Store ``row`` and return its stable handle (position)."""
+        self._rows.append(row)
+        self._deleted.append(False)
+        self._live += 1
+        return len(self._rows) - 1
+
+    def extend(self, rows: "TupleStore") -> None:
+        """Append every live row of another store (used when groups merge)."""
+        for row in rows:
+            self.append(row)
+
+    def delete(self, handle: int) -> None:
+        """Tombstone the row at ``handle``; deleting twice is a no-op."""
+        if not self._deleted[handle]:
+            self._deleted[handle] = True
+            self._live -= 1
+
+    def get(self, handle: int) -> Any:
+        """Return the row stored at ``handle`` (even if tombstoned)."""
+        return self._rows[handle]
+
+    def __len__(self) -> int:
+        """Number of live (non-deleted) rows."""
+        return self._live
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate over live rows in insertion order."""
+        for row, dead in zip(self._rows, self._deleted):
+            if not dead:
+                yield row
+
+    def to_list(self) -> List[Any]:
+        """Return the live rows as a list."""
+        return list(self)
+
+    def clear(self) -> None:
+        """Drop every row."""
+        self._rows.clear()
+        self._deleted.clear()
+        self._live = 0

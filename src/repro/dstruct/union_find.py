@@ -1,0 +1,113 @@
+"""Disjoint-set forest (Union-Find) with union by rank and path compression.
+
+SGB-Any (paper Section 7, Procedure 8/9) keeps track of existing, newly
+created, and merged groups with a Union-Find forest: every processed point is
+an element, and a group is the set of points sharing a root.  The amortised
+cost per operation is the inverse Ackermann function, which the paper's
+complexity analysis (Appendix .2) relies on for the O(n log n) bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+from repro.exceptions import UnionFindError
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """A dynamic disjoint-set forest over arbitrary hashable elements."""
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._component_count = 0
+        for element in elements:
+            self.add(element)
+
+    # -- basic operations ------------------------------------------------
+
+    def add(self, element: Hashable) -> bool:
+        """Add ``element`` as a singleton set; return False if already present."""
+        if element in self._parent:
+            return False
+        self._parent[element] = element
+        self._rank[element] = 0
+        self._size[element] = 1
+        self._component_count += 1
+        return True
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        """Total number of elements tracked."""
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set.
+
+        Applies iterative path compression (pointing every node on the walk
+        directly at the root).
+        """
+        if element not in self._parent:
+            raise UnionFindError(f"element {element!r} was never added")
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Second pass: compress the path.
+        node = element
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing ``a`` and ``b``; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._component_count -= 1
+        return ra
+
+    def union_many(self, elements: Iterable[Hashable]) -> Hashable | None:
+        """Merge every element in ``elements`` into one set; return its root."""
+        root: Hashable | None = None
+        for element in elements:
+            if root is None:
+                root = self.find(element)
+            else:
+                root = self.union(root, element)
+        return root
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return True if ``a`` and ``b`` currently belong to the same set."""
+        return self.find(a) == self.find(b)
+
+    # -- component inspection ---------------------------------------------
+
+    @property
+    def component_count(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._component_count
+
+    def component_size(self, element: Hashable) -> int:
+        """Return the size of the set containing ``element``."""
+        return self._size[self.find(element)]
+
+    def components(self) -> Dict[Hashable, List[Hashable]]:
+        """Return a mapping from set representative to the members of that set."""
+        groups: Dict[Hashable, List[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), []).append(element)
+        return groups
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)

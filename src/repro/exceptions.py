@@ -1,0 +1,71 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Every error raised on purpose by :mod:`repro` derives from :class:`ReproError`
+so callers can catch library failures without swallowing genuine bugs
+(``TypeError``, ``KeyError`` from internal misuse, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its valid domain.
+
+    Examples: a negative similarity threshold, an unknown distance metric
+    name, a point with the wrong dimensionality.
+    """
+
+
+class DimensionalityError(InvalidParameterError):
+    """Points with inconsistent dimensionality were mixed in one operation."""
+
+
+class EmptyInputError(ReproError, ValueError):
+    """An operation that requires at least one element received none."""
+
+
+class SpatialIndexError(ReproError):
+    """An internal invariant of a spatial index was violated."""
+
+
+class UnionFindError(ReproError):
+    """An element was used with a Union-Find forest it was never added to."""
+
+
+# --- relational engine (minidb) errors -------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for every error raised by the in-memory relational engine."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(DatabaseError):
+    """A table or column referenced in a statement does not exist (or already exists)."""
+
+
+class SchemaError(DatabaseError):
+    """Row data does not match the schema of the target table."""
+
+
+class PlanningError(DatabaseError):
+    """The planner could not translate a parsed statement into a physical plan."""
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a physical plan."""
+
+
+class AggregateError(ExecutionError):
+    """An aggregate function was called with invalid arguments or state."""

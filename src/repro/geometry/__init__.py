@@ -1,0 +1,29 @@
+"""Computational-geometry substrate used by the SGB-All L2 refinement step.
+
+The public surface is intentionally small:
+
+* :func:`convex_hull` — Andrew's monotone-chain convex hull (2-d).
+* :func:`point_in_convex_polygon` — containment test against a hull.
+* :func:`farthest_point` — farthest hull vertex from a query point.
+* :func:`diameter` — the diameter of a point set (farthest pair).
+* :class:`Polygon` — a light polygon value type used by the ``ST_Polygon``
+  aggregate in the relational engine.
+"""
+
+from repro.geometry.convex_hull import (
+    convex_hull,
+    cross,
+    diameter,
+    farthest_point,
+    point_in_convex_polygon,
+)
+from repro.geometry.polygon import Polygon
+
+__all__ = [
+    "convex_hull",
+    "cross",
+    "diameter",
+    "farthest_point",
+    "point_in_convex_polygon",
+    "Polygon",
+]

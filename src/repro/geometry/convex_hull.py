@@ -1,0 +1,145 @@
+"""Two-dimensional convex-hull utilities (Andrew's monotone chain).
+
+The SGB-All algorithm uses the convex hull of a group as the exact refinement
+for the L2 metric (paper Section 6.4, Procedure 6):
+
+* a new point *inside* the hull is within ``eps`` of every member whenever the
+  hull diameter is at most ``eps`` (which the SGB-All invariant guarantees);
+* a new point *outside* the hull only needs to be compared with its farthest
+  hull vertex.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import EmptyInputError
+
+Point2 = tuple[float, float]
+
+__all__ = [
+    "cross",
+    "convex_hull",
+    "point_in_convex_polygon",
+    "farthest_point",
+    "diameter",
+]
+
+
+def cross(o: Sequence[float], a: Sequence[float], b: Sequence[float]) -> float:
+    """Return the z-component of the cross product of vectors ``OA`` and ``OB``.
+
+    Positive for a counter-clockwise turn, negative for clockwise, zero for
+    collinear points.
+    """
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Sequence[Sequence[float]]) -> list[Point2]:
+    """Return the convex hull of 2-d ``points`` in counter-clockwise order.
+
+    Uses Andrew's monotone chain, O(n log n).  Collinear points on the hull
+    boundary are dropped.  Degenerate inputs are handled: a single point or
+    two points are returned as-is (deduplicated).
+    """
+    if not points:
+        raise EmptyInputError("convex_hull of an empty point set")
+    pts = sorted({(float(p[0]), float(p[1])) for p in points})
+    if len(pts) <= 2:
+        return list(pts)
+
+    lower: list[Point2] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: list[Point2] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    hull = lower[:-1] + upper[:-1]
+    if not hull:
+        # All points collinear and equal after dedup (cannot happen for
+        # len(pts) > 2 distinct sorted points, but keep the guard cheap).
+        hull = [pts[0], pts[-1]]
+    return hull
+
+
+def point_in_convex_polygon(point: Sequence[float], hull: Sequence[Point2]) -> bool:
+    """Return True if ``point`` is inside or on the border of a convex polygon.
+
+    ``hull`` must be in counter-clockwise order (as produced by
+    :func:`convex_hull`).  Degenerate hulls (one or two vertices) are treated
+    as a point / a segment.
+    """
+    if not hull:
+        return False
+    px, py = float(point[0]), float(point[1])
+    if len(hull) == 1:
+        return math.isclose(px, hull[0][0]) and math.isclose(py, hull[0][1])
+    if len(hull) == 2:
+        a, b = hull
+        if abs(cross(a, b, (px, py))) > 1e-12 * (1 + abs(px) + abs(py)):
+            return False
+        return (
+            min(a[0], b[0]) - 1e-12 <= px <= max(a[0], b[0]) + 1e-12
+            and min(a[1], b[1]) - 1e-12 <= py <= max(a[1], b[1]) + 1e-12
+        )
+    n = len(hull)
+    for i in range(n):
+        a = hull[i]
+        b = hull[(i + 1) % n]
+        if cross(a, b, (px, py)) < -1e-12:
+            return False
+    return True
+
+
+def farthest_point(point: Sequence[float], hull: Sequence[Point2]) -> Point2:
+    """Return the hull vertex farthest (Euclidean) from ``point``."""
+    if not hull:
+        raise EmptyInputError("farthest_point on an empty hull")
+    px, py = float(point[0]), float(point[1])
+    best = hull[0]
+    best_d = -1.0
+    for v in hull:
+        d = (v[0] - px) ** 2 + (v[1] - py) ** 2
+        if d > best_d:
+            best_d = d
+            best = v
+    return best
+
+
+def diameter(points: Sequence[Sequence[float]]) -> float:
+    """Return the Euclidean diameter (largest pairwise distance) of a point set.
+
+    Computed on the convex hull with rotating calipers for point sets large
+    enough to benefit; falls back to the hull-pairwise scan for tiny hulls.
+    """
+    if not points:
+        raise EmptyInputError("diameter of an empty point set")
+    hull = convex_hull(points)
+    if len(hull) == 1:
+        return 0.0
+    if len(hull) == 2:
+        return math.dist(hull[0], hull[1])
+
+    n = len(hull)
+    best = 0.0
+    k = 1
+    for i in range(n):
+        j = (i + 1) % n
+        # Advance the antipodal pointer while the triangle area keeps growing.
+        while True:
+            nxt = (k + 1) % n
+            area_now = abs(cross(hull[i], hull[j], hull[k]))
+            area_next = abs(cross(hull[i], hull[j], hull[nxt]))
+            if area_next > area_now:
+                k = nxt
+            else:
+                break
+        best = max(best, math.dist(hull[i], hull[k]), math.dist(hull[j], hull[k]))
+    return best

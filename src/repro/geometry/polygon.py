@@ -1,0 +1,86 @@
+"""A light polygon value type returned by the ``ST_Polygon`` aggregate.
+
+The application queries in Section 5 of the paper (MANET coverage areas,
+location-based group recommendation) return for every group the polygon that
+encloses the group's points.  We model that result as the convex hull of the
+group with a tiny amount of derived geometry (area, perimeter, containment)
+so the examples can do something useful with it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import EmptyInputError
+from repro.geometry.convex_hull import convex_hull, point_in_convex_polygon
+
+__all__ = ["Polygon"]
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """An immutable convex polygon given by its counter-clockwise vertices."""
+
+    vertices: tuple[tuple[float, float], ...]
+
+    @staticmethod
+    def from_points(points: Iterable[Sequence[float]]) -> "Polygon":
+        """Build the convex-hull polygon of a non-empty point collection."""
+        pts = list(points)
+        if not pts:
+            raise EmptyInputError("Polygon.from_points with no points")
+        return Polygon(tuple(convex_hull(pts)))
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of hull vertices."""
+        return len(self.vertices)
+
+    def area(self) -> float:
+        """Return the polygon area (shoelace formula); 0 for degenerate hulls."""
+        if len(self.vertices) < 3:
+            return 0.0
+        total = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            x1, y1 = self.vertices[i]
+            x2, y2 = self.vertices[(i + 1) % n]
+            total += x1 * y2 - x2 * y1
+        return abs(total) / 2.0
+
+    def perimeter(self) -> float:
+        """Return the polygon perimeter (0 for a single point)."""
+        if len(self.vertices) < 2:
+            return 0.0
+        n = len(self.vertices)
+        if n == 2:
+            return math.dist(self.vertices[0], self.vertices[1])
+        return sum(
+            math.dist(self.vertices[i], self.vertices[(i + 1) % n]) for i in range(n)
+        )
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Return True if ``point`` lies inside or on the polygon boundary."""
+        return point_in_convex_polygon(point, self.vertices)
+
+    def centroid(self) -> tuple[float, float]:
+        """Return the arithmetic mean of the vertices (sufficient for reporting)."""
+        n = len(self.vertices)
+        return (
+            sum(v[0] for v in self.vertices) / n,
+            sum(v[1] for v in self.vertices) / n,
+        )
+
+    def wkt(self) -> str:
+        """Return a Well-Known-Text representation (``POLYGON`` / ``POINT``)."""
+        if len(self.vertices) == 1:
+            x, y = self.vertices[0]
+            return f"POINT ({x} {y})"
+        if len(self.vertices) == 2:
+            (x1, y1), (x2, y2) = self.vertices
+            return f"LINESTRING ({x1} {y1}, {x2} {y2})"
+        ring = ", ".join(f"{x} {y}" for x, y in self.vertices)
+        first = self.vertices[0]
+        return f"POLYGON (({ring}, {first[0]} {first[1]}))"

@@ -1,0 +1,39 @@
+"""minidb — a small in-memory relational engine with similarity group-by.
+
+This package is the substrate standing in for the paper's PostgreSQL
+extension.  It provides the full path a SQL query takes through a relational
+system:
+
+``SQL text -> lexer -> parser -> logical plan -> physical plan -> Volcano executor``
+
+with the paper's extended grammar::
+
+    GROUP BY a, b DISTANCE-TO-ALL [L2|LINF] WITHIN eps
+              ON-OVERLAP [JOIN-ANY|ELIMINATE|FORM-NEW-GROUP]
+    GROUP BY a, b DISTANCE-TO-ANY [L2|LINF] WITHIN eps
+
+The executor implements sequential scans, filters, projections, nested-loop
+and hash joins, sorting, limits, hash aggregation, and the two similarity
+group-by operators (which drive :class:`repro.core.SGBAllGrouper` /
+:class:`repro.core.SGBAnyGrouper`).
+
+Typical use::
+
+    from repro.minidb import Database
+
+    db = Database()
+    db.execute("CREATE TABLE points (id INT, x FLOAT, y FLOAT)")
+    db.execute("INSERT INTO points VALUES (1, 0.0, 0.0), (2, 0.5, 0.5)")
+    result = db.execute(
+        "SELECT count(*) FROM points "
+        "GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.0"
+    )
+    print(result.rows)
+"""
+
+from repro.minidb.database import Database, QueryResult
+from repro.minidb.schema import Column, Schema
+from repro.minidb.table import Table
+from repro.minidb.types import DataType
+
+__all__ = ["Database", "QueryResult", "Schema", "Column", "Table", "DataType"]

@@ -1,0 +1,53 @@
+"""The catalog: the mapping from table names to heap tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exceptions import CatalogError
+from repro.minidb.schema import Schema
+from repro.minidb.table import Table
+from repro.minidb.types import DataType
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Holds every table of a :class:`repro.minidb.Database`."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, columns: Iterable[Tuple[str, "DataType | str"]]
+    ) -> Table:
+        """Create an empty table; raises if the name is already in use."""
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        schema = Schema.from_pairs(columns, qualifier=key)
+        table = Table(key, schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table; raises if it does not exist."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def get_table(self, name: str) -> Table:
+        """Return the table called ``name``."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        """Return True if a table called ``name`` exists."""
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        """Return the sorted list of table names."""
+        return sorted(self._tables)

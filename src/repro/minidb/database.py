@@ -1,0 +1,179 @@
+"""The user-facing database facade: DDL, DML, queries, and EXPLAIN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import PlanningError
+from repro.minidb.catalog import Catalog
+from repro.minidb.expressions import Literal, compile_expression
+from repro.minidb.plan.planner import Planner, PlannerSettings
+from repro.minidb.schema import Schema
+from repro.minidb.sql.ast import (
+    CreateTableStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+)
+from repro.minidb.sql.parser import parse_sql
+from repro.minidb.table import Table
+from repro.minidb.types import DataType
+
+__all__ = ["Database", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """The materialised result of one statement."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[Tuple[object, ...]] = field(default_factory=list)
+    rowcount: int = 0
+    statement: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> object:
+        """Return the single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise PlanningError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[object]:
+        """Return all values of the named output column."""
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError as exc:
+            raise PlanningError(f"unknown result column {name!r}") from exc
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> List[dict]:
+        """Return the rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class Database:
+    """An in-memory relational database with similarity group-by support.
+
+    Parameters
+    ----------
+    sgb_strategy:
+        Default algorithm used by similarity group-by plans: ``"index"``
+        (default), ``"bounds-checking"``, or ``"all-pairs"``.
+    sgb_seed:
+        Seed for the JOIN-ANY arbitration, making query results reproducible.
+    """
+
+    def __init__(self, sgb_strategy: str = "index", sgb_seed: int = 0) -> None:
+        self.catalog = Catalog()
+        self.settings = PlannerSettings(sgb_strategy=sgb_strategy, sgb_seed=sgb_seed)
+
+    # ------------------------------------------------------------------
+    # programmatic DDL / DML (used by the data generators)
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self, name: str, columns: Iterable[Tuple[str, "DataType | str"]]
+    ) -> Table:
+        """Create a table from ``(name, type)`` pairs."""
+        return self.catalog.create_table(name, columns)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table."""
+        self.catalog.drop_table(name)
+
+    def has_table(self, name: str) -> bool:
+        """Return True if the table exists."""
+        return self.catalog.has_table(name)
+
+    def table(self, name: str) -> Table:
+        """Return the underlying heap table."""
+        return self.catalog.get_table(name)
+
+    def table_names(self) -> List[str]:
+        """Return the names of all tables."""
+        return self.catalog.table_names()
+
+    def insert_rows(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-insert Python rows into a table; returns the row count."""
+        return self.catalog.get_table(name).insert_many(rows)
+
+    # ------------------------------------------------------------------
+    # SQL execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, sgb_strategy: Optional[str] = None) -> QueryResult:
+        """Parse, plan, and execute one SQL statement.
+
+        ``sgb_strategy`` overrides the session default for this statement only
+        (used by the benchmarks to compare All-Pairs / Bounds-Checking / Index
+        plans for the same query).
+        """
+        statement = parse_sql(sql)
+        return self._execute_statement(statement, sql, sgb_strategy)
+
+    def explain(self, sql: str, sgb_strategy: Optional[str] = None) -> str:
+        """Return the physical plan of a SELECT statement as text."""
+        statement = parse_sql(sql)
+        if not isinstance(statement, SelectStatement):
+            raise PlanningError("EXPLAIN is only supported for SELECT statements")
+        planner = self._planner(sgb_strategy)
+        return planner.plan_select(statement).explain()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _planner(self, sgb_strategy: Optional[str]) -> Planner:
+        settings = self.settings
+        if sgb_strategy is not None:
+            settings = PlannerSettings(
+                sgb_strategy=sgb_strategy, sgb_seed=self.settings.sgb_seed
+            )
+        return Planner(self.catalog, settings)
+
+    def _execute_statement(
+        self, statement: Statement, sql: str, sgb_strategy: Optional[str]
+    ) -> QueryResult:
+        if isinstance(statement, SelectStatement):
+            planner = self._planner(sgb_strategy)
+            plan = planner.plan_select(statement)
+            rows = list(plan.rows())
+            return QueryResult(
+                columns=[c.name for c in plan.schema.columns],
+                rows=rows,
+                rowcount=len(rows),
+                statement=sql,
+            )
+        if isinstance(statement, CreateTableStatement):
+            self.catalog.create_table(statement.name, statement.columns)
+            return QueryResult(statement=sql)
+        if isinstance(statement, DropTableStatement):
+            self.catalog.drop_table(statement.name)
+            return QueryResult(statement=sql)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement, sql)
+        raise PlanningError(f"unsupported statement {statement!r}")
+
+    def _execute_insert(self, statement: InsertStatement, sql: str) -> QueryResult:
+        table = self.catalog.get_table(statement.table)
+        empty = Schema([])
+        count = 0
+        for row_exprs in statement.rows:
+            values = [compile_expression(expr, empty)(()) for expr in row_exprs]
+            if statement.columns:
+                by_name = dict(zip([c.lower() for c in statement.columns], values))
+                ordered = [by_name.get(col.name) for col in table.schema.columns]
+                table.insert(ordered)
+            else:
+                table.insert(values)
+            count += 1
+        return QueryResult(rowcount=count, statement=sql)

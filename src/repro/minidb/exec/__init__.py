@@ -1,0 +1,34 @@
+"""Volcano-style execution operators for the in-memory engine."""
+
+from repro.minidb.exec.aggregate import AggregateSpec, HashAggregate
+from repro.minidb.exec.operators import (
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    Rename,
+    SeqScan,
+    Sort,
+    ValuesScan,
+)
+from repro.minidb.exec.sgb import SGBAggregate
+
+__all__ = [
+    "PhysicalOperator",
+    "SeqScan",
+    "ValuesScan",
+    "Filter",
+    "Project",
+    "Rename",
+    "NestedLoopJoin",
+    "HashJoin",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "AggregateSpec",
+    "HashAggregate",
+    "SGBAggregate",
+]

@@ -1,0 +1,130 @@
+"""Hash aggregation (the standard GROUP BY path) and the shared aggregate spec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import PlanningError
+from repro.minidb.expressions import Expression, compile_expression
+from repro.minidb.functions import MULTI_ARG_AGGREGATES, create_aggregate
+from repro.minidb.exec.operators import PhysicalOperator, Row, _hashable
+from repro.minidb.schema import Column, Schema
+from repro.minidb.types import DataType
+
+__all__ = ["AggregateSpec", "HashAggregate"]
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate to compute: function name, argument expressions, output name."""
+
+    func: str
+    args: Tuple[Expression, ...]
+    star: bool
+    output_name: str
+
+    def output_type(self) -> DataType:
+        """Best-effort output type used for the operator schema."""
+        key = self.func.lower()
+        if key == "count":
+            return DataType.INT
+        if key in ("array_agg", "list_id", "st_polygon"):
+            return DataType.TEXT
+        return DataType.FLOAT
+
+
+class _AggregateEvaluator:
+    """Compiles the argument expressions of a set of aggregate specs."""
+
+    def __init__(self, specs: Sequence[AggregateSpec], input_schema: Schema) -> None:
+        self.specs = list(specs)
+        self._arg_fns: List[List[Any]] = []
+        for spec in self.specs:
+            if spec.star:
+                self._arg_fns.append([])
+            else:
+                self._arg_fns.append(
+                    [compile_expression(arg, input_schema) for arg in spec.args]
+                )
+
+    def new_accumulators(self) -> List[Any]:
+        """Return fresh accumulator instances, one per spec."""
+        return [create_aggregate(spec.func, spec.star) for spec in self.specs]
+
+    def step(self, accumulators: List[Any], row: Row) -> None:
+        """Feed one input row into every accumulator."""
+        for spec, fns, acc in zip(self.specs, self._arg_fns, accumulators):
+            if spec.star:
+                acc.step(1)
+                continue
+            values = [fn(row) for fn in fns]
+            if spec.func.lower() in MULTI_ARG_AGGREGATES:
+                acc.step(tuple(values))
+            elif len(values) == 1:
+                acc.step(values[0])
+            elif not values:
+                acc.step(1)
+            else:
+                raise PlanningError(
+                    f"aggregate {spec.func!r} takes one argument, got {len(values)}"
+                )
+
+    @staticmethod
+    def finalize(accumulators: List[Any]) -> List[Any]:
+        """Return the final value of every accumulator."""
+        return [acc.final() for acc in accumulators]
+
+
+class HashAggregate(PhysicalOperator):
+    """Hash-based GROUP BY aggregation.
+
+    Output rows are ``(group key values..., aggregate values...)``.  With no
+    group keys the operator performs global aggregation and always emits
+    exactly one row (matching SQL semantics for aggregates over empty input).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_exprs: Sequence[Expression],
+        group_names: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        group_types: Optional[Sequence[DataType]] = None,
+    ) -> None:
+        self.child = child
+        self.group_exprs = list(group_exprs)
+        self.aggregates = list(aggregates)
+        self._group_fns = [compile_expression(e, child.schema) for e in group_exprs]
+        self._evaluator = _AggregateEvaluator(aggregates, child.schema)
+        key_types = list(group_types) if group_types else [DataType.FLOAT] * len(group_exprs)
+        columns = [
+            Column(name.lower(), dtype, None)
+            for name, dtype in zip(group_names, key_types)
+        ]
+        columns += [Column(spec.output_name.lower(), spec.output_type(), None) for spec in aggregates]
+        self.schema = Schema(columns)
+
+    def rows(self) -> Iterator[Row]:
+        groups: Dict[Tuple[Any, ...], Tuple[Row, List[Any]]] = {}
+        global_agg = not self.group_exprs
+        for row in self.child.rows():
+            key_values = tuple(fn(row) for fn in self._group_fns)
+            key = _hashable(key_values)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (key_values, self._evaluator.new_accumulators())
+                groups[key] = entry
+            self._evaluator.step(entry[1], row)
+        if global_agg and not groups:
+            groups[()] = ((), self._evaluator.new_accumulators())
+        for key_values, accumulators in groups.values():
+            yield tuple(key_values) + tuple(self._evaluator.finalize(accumulators))
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(str(e) for e in self.group_exprs) or "<global>"
+        aggs = ", ".join(f"{s.func}" for s in self.aggregates)
+        return f"HashAggregate(keys=[{keys}], aggs=[{aggs}])"

@@ -1,0 +1,342 @@
+"""Row-at-a-time (Volcano) physical operators.
+
+Every operator exposes ``schema`` (the layout of the rows it produces),
+``rows()`` (an iterator of tuples), and ``explain()`` (a plan-tree string used
+by ``Database.explain``).  Operators compile their expressions against their
+child's schema once, at construction time, so per-row evaluation is a plain
+closure call.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExecutionError
+from repro.minidb.expressions import Expression, compile_expression
+from repro.minidb.schema import Column, Schema
+from repro.minidb.table import Table
+from repro.minidb.types import DataType
+
+__all__ = [
+    "PhysicalOperator",
+    "SeqScan",
+    "ValuesScan",
+    "Filter",
+    "Project",
+    "Rename",
+    "NestedLoopJoin",
+    "HashJoin",
+    "Sort",
+    "Limit",
+    "Distinct",
+]
+
+Row = Tuple[Any, ...]
+
+
+class PhysicalOperator(ABC):
+    """Base class of every physical operator."""
+
+    schema: Schema
+
+    @abstractmethod
+    def rows(self) -> Iterator[Row]:
+        """Yield output rows."""
+
+    def explain(self, indent: int = 0) -> str:
+        """Return a human-readable plan-tree fragment."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.describe()}"]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line description of the operator."""
+        return type(self).__name__
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        """Return the child operators."""
+        return ()
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+
+class SeqScan(PhysicalOperator):
+    """Sequential scan over a heap table, optionally re-qualified by an alias."""
+
+    def __init__(self, table: Table, alias: Optional[str] = None) -> None:
+        self.table = table
+        self.alias = (alias or table.name).lower()
+        self.schema = table.schema.with_qualifier(self.alias)
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self.table.rows)
+
+    def describe(self) -> str:
+        if self.alias != self.table.name:
+            return f"SeqScan({self.table.name} AS {self.alias})"
+        return f"SeqScan({self.table.name})"
+
+
+class ValuesScan(PhysicalOperator):
+    """Produce a fixed list of rows (used for materialised intermediate results)."""
+
+    def __init__(self, rows: List[Row], schema: Schema) -> None:
+        self._rows = rows
+        self.schema = schema
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def describe(self) -> str:
+        return f"ValuesScan({len(self._rows)} rows)"
+
+
+class Rename(PhysicalOperator):
+    """Re-qualify (and optionally rename) a child's output columns.
+
+    Used for derived tables: ``(SELECT ...) AS r1`` exposes the subquery's
+    output columns under the qualifier ``r1``.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        qualifier: Optional[str],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.child = child
+        self.qualifier = qualifier.lower() if qualifier else None
+        columns = []
+        for i, col in enumerate(child.schema.columns):
+            name = (names[i] if names else col.name).lower()
+            columns.append(Column(name, col.dtype, self.qualifier))
+        self.schema = Schema(columns)
+
+    def rows(self) -> Iterator[Row]:
+        return self.child.rows()
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Rename(AS {self.qualifier})"
+
+
+class Filter(PhysicalOperator):
+    """Keep rows for which the predicate evaluates to SQL TRUE."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        self._compiled = compile_expression(predicate, child.schema)
+
+    def rows(self) -> Iterator[Row]:
+        compiled = self._compiled
+        for row in self.child.rows():
+            if compiled(row) is True:
+                yield row
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate})"
+
+
+class Project(PhysicalOperator):
+    """Compute output expressions per input row."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        expressions: Sequence[Expression],
+        names: Sequence[str],
+        types: Optional[Sequence[DataType]] = None,
+    ) -> None:
+        if len(expressions) != len(names):
+            raise ExecutionError("projection expressions and names differ in length")
+        self.child = child
+        self.expressions = list(expressions)
+        self._compiled = [compile_expression(e, child.schema) for e in expressions]
+        dtypes = list(types) if types else [DataType.FLOAT] * len(names)
+        self.schema = Schema(
+            [Column(name.lower(), dtype, None) for name, dtype in zip(names, dtypes)]
+        )
+
+    def rows(self) -> Iterator[Row]:
+        compiled = self._compiled
+        for row in self.child.rows():
+            yield tuple(fn(row) for fn in compiled)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(c.name for c in self.schema.columns)})"
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Inner join by nested loops; the right side is materialised once."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        condition: Optional[Expression] = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.schema = left.schema.concat(right.schema)
+        self._compiled = (
+            compile_expression(condition, self.schema) if condition is not None else None
+        )
+
+    def rows(self) -> Iterator[Row]:
+        right_rows = list(self.right.rows())
+        compiled = self._compiled
+        for left_row in self.left.rows():
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if compiled is None or compiled(combined) is True:
+                    yield combined
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.condition})" if self.condition else "NestedLoopJoin(cross)"
+
+
+class HashJoin(PhysicalOperator):
+    """Equi-join: build a hash table on the right side, probe with the left."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: Sequence[Expression],
+        right_keys: Sequence[Expression],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ExecutionError("hash join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+        self.schema = left.schema.concat(right.schema)
+        self._left_key_fns = [compile_expression(e, left.schema) for e in left_keys]
+        self._right_key_fns = [compile_expression(e, right.schema) for e in right_keys]
+        self._residual_fn = (
+            compile_expression(residual, self.schema) if residual is not None else None
+        )
+
+    def rows(self) -> Iterator[Row]:
+        build: dict[Tuple[Any, ...], List[Row]] = {}
+        for row in self.right.rows():
+            key = tuple(fn(row) for fn in self._right_key_fns)
+            if any(k is None for k in key):
+                continue
+            build.setdefault(key, []).append(row)
+        residual = self._residual_fn
+        for left_row in self.left.rows():
+            key = tuple(fn(left_row) for fn in self._left_key_fns)
+            if any(k is None for k in key):
+                continue
+            for right_row in build.get(key, ()):
+                combined = left_row + right_row
+                if residual is None or residual(combined) is True:
+                    yield combined
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        keys = ", ".join(str(k) for k in self.left_keys)
+        return f"HashJoin(keys=[{keys}])"
+
+
+class Sort(PhysicalOperator):
+    """Materialising sort on the compiled sort keys."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        keys: Sequence[Expression],
+        ascending: Sequence[bool],
+    ) -> None:
+        self.child = child
+        self.schema = child.schema
+        self._key_fns = [compile_expression(e, child.schema) for e in keys]
+        self._ascending = list(ascending)
+
+    def rows(self) -> Iterator[Row]:
+        rows = list(self.child.rows())
+        # Stable multi-key sort: apply keys from the least to the most significant.
+        for key_fn, asc in reversed(list(zip(self._key_fns, self._ascending))):
+            rows.sort(
+                key=lambda row: (key_fn(row) is None, key_fn(row)),
+                reverse=not asc,
+            )
+        return iter(rows)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Sort({len(self._key_fns)} keys)"
+
+
+class Limit(PhysicalOperator):
+    """Stop after ``limit`` rows."""
+
+    def __init__(self, child: PhysicalOperator, limit: int) -> None:
+        self.child = child
+        self.limit = max(0, int(limit))
+        self.schema = child.schema
+
+    def rows(self) -> Iterator[Row]:
+        count = 0
+        for row in self.child.rows():
+            if count >= self.limit:
+                return
+            count += 1
+            yield row
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit({self.limit})"
+
+
+class Distinct(PhysicalOperator):
+    """Remove duplicate rows (hash-based)."""
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def rows(self) -> Iterator[Row]:
+        seen: set = set()
+        for row in self.child.rows():
+            key = _hashable(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+
+def _hashable(row: Iterable[Any]) -> Tuple[Any, ...]:
+    """Convert row values into a hashable key (lists become tuples)."""
+    return tuple(tuple(v) if isinstance(v, list) else v for v in row)

@@ -1,0 +1,135 @@
+"""The similarity group-by physical operator (SGB-All / SGB-Any).
+
+This is the executor node the paper adds to PostgreSQL's hash-aggregate path:
+incoming tuples are buffered, their grouping attributes are streamed into the
+:class:`~repro.core.sgb_all.SGBAllGrouper` or
+:class:`~repro.core.sgb_any.SGBAnyGrouper`, and once the input is exhausted
+(ELIMINATE / FORM-NEW-GROUP can only finalise then) the buffered tuples are
+replayed group-by-group through the aggregate accumulators.
+
+Output rows are ``(key centroid values..., aggregate values...)``: the
+representative value reported for each grouping attribute is the per-group
+mean, since a similarity group spans a range of attribute values rather than
+a single one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.overlap import OverlapAction
+from repro.core.sgb_all import SGBAllGrouper, SGBAllStrategy
+from repro.core.sgb_any import SGBAnyGrouper, SGBAnyStrategy
+from repro.exceptions import ExecutionError
+from repro.minidb.exec.aggregate import AggregateSpec, _AggregateEvaluator
+from repro.minidb.exec.operators import PhysicalOperator, Row
+from repro.minidb.expressions import Expression, compile_expression
+from repro.minidb.schema import Column, Schema
+from repro.minidb.types import DataType
+
+__all__ = ["SGBAggregate"]
+
+
+class SGBAggregate(PhysicalOperator):
+    """Similarity group-by aggregation over multi-dimensional grouping attributes."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        key_exprs: Sequence[Expression],
+        key_names: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        kind: str,
+        metric: str,
+        eps: float,
+        on_overlap: Optional[str] = None,
+        strategy: str = "index",
+        seed: int = 0,
+    ) -> None:
+        if kind not in ("all", "any"):
+            raise ExecutionError(f"unknown SGB kind {kind!r}")
+        if len(key_exprs) < 1:
+            raise ExecutionError("similarity group-by requires at least one grouping attribute")
+        self.child = child
+        self.kind = kind
+        self.metric = metric
+        self.eps = float(eps)
+        self.on_overlap = on_overlap
+        self.strategy = strategy
+        self.seed = seed
+        self.key_exprs = list(key_exprs)
+        self.aggregates = list(aggregates)
+        self._key_fns = [compile_expression(e, child.schema) for e in key_exprs]
+        self._evaluator = _AggregateEvaluator(aggregates, child.schema)
+        columns = [Column(name.lower(), DataType.FLOAT, None) for name in key_names]
+        columns += [
+            Column(spec.output_name.lower(), spec.output_type(), None)
+            for spec in self.aggregates
+        ]
+        self.schema = Schema(columns)
+
+    # ------------------------------------------------------------------
+
+    def _make_grouper(self):
+        if self.kind == "all":
+            return SGBAllGrouper(
+                eps=self.eps,
+                metric=self.metric,
+                on_overlap=self.on_overlap or OverlapAction.JOIN_ANY,
+                strategy=SGBAllStrategy.parse(self.strategy),
+                seed=self.seed,
+            )
+        strategy = (
+            SGBAnyStrategy.ALL_PAIRS
+            if SGBAllStrategy.parse(self.strategy) is SGBAllStrategy.ALL_PAIRS
+            else SGBAnyStrategy.INDEX
+        )
+        return SGBAnyGrouper(eps=self.eps, metric=self.metric, strategy=strategy)
+
+    def rows(self) -> Iterator[Row]:
+        grouper = self._make_grouper()
+        buffered: List[Row] = []
+        for row in self.child.rows():
+            point = tuple(self._key_value(fn, row) for fn in self._key_fns)
+            grouper.add(point, index=len(buffered))
+            buffered.append(row)
+        result = grouper.finalize()
+
+        dims = len(self.key_exprs)
+        for gid, members in enumerate(result.groups):
+            if not members:
+                continue
+            accumulators = self._evaluator.new_accumulators()
+            for idx in members:
+                self._evaluator.step(accumulators, buffered[idx])
+            centroid = self._centroid(result, gid, dims)
+            yield tuple(centroid) + tuple(self._evaluator.finalize(accumulators))
+
+    @staticmethod
+    def _key_value(fn, row: Row) -> float:
+        value = fn(row)
+        if value is None:
+            raise ExecutionError("similarity grouping attributes must not be NULL")
+        try:
+            return float(value)
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(
+                f"similarity grouping attribute value {value!r} is not numeric"
+            ) from exc
+
+    @staticmethod
+    def _centroid(result, gid: int, dims: int) -> List[float]:
+        members = result.group_points(gid)
+        return [sum(p[d] for p in members) / len(members) for d in range(dims)]
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        clause = "DISTANCE-TO-ALL" if self.kind == "all" else "DISTANCE-TO-ANY"
+        overlap = f" ON-OVERLAP {self.on_overlap}" if self.kind == "all" else ""
+        keys = ", ".join(str(e) for e in self.key_exprs)
+        return (
+            f"SGBAggregate({clause} {self.metric} WITHIN {self.eps}{overlap}; "
+            f"keys=[{keys}]; strategy={self.strategy})"
+        )

@@ -1,0 +1,458 @@
+"""Expression AST shared by the parser, planner, and executor.
+
+Expressions are plain dataclasses produced by the parser.  The planner
+*compiles* an expression against the schema of its input operator into a
+Python closure ``row -> value`` (:func:`compile_expression`), which is what
+the Volcano operators evaluate per row.  Aggregate function calls are never
+compiled directly — the planner extracts them first
+(:func:`extract_aggregates`) and replaces them with references to the
+aggregate operator's output columns.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExecutionError, PlanningError
+from repro.minidb.functions import SCALAR_FUNCTIONS, is_aggregate_function
+from repro.minidb.schema import Schema
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "BinaryOp",
+    "UnaryOp",
+    "FuncCall",
+    "InList",
+    "InSubquery",
+    "InSet",
+    "Between",
+    "IsNull",
+    "IntervalLiteral",
+    "compile_expression",
+    "extract_aggregates",
+    "expression_name",
+    "contains_aggregate",
+]
+
+
+class Expression:
+    """Base class for every expression node."""
+
+    def children(self) -> Sequence["Expression"]:
+        """Return the child expressions (used by tree walks)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value (number, string, date, boolean, NULL)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expression):
+    """An ``INTERVAL '<n>' <unit>`` literal; units: day, month, year."""
+
+    amount: int
+    unit: str
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A (possibly qualified) column reference."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def display(self) -> str:
+        """Return the SQL-ish text of the reference."""
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """The ``*`` argument of ``count(*)`` (or a bare ``SELECT *`` item)."""
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operator: arithmetic, comparison, or boolean connective."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary minus or NOT."""
+
+    op: str
+    operand: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class FuncCall(Expression):
+    """A function call; may be a scalar function or an aggregate."""
+
+    name: str
+    args: Tuple[Expression, ...] = field(default_factory=tuple)
+    star: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return self.args
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Return True when the call refers to an aggregate function."""
+        return is_aggregate_function(self.name)
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)`` with literal values."""
+
+    expr: Expression
+    values: Tuple[Expression, ...]
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.expr, *self.values)
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``expr [NOT] IN (SELECT ...)`` — the planner materialises the subquery."""
+
+    expr: Expression
+    subquery: Any  # SelectStatement; typed as Any to avoid a circular import
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class InSet(Expression):
+    """Planner-produced membership test against a pre-materialised value set.
+
+    The planner rewrites ``expr IN (SELECT ...)`` into this node after
+    executing the (uncorrelated) subquery once.
+    """
+
+    expr: Expression
+    values: frozenset
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.expr, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expression
+    negated: bool = False
+
+    def children(self) -> Sequence[Expression]:
+        return (self.expr,)
+
+
+# ---------------------------------------------------------------------------
+# tree utilities
+# ---------------------------------------------------------------------------
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """Return True if the expression tree contains an aggregate function call."""
+    if isinstance(expr, FuncCall) and expr.is_aggregate:
+        return True
+    return any(contains_aggregate(child) for child in expr.children())
+
+
+def extract_aggregates(expr: Expression, found: Optional[List[FuncCall]] = None) -> List[FuncCall]:
+    """Collect every aggregate :class:`FuncCall` in the expression tree (depth-first)."""
+    if found is None:
+        found = []
+    if isinstance(expr, FuncCall) and expr.is_aggregate:
+        if expr not in found:
+            found.append(expr)
+        return found
+    for child in expr.children():
+        extract_aggregates(child, found)
+    return found
+
+
+def expression_name(expr: Expression) -> str:
+    """Return a reasonable output column name for an unaliased select item."""
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, FuncCall):
+        return expr.name.lower()
+    if isinstance(expr, Literal):
+        return "literal"
+    return "expr"
+
+
+# ---------------------------------------------------------------------------
+# value helpers used by compiled closures
+# ---------------------------------------------------------------------------
+
+
+def _add_months(date: dt.date, months: int) -> dt.date:
+    month_index = date.month - 1 + months
+    year = date.year + month_index // 12
+    month = month_index % 12 + 1
+    day = min(
+        date.day,
+        [31, 29 if year % 4 == 0 and (year % 100 != 0 or year % 400 == 0) else 28,
+         31, 30, 31, 30, 31, 31, 30, 31, 30, 31][month - 1],
+    )
+    return dt.date(year, month, day)
+
+
+def _interval_days(amount: int, unit: str) -> Optional[int]:
+    unit = unit.lower().rstrip("s")
+    if unit == "day":
+        return amount
+    if unit == "week":
+        return amount * 7
+    return None
+
+
+def _apply_arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    # Date arithmetic -------------------------------------------------------
+    if isinstance(left, dt.date) and isinstance(right, _IntervalValue):
+        return right.add_to(left, 1 if op == "+" else -1)
+    if isinstance(right, dt.date) and isinstance(left, _IntervalValue) and op == "+":
+        return left.add_to(right, 1)
+    if isinstance(left, dt.date) and isinstance(right, dt.date):
+        if op == "-":
+            return (left - right).days
+        raise ExecutionError(f"unsupported date operation: date {op} date")
+    if isinstance(left, dt.date) and isinstance(right, (int, float)):
+        delta = dt.timedelta(days=int(right))
+        return left + delta if op == "+" else left - delta
+    # Plain arithmetic -------------------------------------------------------
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    if op == "%":
+        return left % right
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def _apply_compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op in ("!=", "<>"):
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+class _IntervalValue:
+    """Runtime value of an INTERVAL literal."""
+
+    __slots__ = ("amount", "unit")
+
+    def __init__(self, amount: int, unit: str) -> None:
+        self.amount = amount
+        self.unit = unit.lower().rstrip("s")
+
+    def add_to(self, date: dt.date, sign: int) -> dt.date:
+        days = _interval_days(self.amount, self.unit)
+        if days is not None:
+            return date + dt.timedelta(days=sign * days)
+        if self.unit == "month":
+            return _add_months(date, sign * self.amount)
+        if self.unit == "year":
+            return _add_months(date, sign * 12 * self.amount)
+        raise ExecutionError(f"unsupported interval unit {self.unit!r}")
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+RowFunction = Callable[[tuple], Any]
+
+
+def compile_expression(expr: Expression, schema: Schema) -> RowFunction:
+    """Compile ``expr`` into a ``row -> value`` closure bound to ``schema``.
+
+    Aggregate calls and subqueries must have been rewritten away by the
+    planner before compilation; encountering one here is a planning bug.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+
+    if isinstance(expr, IntervalLiteral):
+        value = _IntervalValue(expr.amount, expr.unit)
+        return lambda row: value
+
+    if isinstance(expr, ColumnRef):
+        index = schema.index_of(expr.name, expr.qualifier)
+        return lambda row: row[index]
+
+    if isinstance(expr, Star):
+        raise PlanningError("'*' can only appear inside count(*)")
+
+    if isinstance(expr, UnaryOp):
+        operand = compile_expression(expr.operand, schema)
+        if expr.op == "-":
+            return lambda row: None if operand(row) is None else -operand(row)
+        if expr.op.upper() == "NOT":
+            def _not(row: tuple) -> Optional[bool]:
+                value = operand(row)
+                return None if value is None else not value
+            return _not
+        raise PlanningError(f"unknown unary operator {expr.op!r}")
+
+    if isinstance(expr, BinaryOp):
+        left = compile_expression(expr.left, schema)
+        right = compile_expression(expr.right, schema)
+        op = expr.op.upper() if expr.op.isalpha() else expr.op
+        if op in ("+", "-", "*", "/", "%"):
+            return lambda row: _apply_arith(op, left(row), right(row))
+        if op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            return lambda row: _apply_compare(op, left(row), right(row))
+        if op == "AND":
+            def _and(row: tuple) -> Optional[bool]:
+                lv = left(row)
+                if lv is False:
+                    return False
+                rv = right(row)
+                if rv is False:
+                    return False
+                if lv is None or rv is None:
+                    return None
+                return True
+            return _and
+        if op == "OR":
+            def _or(row: tuple) -> Optional[bool]:
+                lv = left(row)
+                if lv is True:
+                    return True
+                rv = right(row)
+                if rv is True:
+                    return True
+                if lv is None or rv is None:
+                    return None
+                return False
+            return _or
+        raise PlanningError(f"unknown binary operator {expr.op!r}")
+
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            raise PlanningError(
+                f"aggregate {expr.name!r} is not allowed in this context"
+            )
+        name = expr.name.lower()
+        if name not in SCALAR_FUNCTIONS:
+            raise PlanningError(f"unknown function {expr.name!r}")
+        fn = SCALAR_FUNCTIONS[name]
+        arg_fns = [compile_expression(arg, schema) for arg in expr.args]
+        return lambda row: fn(*[arg(row) for arg in arg_fns])
+
+    if isinstance(expr, InList):
+        target = compile_expression(expr.expr, schema)
+        value_fns = [compile_expression(v, schema) for v in expr.values]
+        negated = expr.negated
+
+        def _in_list(row: tuple) -> Optional[bool]:
+            value = target(row)
+            if value is None:
+                return None
+            members = {fn(row) for fn in value_fns}
+            result = value in members
+            return not result if negated else result
+
+        return _in_list
+
+    if isinstance(expr, Between):
+        target = compile_expression(expr.expr, schema)
+        low = compile_expression(expr.low, schema)
+        high = compile_expression(expr.high, schema)
+        negated = expr.negated
+
+        def _between(row: tuple) -> Optional[bool]:
+            value = target(row)
+            lo, hi = low(row), high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            result = lo <= value <= hi
+            return not result if negated else result
+
+        return _between
+
+    if isinstance(expr, IsNull):
+        target = compile_expression(expr.expr, schema)
+        negated = expr.negated
+        return lambda row: (target(row) is not None) if negated else (target(row) is None)
+
+    if isinstance(expr, InSet):
+        target = compile_expression(expr.expr, schema)
+        members = expr.values
+        negated = expr.negated
+
+        def _in_set(row: tuple) -> Optional[bool]:
+            value = target(row)
+            if value is None:
+                return None
+            result = value in members
+            return not result if negated else result
+
+        return _in_set
+
+    if isinstance(expr, InSubquery):
+        raise PlanningError(
+            "IN (SELECT ...) must be rewritten by the planner before compilation"
+        )
+
+    raise PlanningError(f"cannot compile expression {expr!r}")

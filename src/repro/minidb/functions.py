@@ -1,0 +1,258 @@
+"""Scalar and aggregate function registries for the engine.
+
+Aggregates follow the classic accumulator protocol (``init`` / ``step`` /
+``final``) used by the hash-aggregate and SGB operators.  Besides the SQL
+standard aggregates the registry includes the two functions the paper's
+application queries rely on:
+
+* ``array_agg`` / ``list_id`` — collect the values of a column per group
+  (Query 3's list of user ids);
+* ``st_polygon`` — the convex-hull polygon of the group's grouping attributes
+  (Query 1's MANET coverage area).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import AggregateError
+from repro.geometry.polygon import Polygon
+
+__all__ = [
+    "SCALAR_FUNCTIONS",
+    "AGGREGATE_FUNCTIONS",
+    "Aggregate",
+    "create_aggregate",
+    "is_aggregate_function",
+]
+
+
+# ---------------------------------------------------------------------------
+# scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _null_safe(fn: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapper(*args: Any) -> Any:
+        if any(a is None for a in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "abs": _null_safe(abs),
+    "round": _null_safe(lambda x, digits=0: round(x, int(digits))),
+    "floor": _null_safe(math.floor),
+    "ceil": _null_safe(math.ceil),
+    "sqrt": _null_safe(math.sqrt),
+    "power": _null_safe(lambda x, y: x ** y),
+    "ln": _null_safe(math.log),
+    "length": _null_safe(len),
+    "lower": _null_safe(lambda s: str(s).lower()),
+    "upper": _null_safe(lambda s: str(s).upper()),
+    "coalesce": lambda *args: next((a for a in args if a is not None), None),
+    "greatest": _null_safe(max),
+    "least": _null_safe(min),
+}
+
+
+# ---------------------------------------------------------------------------
+# aggregate functions
+# ---------------------------------------------------------------------------
+
+
+class Aggregate:
+    """Accumulator protocol: ``step`` consumes values, ``final`` returns the result."""
+
+    name = "aggregate"
+
+    def step(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def final(self) -> Any:
+        raise NotImplementedError
+
+
+class _CountStar(Aggregate):
+    name = "count(*)"
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def step(self, value: Any) -> None:
+        self.count += 1
+
+    def final(self) -> int:
+        return self.count
+
+
+class _Count(Aggregate):
+    name = "count"
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def step(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def final(self) -> int:
+        return self.count
+
+
+class _Sum(Aggregate):
+    name = "sum"
+
+    def __init__(self) -> None:
+        self.total: Any = None
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def final(self) -> Any:
+        return self.total
+
+
+class _Avg(Aggregate):
+    name = "avg"
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.count += 1
+
+    def final(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class _Min(Aggregate):
+    name = "min"
+
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def final(self) -> Any:
+        return self.value
+
+
+class _Max(Aggregate):
+    name = "max"
+
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def final(self) -> Any:
+        return self.value
+
+
+class _ArrayAgg(Aggregate):
+    name = "array_agg"
+
+    def __init__(self) -> None:
+        self.values: List[Any] = []
+
+    def step(self, value: Any) -> None:
+        self.values.append(value)
+
+    def final(self) -> List[Any]:
+        return list(self.values)
+
+
+class _StdDev(Aggregate):
+    name = "stddev"
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def step(self, value: Any) -> None:
+        if value is not None:
+            self.values.append(float(value))
+
+    def final(self) -> Optional[float]:
+        n = len(self.values)
+        if n < 2:
+            return None
+        mean = sum(self.values) / n
+        return math.sqrt(sum((v - mean) ** 2 for v in self.values) / (n - 1))
+
+
+class _STPolygon(Aggregate):
+    """Collect 2-d points and return their convex-hull :class:`Polygon`."""
+
+    name = "st_polygon"
+    arity = 2
+
+    def __init__(self) -> None:
+        self.points: List[tuple[float, float]] = []
+
+    def step(self, value: Any) -> None:
+        if value is None:
+            return
+        if not isinstance(value, (tuple, list)) or len(value) != 2:
+            raise AggregateError("st_polygon expects two numeric arguments per row")
+        if value[0] is None or value[1] is None:
+            return
+        self.points.append((float(value[0]), float(value[1])))
+
+    def final(self) -> Optional[Polygon]:
+        if not self.points:
+            return None
+        return Polygon.from_points(self.points)
+
+
+_AGGREGATE_FACTORIES: Dict[str, Callable[[], Aggregate]] = {
+    "count": _Count,
+    "sum": _Sum,
+    "avg": _Avg,
+    "average": _Avg,
+    "min": _Min,
+    "max": _Max,
+    "array_agg": _ArrayAgg,
+    "list_id": _ArrayAgg,
+    "stddev": _StdDev,
+    "st_polygon": _STPolygon,
+}
+
+AGGREGATE_FUNCTIONS = frozenset(_AGGREGATE_FACTORIES)
+
+#: Aggregates whose step consumes a tuple of all argument values per row.
+MULTI_ARG_AGGREGATES = frozenset({"st_polygon"})
+
+
+def is_aggregate_function(name: str) -> bool:
+    """Return True if ``name`` refers to a registered aggregate."""
+    return name.lower() in _AGGREGATE_FACTORIES
+
+
+def create_aggregate(name: str, star: bool = False) -> Aggregate:
+    """Instantiate a fresh accumulator for the named aggregate."""
+    key = name.lower()
+    if key == "count" and star:
+        return _CountStar()
+    if key not in _AGGREGATE_FACTORIES:
+        raise AggregateError(f"unknown aggregate function {name!r}")
+    return _AGGREGATE_FACTORIES[key]()

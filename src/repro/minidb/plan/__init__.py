@@ -1,0 +1,16 @@
+"""Query planning: statement AST -> physical operator tree."""
+
+from repro.minidb.plan.planner import Planner, PlannerSettings
+from repro.minidb.plan.optimizer import (
+    collect_column_refs,
+    expression_sources,
+    split_conjuncts,
+)
+
+__all__ = [
+    "Planner",
+    "PlannerSettings",
+    "split_conjuncts",
+    "collect_column_refs",
+    "expression_sources",
+]

@@ -1,0 +1,161 @@
+"""Plan-level analysis helpers (predicate pushdown, equi-join extraction).
+
+These routines implement the little query optimisation the engine needs:
+
+* WHERE clauses are split into conjuncts (:func:`split_conjuncts`);
+* each conjunct is attributed to the FROM sources it references
+  (:func:`expression_sources`) so single-source predicates are pushed below
+  joins;
+* ``a = b`` conjuncts spanning exactly two sources become hash-join keys
+  (:func:`extract_equi_join`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import PlanningError
+from repro.minidb.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InList,
+    InSet,
+    InSubquery,
+    IsNull,
+    UnaryOp,
+)
+from repro.minidb.schema import Schema
+
+__all__ = [
+    "split_conjuncts",
+    "conjoin",
+    "collect_column_refs",
+    "expression_sources",
+    "extract_equi_join",
+]
+
+
+def split_conjuncts(expr: Optional[Expression]) -> List[Expression]:
+    """Split an expression into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op.upper() == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[Expression]) -> Optional[Expression]:
+    """Combine conjuncts back into a single AND expression (None when empty)."""
+    result: Optional[Expression] = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinaryOp("AND", result, conjunct)
+    return result
+
+
+def collect_column_refs(expr: Expression, found: Optional[List[ColumnRef]] = None) -> List[ColumnRef]:
+    """Collect every column reference in an expression tree."""
+    if found is None:
+        found = []
+    if isinstance(expr, ColumnRef):
+        found.append(expr)
+    for child in expr.children():
+        collect_column_refs(child, found)
+    if isinstance(expr, (InSubquery,)):
+        # Do not descend into the subquery: its references belong to its own scope.
+        pass
+    return found
+
+
+def expression_sources(
+    expr: Expression, source_schemas: Sequence[Schema]
+) -> Set[int]:
+    """Return the indexes of the FROM sources the expression references.
+
+    Raises :class:`~repro.exceptions.PlanningError` when a reference cannot be
+    resolved against any source (unknown column) — ambiguity across sources is
+    also an error for unqualified names.
+    """
+    sources: Set[int] = set()
+    for ref in collect_column_refs(expr):
+        hits = [
+            i
+            for i, schema in enumerate(source_schemas)
+            if schema.has_column(ref.name, ref.qualifier)
+        ]
+        if not hits:
+            raise PlanningError(f"unknown column reference {ref.display()!r}")
+        if len(hits) > 1:
+            raise PlanningError(f"ambiguous column reference {ref.display()!r}")
+        sources.add(hits[0])
+    return sources
+
+
+def extract_equi_join(
+    conjunct: Expression, source_schemas: Sequence[Schema]
+) -> Optional[Tuple[int, Expression, int, Expression]]:
+    """If ``conjunct`` is ``exprA = exprB`` across two distinct sources, return them.
+
+    The result is ``(source_a, expr_a, source_b, expr_b)``; ``None`` when the
+    conjunct is not an equi-join between exactly two sources.
+    """
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    try:
+        left_sources = expression_sources(conjunct.left, source_schemas)
+        right_sources = expression_sources(conjunct.right, source_schemas)
+    except PlanningError:
+        return None
+    if len(left_sources) != 1 or len(right_sources) != 1:
+        return None
+    left_source = next(iter(left_sources))
+    right_source = next(iter(right_sources))
+    if left_source == right_source:
+        return None
+    return left_source, conjunct.left, right_source, conjunct.right
+
+
+def rewrite_expression(
+    expr: Expression, mapping: Dict[Expression, Expression]
+) -> Expression:
+    """Structurally replace sub-expressions according to ``mapping``.
+
+    Used by the planner to substitute aggregate calls and group-key
+    expressions with references to the aggregate operator's output columns.
+    """
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            rewrite_expression(expr.left, mapping),
+            rewrite_expression(expr.right, mapping),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, rewrite_expression(expr.operand, mapping))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(rewrite_expression(a, mapping) for a in expr.args),
+            expr.star,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            rewrite_expression(expr.expr, mapping),
+            tuple(rewrite_expression(v, mapping) for v in expr.values),
+            expr.negated,
+        )
+    if isinstance(expr, InSet):
+        return InSet(rewrite_expression(expr.expr, mapping), expr.values, expr.negated)
+    if isinstance(expr, Between):
+        return Between(
+            rewrite_expression(expr.expr, mapping),
+            rewrite_expression(expr.low, mapping),
+            rewrite_expression(expr.high, mapping),
+            expr.negated,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(rewrite_expression(expr.expr, mapping), expr.negated)
+    return expr

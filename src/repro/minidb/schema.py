@@ -1,0 +1,121 @@
+"""Schemas: ordered, optionally qualified column descriptors.
+
+A :class:`Schema` describes the row layout produced by a table or by any
+operator in a physical plan.  Column lookup supports both qualified
+(``alias.column``) and unqualified (``column``) references; unqualified
+lookups must be unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import CatalogError, SchemaError
+from repro.minidb.types import DataType
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name, a type, and an optional relation qualifier."""
+
+    name: str
+    dtype: DataType
+    qualifier: Optional[str] = None
+
+    @property
+    def qualified_name(self) -> str:
+        """Return ``qualifier.name`` when qualified, else just the name."""
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def renamed(self, qualifier: Optional[str]) -> "Column":
+        """Return a copy of the column under a new qualifier."""
+        return Column(self.name, self.dtype, qualifier)
+
+
+class Schema:
+    """An ordered collection of columns with name-based resolution."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns: List[Column] = list(columns)
+        self._by_name: dict[str, List[int]] = {}
+        self._by_qualified: dict[str, int] = {}
+        for i, col in enumerate(self.columns):
+            self._by_name.setdefault(col.name.lower(), []).append(i)
+            if col.qualifier:
+                key = f"{col.qualifier.lower()}.{col.name.lower()}"
+                if key in self._by_qualified:
+                    raise SchemaError(f"duplicate qualified column {key!r}")
+                self._by_qualified[key] = i
+
+    # -- construction helpers ---------------------------------------------
+
+    @staticmethod
+    def from_pairs(
+        pairs: Iterable[Tuple[str, "DataType | str"]], qualifier: Optional[str] = None
+    ) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs."""
+        columns = []
+        for name, dtype in pairs:
+            if isinstance(dtype, str):
+                dtype = DataType.parse(dtype)
+            columns.append(Column(name.lower(), dtype, qualifier))
+        return Schema(columns)
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "Schema":
+        """Return a copy of the schema with every column under ``qualifier``."""
+        return Schema([c.renamed(qualifier.lower() if qualifier else None) for c in self.columns])
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Return the schema of the concatenation of two rows (join output)."""
+        return Schema(self.columns + other.columns)
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def names(self) -> List[str]:
+        """Return the (unqualified) column names in order."""
+        return [c.name for c in self.columns]
+
+    def index_of(self, name: str, qualifier: Optional[str] = None) -> int:
+        """Resolve a column reference to its position in the row.
+
+        Raises :class:`~repro.exceptions.CatalogError` if the reference is
+        unknown or ambiguous.
+        """
+        if qualifier:
+            key = f"{qualifier.lower()}.{name.lower()}"
+            if key in self._by_qualified:
+                return self._by_qualified[key]
+            raise CatalogError(f"unknown column {qualifier}.{name}")
+        hits = self._by_name.get(name.lower(), [])
+        if not hits:
+            raise CatalogError(f"unknown column {name!r}")
+        if len(hits) > 1:
+            raise CatalogError(f"ambiguous column reference {name!r}")
+        return hits[0]
+
+    def has_column(self, name: str, qualifier: Optional[str] = None) -> bool:
+        """Return True if the reference resolves to exactly one column."""
+        try:
+            self.index_of(name, qualifier)
+            return True
+        except CatalogError:
+            return False
+
+    def column_at(self, index: int) -> Column:
+        """Return the column descriptor at ``index``."""
+        return self.columns[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        cols = ", ".join(f"{c.qualified_name}:{c.dtype.value}" for c in self.columns)
+        return f"Schema({cols})"

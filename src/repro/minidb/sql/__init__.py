@@ -1,0 +1,43 @@
+"""SQL front-end: lexer, statement AST, and recursive-descent parser.
+
+The grammar is a pragmatic subset of SQL plus the paper's similarity
+group-by extensions (``DISTANCE-TO-ALL`` / ``DISTANCE-TO-ANY`` / ``WITHIN`` /
+``ON-OVERLAP``).
+"""
+
+from repro.minidb.sql.ast import (
+    CreateTableStatement,
+    DropTableStatement,
+    FromItem,
+    GroupBySpec,
+    InsertStatement,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SGBSpec,
+    Statement,
+    SubquerySource,
+    TableSource,
+)
+from repro.minidb.sql.lexer import Token, TokenType, tokenize
+from repro.minidb.sql.parser import Parser, parse_sql
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "Parser",
+    "parse_sql",
+    "Statement",
+    "SelectStatement",
+    "SelectItem",
+    "FromItem",
+    "TableSource",
+    "SubquerySource",
+    "GroupBySpec",
+    "SGBSpec",
+    "OrderItem",
+    "CreateTableStatement",
+    "InsertStatement",
+    "DropTableStatement",
+]

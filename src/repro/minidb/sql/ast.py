@@ -1,0 +1,128 @@
+"""Statement-level AST nodes produced by the SQL parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.minidb.expressions import Expression
+
+__all__ = [
+    "Statement",
+    "SelectStatement",
+    "SelectItem",
+    "FromItem",
+    "TableSource",
+    "SubquerySource",
+    "GroupBySpec",
+    "SGBSpec",
+    "OrderItem",
+    "CreateTableStatement",
+    "InsertStatement",
+    "DropTableStatement",
+]
+
+
+class Statement:
+    """Base class of every parsed statement."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the SELECT list: an expression plus an optional alias."""
+
+    expr: Expression
+    alias: Optional[str] = None
+
+
+class FromItem:
+    """Base class of FROM sources."""
+
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class TableSource(FromItem):
+    """A base table reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SubquerySource(FromItem):
+    """A derived table ``(SELECT ...) AS alias``."""
+
+    query: "SelectStatement"
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SGBSpec:
+    """The similarity clause attached to a GROUP BY.
+
+    ``kind`` is ``"all"`` (DISTANCE-TO-ALL) or ``"any"`` (DISTANCE-TO-ANY);
+    ``metric`` is the SQL metric keyword (``L2``/``LINF``/...); ``eps`` is the
+    WITHIN threshold expression; ``on_overlap`` carries the ON-OVERLAP action
+    keyword for SGB-All.
+    """
+
+    kind: str
+    metric: str
+    eps: Expression
+    on_overlap: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class GroupBySpec:
+    """GROUP BY keys plus the optional similarity clause."""
+
+    keys: Tuple[Expression, ...]
+    sgb: Optional[SGBSpec] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY item."""
+
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """A SELECT query (possibly used as a derived table or IN subquery)."""
+
+    items: Tuple[SelectItem, ...]
+    from_items: Tuple[FromItem, ...] = ()
+    join_conditions: Tuple[Expression, ...] = ()
+    where: Optional[Expression] = None
+    group_by: Optional[GroupBySpec] = None
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableStatement(Statement):
+    """``CREATE TABLE name (col type, ...)``."""
+
+    name: str
+    columns: Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class InsertStatement(Statement):
+    """``INSERT INTO name [(cols)] VALUES (...), (...)``."""
+
+    table: str
+    columns: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[Expression, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class DropTableStatement(Statement):
+    """``DROP TABLE name``."""
+
+    name: str

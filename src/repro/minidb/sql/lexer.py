@@ -1,0 +1,203 @@
+"""SQL tokenizer.
+
+Besides ordinary SQL tokens the lexer recognises the hyphenated compound
+keywords introduced by the similarity group-by syntax
+(``DISTANCE-TO-ALL``, ``ON-OVERLAP``, ``JOIN-ANY``, ``FORM-NEW-GROUP``, ...)
+so the parser can treat them as single keywords instead of subtraction
+expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List, Optional
+
+from repro.exceptions import SqlSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(Enum):
+    """Lexical categories."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCTUATION = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        """Return True if the token has the given type (and value, if provided)."""
+        if self.type is not type_:
+            return False
+        return value is None or self.value.upper() == value.upper()
+
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "IS", "NULL", "TRUE", "FALSE",
+    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "USING",
+    "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "DROP", "DELETE",
+    "DISTINCT", "ASC", "DESC", "DATE", "INTERVAL", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "WITHIN", "OVERLAP", "ELIMINATE", "LIKE", "EXISTS",
+    # Similarity group-by keywords (single-word forms).
+    "L2", "LINF", "LONE", "LTWO",
+}
+
+#: Hyphenated compound keywords of the SGB grammar, longest first.
+_COMPOUND_KEYWORDS = [
+    "DISTANCE-TO-ALL",
+    "DISTANCE-TO-ANY",
+    "DISTANCE-ALL",
+    "DISTANCE-ANY",
+    "ON-OVERLAP",
+    "JOIN-ANY",
+    "FORM-NEW-GROUP",
+    "FORM-NEW",
+]
+
+_OPERATOR_CHARS = {"=", "<", ">", "!", "+", "-", "*", "/", "%"}
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!="}
+_PUNCTUATION = {"(", ")", ",", ".", ";"}
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql`` and return the token list terminated by an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        # Whitespace ---------------------------------------------------------
+        if ch.isspace():
+            i += 1
+            continue
+        # Comments ------------------------------------------------------------
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        # Strings --------------------------------------------------------------
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            if j >= n:
+                raise SqlSyntaxError("unterminated string literal", position=i)
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        # Numbers ---------------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    seen_dot = True
+                j += 1
+            # scientific notation
+            if j < n and sql[j] in "eE":
+                k = j + 1
+                if k < n and sql[k] in "+-":
+                    k += 1
+                if k < n and sql[k].isdigit():
+                    while k < n and sql[k].isdigit():
+                        k += 1
+                    j = k
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        # Identifiers / keywords ---------------------------------------------
+        if ch.isalpha() or ch == "_" or ch == '"':
+            if ch == '"':
+                j = i + 1
+                while j < n and sql[j] != '"':
+                    j += 1
+                if j >= n:
+                    raise SqlSyntaxError("unterminated quoted identifier", position=i)
+                tokens.append(Token(TokenType.IDENTIFIER, sql[i + 1 : j], i))
+                i = j + 1
+                continue
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            # Try to extend into a hyphenated compound keyword.
+            compound, end = _match_compound(sql, i, j, upper)
+            if compound is not None:
+                tokens.append(Token(TokenType.KEYWORD, compound, i))
+                i = end
+                continue
+            if upper in _KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = j
+            continue
+        # Operators --------------------------------------------------------------
+        if ch in _OPERATOR_CHARS:
+            two = sql[i : i + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, two, i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, ch, i))
+                i += 1
+            continue
+        # Punctuation -------------------------------------------------------------
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _match_compound(sql: str, start: int, word_end: int, first_word: str):
+    """Try to extend the identifier at ``start`` into a compound SGB keyword.
+
+    Returns ``(keyword, end_index)`` on success and ``(None, word_end)``
+    otherwise.
+    """
+    candidates = [kw for kw in _COMPOUND_KEYWORDS if kw.split("-")[0] == first_word]
+    if not candidates:
+        return None, word_end
+    best: Optional[str] = None
+    best_end = word_end
+    for keyword in sorted(candidates, key=len, reverse=True):
+        length = len(keyword)
+        segment = sql[start : start + length]
+        if segment.upper() != keyword:
+            continue
+        end = start + length
+        # The match must end at a word boundary.
+        if end < len(sql) and (sql[end].isalnum() or sql[end] == "_"):
+            continue
+        best = keyword
+        best_end = end
+        break
+    if best is None:
+        return None, word_end
+    return best, best_end

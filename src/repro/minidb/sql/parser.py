@@ -1,0 +1,628 @@
+"""Recursive-descent SQL parser with the similarity group-by extensions."""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import List, Optional, Tuple
+
+from repro.exceptions import SqlSyntaxError
+from repro.minidb.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InList,
+    InSubquery,
+    IntervalLiteral,
+    IsNull,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.minidb.sql.ast import (
+    CreateTableStatement,
+    DropTableStatement,
+    FromItem,
+    GroupBySpec,
+    InsertStatement,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SGBSpec,
+    Statement,
+    SubquerySource,
+    TableSource,
+)
+from repro.minidb.sql.lexer import Token, TokenType, tokenize
+
+__all__ = ["Parser", "parse_sql"]
+
+_METRIC_KEYWORDS = {"L2", "LINF", "LONE", "LTWO", "L1"}
+_OVERLAP_KEYWORDS = {"JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP", "FORM-NEW"}
+_SGB_ALL_KEYWORDS = {"DISTANCE-TO-ALL", "DISTANCE-ALL"}
+_SGB_ANY_KEYWORDS = {"DISTANCE-TO-ANY", "DISTANCE-ANY"}
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement and return its AST."""
+    return Parser(sql).parse_statement()
+
+
+class Parser:
+    """A hand-written recursive-descent parser over the token stream."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens: List[Token] = tokenize(sql)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        return self._peek().matches(type_, value)
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.KEYWORD and token.value.upper() in {
+            k.upper() for k in keywords
+        }
+
+    def _accept(self, type_: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(type_, value):
+            return self._advance()
+        return None
+
+    def _accept_keyword(self, *keywords: str) -> Optional[Token]:
+        if self._check_keyword(*keywords):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: TokenType, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not token.matches(type_, value):
+            expected = value or type_.name
+            raise SqlSyntaxError(
+                f"expected {expected!r} but found {token.value!r}",
+                position=token.position,
+            )
+        return self._advance()
+
+    def _expect_keyword(self, *keywords: str) -> Token:
+        token = self._peek()
+        if not self._check_keyword(*keywords):
+            raise SqlSyntaxError(
+                f"expected one of {keywords} but found {token.value!r}",
+                position=token.position,
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.value
+        # Non-reserved keywords may be used as identifiers in a pinch.
+        if token.type is TokenType.KEYWORD and token.value.upper() not in {
+            "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT",
+        }:
+            self._advance()
+            return token.value
+        raise SqlSyntaxError(
+            f"expected identifier but found {token.value!r}", position=token.position
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        """Parse a single statement and require the input to be fully consumed."""
+        statement = self._parse_statement_body()
+        self._accept(TokenType.PUNCTUATION, ";")
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input at {token.value!r}", position=token.position
+            )
+        return statement
+
+    def _parse_statement_body(self) -> Statement:
+        if self._check_keyword("SELECT"):
+            return self.parse_select()
+        if self._check_keyword("CREATE"):
+            return self._parse_create_table()
+        if self._check_keyword("INSERT"):
+            return self._parse_insert()
+        if self._check_keyword("DROP"):
+            return self._parse_drop_table()
+        token = self._peek()
+        raise SqlSyntaxError(
+            f"unsupported statement starting with {token.value!r}",
+            position=token.position,
+        )
+
+    # -- CREATE TABLE -----------------------------------------------------
+
+    def _parse_create_table(self) -> CreateTableStatement:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        name = self._expect_identifier()
+        self._expect(TokenType.PUNCTUATION, "(")
+        columns: List[Tuple[str, str]] = []
+        while True:
+            col_name = self._expect_identifier()
+            col_type = self._expect_identifier()
+            # Swallow optional type parameters, e.g. VARCHAR(32) or NUMERIC(10, 2).
+            if self._accept(TokenType.PUNCTUATION, "("):
+                depth = 1
+                while depth > 0:
+                    token = self._advance()
+                    if token.type is TokenType.EOF:
+                        raise SqlSyntaxError("unterminated type parameters")
+                    if token.matches(TokenType.PUNCTUATION, "("):
+                        depth += 1
+                    elif token.matches(TokenType.PUNCTUATION, ")"):
+                        depth -= 1
+            columns.append((col_name, col_type))
+            if not self._accept(TokenType.PUNCTUATION, ","):
+                break
+        self._expect(TokenType.PUNCTUATION, ")")
+        return CreateTableStatement(name=name, columns=tuple(columns))
+
+    # -- INSERT -----------------------------------------------------------
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier()
+        columns: List[str] = []
+        if self._accept(TokenType.PUNCTUATION, "("):
+            while True:
+                columns.append(self._expect_identifier())
+                if not self._accept(TokenType.PUNCTUATION, ","):
+                    break
+            self._expect(TokenType.PUNCTUATION, ")")
+        self._expect_keyword("VALUES")
+        rows: List[Tuple[Expression, ...]] = []
+        while True:
+            self._expect(TokenType.PUNCTUATION, "(")
+            values: List[Expression] = []
+            while True:
+                values.append(self.parse_expression())
+                if not self._accept(TokenType.PUNCTUATION, ","):
+                    break
+            self._expect(TokenType.PUNCTUATION, ")")
+            rows.append(tuple(values))
+            if not self._accept(TokenType.PUNCTUATION, ","):
+                break
+        return InsertStatement(table=table, columns=tuple(columns), rows=tuple(rows))
+
+    # -- DROP TABLE ---------------------------------------------------------
+
+    def _parse_drop_table(self) -> DropTableStatement:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        return DropTableStatement(name=self._expect_identifier())
+
+    # -- SELECT --------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        """Parse a SELECT statement (also used for derived tables and subqueries)."""
+        self._expect_keyword("SELECT")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        items = self._parse_select_items()
+
+        from_items: List[FromItem] = []
+        join_conditions: List[Expression] = []
+        if self._accept_keyword("FROM"):
+            from_items, join_conditions = self._parse_from_clause()
+
+        where = self.parse_expression() if self._accept_keyword("WHERE") else None
+
+        group_by: Optional[GroupBySpec] = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._parse_group_by()
+
+        having = self.parse_expression() if self._accept_keyword("HAVING") else None
+
+        order_by: List[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            while True:
+                expr = self.parse_expression()
+                ascending = True
+                if self._accept_keyword("ASC"):
+                    ascending = True
+                elif self._accept_keyword("DESC"):
+                    ascending = False
+                order_by.append(OrderItem(expr=expr, ascending=ascending))
+                if not self._accept(TokenType.PUNCTUATION, ","):
+                    break
+
+        limit: Optional[int] = None
+        if self._accept_keyword("LIMIT"):
+            token = self._expect(TokenType.NUMBER)
+            limit = int(float(token.value))
+
+        return SelectStatement(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            join_conditions=tuple(join_conditions),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_items(self) -> List[SelectItem]:
+        items: List[SelectItem] = []
+        while True:
+            if self._check(TokenType.OPERATOR, "*"):
+                self._advance()
+                items.append(SelectItem(expr=Star(), alias=None))
+            else:
+                expr = self.parse_expression()
+                alias = None
+                if self._accept_keyword("AS"):
+                    alias = self._expect_identifier()
+                elif self._peek().type is TokenType.IDENTIFIER:
+                    alias = self._advance().value
+                items.append(SelectItem(expr=expr, alias=alias))
+            if not self._accept(TokenType.PUNCTUATION, ","):
+                break
+        return items
+
+    def _parse_from_clause(self) -> Tuple[List[FromItem], List[Expression]]:
+        sources: List[FromItem] = [self._parse_from_source()]
+        conditions: List[Expression] = []
+        while True:
+            if self._accept(TokenType.PUNCTUATION, ","):
+                sources.append(self._parse_from_source())
+                continue
+            if self._check_keyword("JOIN", "INNER", "LEFT", "CROSS"):
+                is_cross = bool(self._accept_keyword("CROSS"))
+                self._accept_keyword("INNER")
+                self._accept_keyword("LEFT")
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                sources.append(self._parse_from_source())
+                if not is_cross and self._accept_keyword("ON"):
+                    conditions.append(self.parse_expression())
+                continue
+            break
+        return sources, conditions
+
+    def _parse_from_source(self) -> FromItem:
+        if self._accept(TokenType.PUNCTUATION, "("):
+            query = self.parse_select()
+            self._expect(TokenType.PUNCTUATION, ")")
+            alias = self._parse_optional_alias()
+            return SubquerySource(query=query, alias=alias)
+        name = self._expect_identifier()
+        alias = self._parse_optional_alias()
+        return TableSource(name=name, alias=alias)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            return self._expect_identifier()
+        if self._peek().type is TokenType.IDENTIFIER:
+            return self._advance().value
+        return None
+
+    # -- GROUP BY (standard + SGB) ---------------------------------------------
+
+    def _parse_group_by(self) -> GroupBySpec:
+        keys: List[Expression] = [self.parse_expression()]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            keys.append(self.parse_expression())
+        sgb = self._parse_sgb_clause()
+        if sgb is not None:
+            keys = self._split_prose_and_keys(keys)
+        return GroupBySpec(keys=tuple(keys), sgb=sgb)
+
+    @staticmethod
+    def _split_prose_and_keys(keys: List[Expression]) -> List[Expression]:
+        """Tolerate the prose style ``GROUP BY lat and long DISTANCE-TO-ANY ...``.
+
+        The expression parser reads ``lat and long`` as a boolean AND; when a
+        similarity clause follows, split such conjunctions of bare column
+        references back into separate grouping keys (paper Example 2).
+        """
+        split: List[Expression] = []
+        for key in keys:
+            parts = [key]
+            while (
+                len(parts) == 1
+                and isinstance(parts[0], BinaryOp)
+                and parts[0].op.upper() == "AND"
+            ):
+                node = parts[0]
+                parts = [node.left, node.right]
+            if all(isinstance(p, ColumnRef) for p in parts):
+                split.extend(parts)
+            else:
+                split.append(key)
+        return split
+
+    def _parse_sgb_clause(self) -> Optional[SGBSpec]:
+        token = self._peek()
+        if token.type is not TokenType.KEYWORD:
+            return None
+        keyword = token.value.upper()
+        if keyword in _SGB_ALL_KEYWORDS:
+            kind = "all"
+        elif keyword in _SGB_ANY_KEYWORDS:
+            kind = "any"
+        else:
+            return None
+        self._advance()
+
+        metric = self._parse_optional_metric()
+        self._expect_keyword("WITHIN")
+        eps = self.parse_expression()
+        if self._accept_keyword("USING"):
+            metric = self._parse_required_metric()
+        if metric is None:
+            metric = "L2"
+
+        on_overlap: Optional[str] = None
+        if kind == "all":
+            if self._accept_keyword("ON-OVERLAP"):
+                on_overlap = self._parse_overlap_action()
+            elif self._check_keyword("ON") and self._peek(1).matches(
+                TokenType.KEYWORD, "OVERLAP"
+            ):
+                self._advance()
+                self._advance()
+                on_overlap = self._parse_overlap_action()
+            else:
+                on_overlap = "JOIN-ANY"
+        return SGBSpec(kind=kind, metric=metric, eps=eps, on_overlap=on_overlap)
+
+    def _parse_optional_metric(self) -> Optional[str]:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value.upper() in _METRIC_KEYWORDS:
+            self._advance()
+            return token.value.upper()
+        return None
+
+    def _parse_required_metric(self) -> str:
+        token = self._peek()
+        if token.type in (TokenType.KEYWORD, TokenType.IDENTIFIER):
+            value = token.value.upper()
+            if value in _METRIC_KEYWORDS or value in {"EUCLIDEAN", "CHEBYSHEV"}:
+                self._advance()
+                return value
+        raise SqlSyntaxError(
+            f"expected a distance metric but found {token.value!r}",
+            position=token.position,
+        )
+
+    def _parse_overlap_action(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value.upper() in _OVERLAP_KEYWORDS:
+            self._advance()
+            return token.value.upper()
+        # Accept the two-word spelling "JOIN ANY".
+        if token.matches(TokenType.KEYWORD, "JOIN"):
+            self._advance()
+            next_token = self._peek()
+            if next_token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD) and (
+                next_token.value.upper() == "ANY"
+            ):
+                self._advance()
+            return "JOIN-ANY"
+        raise SqlSyntaxError(
+            f"expected an ON-OVERLAP action but found {token.value!r}",
+            position=token.position,
+        )
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        """Parse a full boolean/arithmetic expression."""
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = BinaryOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while True:
+            # Do not consume the AND of "BETWEEN x AND y" (handled lower down)
+            # or the prose "GROUP BY a and b" (handled by the caller).
+            if self._check_keyword("AND"):
+                self._advance()
+                right = self._parse_not()
+                left = BinaryOp("AND", left, right)
+                continue
+            break
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            self._advance()
+            right = self._parse_additive()
+            return BinaryOp(token.value, left, right)
+
+        negated = False
+        if self._check_keyword("NOT") and self._peek(1).matches(TokenType.KEYWORD, "IN"):
+            self._advance()
+            negated = True
+        if self._accept_keyword("IN"):
+            return self._parse_in(left, negated)
+
+        negated = False
+        if self._check_keyword("NOT") and self._peek(1).matches(
+            TokenType.KEYWORD, "BETWEEN"
+        ):
+            self._advance()
+            negated = True
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return Between(expr=left, low=low, high=high, negated=negated)
+
+        if self._accept_keyword("IS"):
+            negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return IsNull(expr=left, negated=negated)
+
+        return left
+
+    def _parse_in(self, left: Expression, negated: bool) -> Expression:
+        self._expect(TokenType.PUNCTUATION, "(")
+        if self._check_keyword("SELECT"):
+            subquery = self.parse_select()
+            self._expect(TokenType.PUNCTUATION, ")")
+            return InSubquery(expr=left, subquery=subquery, negated=negated)
+        values: List[Expression] = [self.parse_expression()]
+        while self._accept(TokenType.PUNCTUATION, ","):
+            values.append(self.parse_expression())
+        self._expect(TokenType.PUNCTUATION, ")")
+        return InList(expr=left, values=tuple(values), negated=negated)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self._check(TokenType.OPERATOR, "+") or self._check(TokenType.OPERATOR, "-"):
+            op = self._advance().value
+            right = self._parse_multiplicative()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while (
+            self._check(TokenType.OPERATOR, "*")
+            or self._check(TokenType.OPERATOR, "/")
+            or self._check(TokenType.OPERATOR, "%")
+        ):
+            op = self._advance().value
+            right = self._parse_unary()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._check(TokenType.OPERATOR, "-"):
+            self._advance()
+            return UnaryOp("-", self._parse_unary())
+        if self._check(TokenType.OPERATOR, "+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            return Literal(value)
+
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+
+        if token.type is TokenType.KEYWORD:
+            keyword = token.value.upper()
+            if keyword == "NULL":
+                self._advance()
+                return Literal(None)
+            if keyword == "TRUE":
+                self._advance()
+                return Literal(True)
+            if keyword == "FALSE":
+                self._advance()
+                return Literal(False)
+            if keyword == "DATE":
+                self._advance()
+                text_token = self._expect(TokenType.STRING)
+                text = text_token.value.strip().strip("[]")
+                try:
+                    return Literal(dt.date.fromisoformat(text))
+                except ValueError as exc:
+                    raise SqlSyntaxError(
+                        f"invalid date literal {text!r}", position=text_token.position
+                    ) from exc
+            if keyword == "INTERVAL":
+                self._advance()
+                amount_token = self._expect(TokenType.STRING)
+                unit = self._expect_identifier()
+                try:
+                    amount = int(amount_token.value.strip().strip("[]"))
+                except ValueError as exc:
+                    raise SqlSyntaxError(
+                        f"invalid interval amount {amount_token.value!r}",
+                        position=amount_token.position,
+                    ) from exc
+                return IntervalLiteral(amount=amount, unit=unit)
+
+        if token.matches(TokenType.PUNCTUATION, "("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect(TokenType.PUNCTUATION, ")")
+            return expr
+
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            return self._parse_identifier_expression()
+
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} in expression", position=token.position
+        )
+
+    def _parse_identifier_expression(self) -> Expression:
+        name_token = self._advance()
+        name = name_token.value
+        # Function call ------------------------------------------------------
+        if self._check(TokenType.PUNCTUATION, "("):
+            self._advance()
+            if self._check(TokenType.OPERATOR, "*"):
+                self._advance()
+                self._expect(TokenType.PUNCTUATION, ")")
+                return FuncCall(name=name.lower(), args=(), star=True)
+            args: List[Expression] = []
+            if not self._check(TokenType.PUNCTUATION, ")"):
+                args.append(self.parse_expression())
+                while self._accept(TokenType.PUNCTUATION, ","):
+                    args.append(self.parse_expression())
+            self._expect(TokenType.PUNCTUATION, ")")
+            return FuncCall(name=name.lower(), args=tuple(args))
+        # Qualified column reference -----------------------------------------
+        if self._check(TokenType.PUNCTUATION, "."):
+            self._advance()
+            column = self._expect_identifier()
+            return ColumnRef(name=column.lower(), qualifier=name.lower())
+        return ColumnRef(name=name.lower())

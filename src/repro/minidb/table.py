@@ -1,0 +1,52 @@
+"""Heap table storage: a schema plus an append-only list of tuples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+from repro.minidb.schema import Schema
+from repro.minidb.types import coerce_value
+
+__all__ = ["Table"]
+
+Row = Tuple[object, ...]
+
+
+class Table:
+    """An in-memory heap table."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name.lower()
+        self.schema = schema
+        self.rows: List[Row] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def insert(self, values: Sequence[object]) -> None:
+        """Validate and append one row."""
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.schema)} values, got {len(values)}"
+            )
+        row = tuple(
+            coerce_value(value, column.dtype)
+            for value, column in zip(values, self.schema.columns)
+        )
+        self.rows.append(row)
+
+    def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
+        """Validate and append many rows; return the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def truncate(self) -> None:
+        """Remove every row, keeping the schema."""
+        self.rows.clear()

@@ -1,0 +1,107 @@
+"""Column data types and value coercion for the in-memory engine."""
+
+from __future__ import annotations
+
+import datetime as dt
+from enum import Enum
+from typing import Any, Optional
+
+from repro.exceptions import SchemaError
+
+__all__ = ["DataType", "coerce_value", "python_type_of"]
+
+
+class DataType(Enum):
+    """SQL column types supported by the engine."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    DATE = "DATE"
+    BOOL = "BOOL"
+
+    @staticmethod
+    def parse(name: str) -> "DataType":
+        """Resolve a type from a SQL type name (with common aliases)."""
+        key = name.strip().upper()
+        aliases = {
+            "INT": DataType.INT,
+            "INTEGER": DataType.INT,
+            "BIGINT": DataType.INT,
+            "SMALLINT": DataType.INT,
+            "FLOAT": DataType.FLOAT,
+            "REAL": DataType.FLOAT,
+            "DOUBLE": DataType.FLOAT,
+            "DOUBLE PRECISION": DataType.FLOAT,
+            "DECIMAL": DataType.FLOAT,
+            "NUMERIC": DataType.FLOAT,
+            "TEXT": DataType.TEXT,
+            "VARCHAR": DataType.TEXT,
+            "CHAR": DataType.TEXT,
+            "STRING": DataType.TEXT,
+            "DATE": DataType.DATE,
+            "BOOL": DataType.BOOL,
+            "BOOLEAN": DataType.BOOL,
+        }
+        if key in aliases:
+            return aliases[key]
+        raise SchemaError(f"unknown column type: {name!r}")
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` to the Python representation of ``dtype``.
+
+    ``None`` (SQL NULL) passes through unchanged.  Raises
+    :class:`~repro.exceptions.SchemaError` when the value cannot represent the
+    declared type.
+    """
+    if value is None:
+        return None
+    try:
+        if dtype is DataType.INT:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, float) and not value.is_integer():
+                raise SchemaError(f"cannot store non-integral {value!r} in INT column")
+            return int(value)
+        if dtype is DataType.FLOAT:
+            return float(value)
+        if dtype is DataType.TEXT:
+            return str(value)
+        if dtype is DataType.BOOL:
+            return bool(value)
+        if dtype is DataType.DATE:
+            if isinstance(value, dt.date) and not isinstance(value, dt.datetime):
+                return value
+            if isinstance(value, dt.datetime):
+                return value.date()
+            if isinstance(value, str):
+                return dt.date.fromisoformat(value)
+            raise SchemaError(f"cannot store {value!r} in DATE column")
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"cannot coerce {value!r} to {dtype.value}: {exc}") from exc
+    raise SchemaError(f"unsupported data type {dtype!r}")
+
+
+def python_type_of(dtype: DataType) -> Optional[type]:
+    """Return the Python type a coerced value of ``dtype`` will have."""
+    return {
+        DataType.INT: int,
+        DataType.FLOAT: float,
+        DataType.TEXT: str,
+        DataType.DATE: dt.date,
+        DataType.BOOL: bool,
+    }.get(dtype)
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the engine type of a Python value (used for computed columns)."""
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, dt.date):
+        return DataType.DATE
+    return DataType.TEXT

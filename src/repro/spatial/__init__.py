@@ -1,0 +1,18 @@
+"""Spatial access methods used by the on-the-fly indexed SGB algorithms.
+
+* :class:`RTree` — a Guttman R-tree with quadratic split; this is the index
+  the paper uses for both ``Groups_IX`` (SGB-All) and ``Points_IX``
+  (SGB-Any).
+* :class:`GridIndex` — a uniform grid, included as an ablation alternative.
+* :class:`KDTree` — a point kd-tree, included as an ablation alternative.
+
+All three expose the same minimal protocol (:class:`SpatialIndex`): insert an
+entry under a bounding rectangle (or point) and answer window queries.
+"""
+
+from repro.spatial.base import SpatialIndex
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+from repro.spatial.rtree import RTree
+
+__all__ = ["SpatialIndex", "RTree", "GridIndex", "KDTree"]

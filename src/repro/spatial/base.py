@@ -1,0 +1,47 @@
+"""Protocol shared by every spatial index in :mod:`repro.spatial`."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List, Sequence
+
+from repro.core.rectangle import Rect
+
+__all__ = ["SpatialIndex"]
+
+
+class SpatialIndex(ABC):
+    """Minimal interface required by the indexed SGB algorithms.
+
+    Entries are opaque payloads associated with an axis-aligned rectangle
+    (a degenerate rectangle for point data).  Two operations are needed:
+    incremental insert and window (range) query.  Deletion is supported where
+    the SGB algorithms need it (group rectangles shrink when members join, so
+    the SGB-All index re-inserts updated rectangles).
+    """
+
+    @abstractmethod
+    def insert(self, rect: Rect, item: Any) -> None:
+        """Insert ``item`` under bounding rectangle ``rect``."""
+
+    @abstractmethod
+    def search(self, window: Rect) -> List[Any]:
+        """Return the payloads of every entry whose rectangle intersects ``window``."""
+
+    @abstractmethod
+    def delete(self, rect: Rect, item: Any) -> bool:
+        """Remove the entry ``(rect, item)``; return True if it was found."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of entries currently stored."""
+
+    # Convenience wrappers ------------------------------------------------
+
+    def insert_point(self, point: Sequence[float], item: Any) -> None:
+        """Insert a point entry (degenerate rectangle)."""
+        self.insert(Rect.from_point(point), item)
+
+    def window_query(self, center: Sequence[float], radius: float) -> List[Any]:
+        """Return payloads intersecting the box of half-side ``radius`` at ``center``."""
+        return self.search(Rect.from_point(center, radius))

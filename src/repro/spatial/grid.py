@@ -1,0 +1,87 @@
+"""A uniform grid spatial index (ablation alternative to the R-tree).
+
+The grid hashes each entry's bounding rectangle into the fixed-size cells it
+overlaps.  Window queries visit only the cells the window touches.  A grid
+works well when the cell size is tuned to the similarity threshold (cells of
+side ``eps`` mean a window query touches at most 3^d cells) and degrades when
+entry rectangles span many cells — exactly the trade-off the ablation
+benchmark measures against the R-tree.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Dict, Iterator, List, Set, Tuple
+
+from repro.core.rectangle import Rect
+from repro.exceptions import InvalidParameterError
+from repro.spatial.base import SpatialIndex
+
+__all__ = ["GridIndex"]
+
+_CellKey = Tuple[int, ...]
+
+
+class GridIndex(SpatialIndex):
+    """A uniform grid over d-dimensional space with square cells of side ``cell_size``."""
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise InvalidParameterError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[_CellKey, List[Tuple[Rect, Any]]] = defaultdict(list)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _cell_range(self, rect: Rect) -> Iterator[_CellKey]:
+        lows = [math.floor(lo / self.cell_size) for lo in rect.low]
+        highs = [math.floor(hi / self.cell_size) for hi in rect.high]
+
+        def recurse(dim: int, prefix: Tuple[int, ...]) -> Iterator[_CellKey]:
+            if dim == len(lows):
+                yield prefix
+                return
+            for c in range(lows[dim], highs[dim] + 1):
+                yield from recurse(dim + 1, prefix + (c,))
+
+        yield from recurse(0, ())
+
+    def insert(self, rect: Rect, item: Any) -> None:
+        """Register ``item`` in every cell its rectangle overlaps."""
+        for key in self._cell_range(rect):
+            self._cells[key].append((rect, item))
+        self._count += 1
+
+    def search(self, window: Rect) -> List[Any]:
+        """Return payloads of entries whose rectangle intersects ``window``."""
+        seen: Set[int] = set()
+        results: List[Any] = []
+        for key in self._cell_range(window):
+            for rect, item in self._cells.get(key, ()):
+                if id(item) in seen:
+                    continue
+                if rect.intersects(window):
+                    seen.add(id(item))
+                    results.append(item)
+        return results
+
+    def delete(self, rect: Rect, item: Any) -> bool:
+        """Remove ``item`` from every cell its rectangle was registered in."""
+        removed = False
+        for key in self._cell_range(rect):
+            bucket = self._cells.get(key)
+            if not bucket:
+                continue
+            for idx, (_, stored) in enumerate(bucket):
+                if stored == item:
+                    bucket.pop(idx)
+                    removed = True
+                    break
+            if bucket is not None and not bucket:
+                self._cells.pop(key, None)
+        if removed:
+            self._count -= 1
+        return removed

@@ -1,0 +1,117 @@
+"""A point kd-tree (ablation alternative to the R-tree for SGB-Any).
+
+SGB-Any only indexes *points* (not rectangles), so a kd-tree is a natural
+alternative access method.  This implementation supports incremental insert
+(no rebalancing; random-ish insertion order keeps it shallow enough for the
+benchmark workloads) and rectangular window queries.  Deletion marks entries
+as dead, which is sufficient for the ablation benchmarks (SGB-Any never
+deletes points).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.core.rectangle import Rect
+from repro.exceptions import InvalidParameterError
+from repro.spatial.base import SpatialIndex
+
+__all__ = ["KDTree"]
+
+
+class _KDNode:
+    __slots__ = ("point", "item", "axis", "left", "right", "dead")
+
+    def __init__(self, point: tuple[float, ...], item: Any, axis: int) -> None:
+        self.point = point
+        self.item = item
+        self.axis = axis
+        self.left: Optional[_KDNode] = None
+        self.right: Optional[_KDNode] = None
+        self.dead = False
+
+
+class KDTree(SpatialIndex):
+    """A simple incremental kd-tree over point entries."""
+
+    def __init__(self, dims: int = 2) -> None:
+        if dims < 1:
+            raise InvalidParameterError("dims must be at least 1")
+        self.dims = dims
+        self._root: Optional[_KDNode] = None
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # The SpatialIndex protocol passes rectangles; a kd-tree stores the
+    # rectangle's centre (exact for the degenerate point rectangles the SGB
+    # algorithms use).
+
+    def insert(self, rect: Rect, item: Any) -> None:
+        """Insert an entry at the centre point of ``rect``."""
+        self._insert_point(rect.center, item)
+
+    def insert_point(self, point: Sequence[float], item: Any) -> None:
+        """Insert a point entry directly."""
+        self._insert_point(tuple(float(c) for c in point), item)
+
+    def _insert_point(self, point: tuple[float, ...], item: Any) -> None:
+        if len(point) != self.dims:
+            raise InvalidParameterError(
+                f"point has {len(point)} dims, tree expects {self.dims}"
+            )
+        if self._root is None:
+            self._root = _KDNode(point, item, axis=0)
+            self._count += 1
+            return
+        node = self._root
+        while True:
+            axis = node.axis
+            next_axis = (axis + 1) % self.dims
+            if point[axis] < node.point[axis]:
+                if node.left is None:
+                    node.left = _KDNode(point, item, next_axis)
+                    break
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _KDNode(point, item, next_axis)
+                    break
+                node = node.right
+        self._count += 1
+
+    def search(self, window: Rect) -> List[Any]:
+        """Return payloads of live points inside ``window``."""
+        results: List[Any] = []
+        if self._root is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            axis = node.axis
+            if not node.dead and window.contains_point(node.point):
+                results.append(node.item)
+            if node.left is not None and window.low[axis] <= node.point[axis]:
+                stack.append(node.left)
+            if node.right is not None and window.high[axis] >= node.point[axis]:
+                stack.append(node.right)
+        return results
+
+    def delete(self, rect: Rect, item: Any) -> bool:
+        """Tombstone the entry matching ``item`` inside ``rect``; return True if found."""
+        if self._root is None:
+            return False
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            axis = node.axis
+            if not node.dead and node.item == item and rect.contains_point(node.point):
+                node.dead = True
+                self._count -= 1
+                return True
+            if node.left is not None and rect.low[axis] <= node.point[axis]:
+                stack.append(node.left)
+            if node.right is not None and rect.high[axis] >= node.point[axis]:
+                stack.append(node.right)
+        return False

@@ -1,0 +1,449 @@
+"""An in-memory Guttman R-tree with quadratic split.
+
+This is the spatial access method the paper plugs into the PostgreSQL
+executor: the SGB-All index variant stores one entry per *group* (the
+epsilon-All bounding rectangle), the SGB-Any variant stores one entry per
+*point* processed so far.  Both only need insert, delete (SGB-All re-inserts
+a group when its rectangle shrinks) and window queries, so that is all this
+implementation provides — plus a nearest-neighbour search used by the kd-tree
+ablation comparisons and a couple of introspection helpers used in tests.
+
+Reference: A. Guttman, "R-trees: A Dynamic Index Structure for Spatial
+Searching", SIGMOD 1984.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.rectangle import Rect
+from repro.exceptions import InvalidParameterError, SpatialIndexError
+from repro.spatial.base import SpatialIndex
+
+__all__ = ["RTree"]
+
+
+def _overlaps(
+    a_low: tuple, a_high: tuple, b_low: tuple, b_high: tuple
+) -> bool:
+    """Axis-aligned overlap test on raw coordinate tuples (hot path)."""
+    for alo, ahi, blo, bhi in zip(a_low, a_high, b_low, b_high):
+        if alo > bhi or blo > ahi:
+            return False
+    return True
+
+
+def _area(low, high) -> float:
+    """Hyper-volume of the box given by raw coordinate sequences."""
+    result = 1.0
+    for lo, hi in zip(low, high):
+        result *= hi - lo
+    return result
+
+
+def _union_area(a_low, a_high, b_low, b_high) -> float:
+    """Hyper-volume of the bounding box of two boxes (raw coordinates)."""
+    result = 1.0
+    for alo, ahi, blo, bhi in zip(a_low, a_high, b_low, b_high):
+        result *= (ahi if ahi >= bhi else bhi) - (alo if alo <= blo else blo)
+    return result
+
+
+def _extend(low: list, high: list, other_low, other_high) -> None:
+    """Grow the mutable box ``(low, high)`` to cover another box in place."""
+    for i, (lo, hi) in enumerate(zip(other_low, other_high)):
+        if lo < low[i]:
+            low[i] = lo
+        if hi > high[i]:
+            high[i] = hi
+
+
+class _Entry:
+    """A slot in an R-tree node: a rectangle plus either a child node or a payload."""
+
+    __slots__ = ("rect", "child", "item")
+
+    def __init__(self, rect: Rect, child: "Optional[_Node]" = None, item: Any = None) -> None:
+        self.rect = rect
+        self.child = child
+        self.item = item
+
+
+class _Node:
+    """An R-tree node holding up to ``max_entries`` entries."""
+
+    __slots__ = ("leaf", "entries", "parent")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.entries: List[_Entry] = []
+        self.parent: Optional[_Node] = None
+
+    def rect(self) -> Rect:
+        """Return the minimum bounding rectangle of the node's entries."""
+        first = self.entries[0].rect
+        low = list(first.low)
+        high = list(first.high)
+        for entry in self.entries[1:]:
+            for i, (lo, hi) in enumerate(zip(entry.rect.low, entry.rect.high)):
+                if lo < low[i]:
+                    low[i] = lo
+                if hi > high[i]:
+                    high[i] = hi
+        return Rect(tuple(low), tuple(high))
+
+
+class RTree(SpatialIndex):
+    """Dynamic R-tree supporting insert, delete and window queries."""
+
+    def __init__(self, max_entries: int = 8, min_entries: int | None = None) -> None:
+        if max_entries < 4:
+            raise InvalidParameterError("max_entries must be at least 4")
+        self.max_entries = max_entries
+        self.min_entries = min_entries if min_entries is not None else max(2, max_entries // 3)
+        if self.min_entries * 2 > self.max_entries:
+            raise InvalidParameterError("min_entries must be at most max_entries / 2")
+        self._root = _Node(leaf=True)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # public protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, rect: Rect, item: Any) -> None:
+        """Insert ``item`` under ``rect`` (Guttman Insert / ChooseLeaf / SplitNode)."""
+        entry = _Entry(rect, item=item)
+        leaf = self._choose_leaf(self._root, rect)
+        leaf.entries.append(entry)
+        self._count += 1
+        if len(leaf.entries) > self.max_entries:
+            self._split_and_adjust(leaf)
+        else:
+            self._adjust_upward(leaf)
+
+    def search(self, window: Rect) -> List[Any]:
+        """Return payloads of all leaf entries whose rectangle intersects ``window``."""
+        results: List[Any] = []
+        if self._count == 0:
+            return results
+        w_low, w_high = window.low, window.high
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for entry in node.entries:
+                    rect = entry.rect
+                    if _overlaps(rect.low, rect.high, w_low, w_high):
+                        results.append(entry.item)
+            else:
+                for entry in node.entries:
+                    rect = entry.rect
+                    if _overlaps(rect.low, rect.high, w_low, w_high):
+                        stack.append(entry.child)  # type: ignore[arg-type]
+        return results
+
+    def search_entries(self, window: Rect) -> List[Tuple[Rect, Any]]:
+        """Like :meth:`search` but also return the stored rectangles."""
+        results: List[Tuple[Rect, Any]] = []
+        if self._count == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if entry.rect.intersects(window):
+                    if node.leaf:
+                        results.append((entry.rect, entry.item))
+                    else:
+                        stack.append(entry.child)  # type: ignore[arg-type]
+        return results
+
+    def delete(self, rect: Rect, item: Any) -> bool:
+        """Delete the entry whose payload is ``item`` and whose rect intersects ``rect``.
+
+        Returns True when an entry was removed.  Uses the simple
+        condense-by-reinsertion strategy from Guttman's paper.
+        """
+        leaf = self._find_leaf(self._root, rect, item)
+        if leaf is None:
+            return False
+        removed = False
+        kept: List[_Entry] = []
+        for e in leaf.entries:
+            if not removed and e.item == item:
+                removed = True
+                continue
+            kept.append(e)
+        leaf.entries = kept
+        self._count -= 1
+        self._condense(leaf)
+        # Shrink the root if it became a lone internal node.
+        if not self._root.leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0].child  # type: ignore[assignment]
+            self._root.parent = None
+        if self._count == 0:
+            self._root = _Node(leaf=True)
+        return True
+
+    # ------------------------------------------------------------------
+    # extras used by ablations and tests
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Rect, Any]]:
+        """Yield every (rect, payload) pair stored in the tree."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if node.leaf:
+                    yield entry.rect, entry.item
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+
+    def nearest(self, point: Sequence[float]) -> Any:
+        """Return the payload of the entry with the smallest min-distance to ``point``.
+
+        Simple branch-and-bound best-first search; only used by ablation
+        benchmarks, not on the SGB hot path.
+        """
+        if self._count == 0:
+            raise SpatialIndexError("nearest() on an empty R-tree")
+        best_item: Any = None
+        best_dist = float("inf")
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                d = entry.rect.min_distance_to_point(point)
+                if d >= best_dist:
+                    continue
+                if node.leaf:
+                    best_dist = d
+                    best_item = entry.item
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+        return best_item
+
+    def height(self) -> int:
+        """Return the height of the tree (1 for a lone leaf root)."""
+        h = 1
+        node = self._root
+        while not node.leaf:
+            node = node.entries[0].child  # type: ignore[assignment]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises :class:`SpatialIndexError` on failure.
+
+        Used by property-based tests: every child rectangle must be covered by
+        its parent entry rectangle, node occupancy must respect the
+        min/max-entries bounds (except the root), and the leaf count must
+        match ``len(self)``.
+        """
+        leaf_entries = 0
+        stack: List[Tuple[_Node, Optional[Rect]]] = [(self._root, None)]
+        while stack:
+            node, cover = stack.pop()
+            if node is not self._root:
+                if not (self.min_entries <= len(node.entries) <= self.max_entries):
+                    raise SpatialIndexError(
+                        f"node occupancy {len(node.entries)} outside "
+                        f"[{self.min_entries}, {self.max_entries}]"
+                    )
+            if cover is not None and node.entries:
+                if not cover.contains_rect(node.rect()):
+                    raise SpatialIndexError("child MBR not covered by parent entry")
+            for entry in node.entries:
+                if node.leaf:
+                    leaf_entries += 1
+                else:
+                    stack.append((entry.child, entry.rect))  # type: ignore[arg-type]
+        if leaf_entries != self._count:
+            raise SpatialIndexError(
+                f"leaf entry count {leaf_entries} != tracked count {self._count}"
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _choose_leaf(self, node: _Node, rect: Rect) -> _Node:
+        new_low, new_high = rect.low, rect.high
+        while not node.leaf:
+            best_entry = None
+            best_enlargement = float("inf")
+            best_area = float("inf")
+            for entry in node.entries:
+                low, high = entry.rect.low, entry.rect.high
+                # Compute area and union-area arithmetically to avoid
+                # allocating intermediate Rect objects on the hot path.
+                area = 1.0
+                union_area = 1.0
+                for lo, hi, nlo, nhi in zip(low, high, new_low, new_high):
+                    area *= hi - lo
+                    union_area *= (hi if hi >= nhi else nhi) - (lo if lo <= nlo else nlo)
+                enlargement = union_area - area
+                if enlargement < best_enlargement or (
+                    enlargement == best_enlargement and area < best_area
+                ):
+                    best_entry = entry
+                    best_enlargement = enlargement
+                    best_area = area
+            assert best_entry is not None
+            if best_enlargement > 0.0:
+                best_entry.rect = best_entry.rect.union(rect)
+            node = best_entry.child  # type: ignore[assignment]
+        return node
+
+    def _adjust_upward(self, node: _Node) -> None:
+        """Propagate rectangle growth from ``node`` to the root."""
+        child = node
+        parent = node.parent
+        while parent is not None:
+            for entry in parent.entries:
+                if entry.child is child:
+                    entry.rect = child.rect()
+                    break
+            child = parent
+            parent = parent.parent
+
+    def _split_and_adjust(self, node: _Node) -> None:
+        """Split an overflowing node and propagate splits/MBR updates upwards."""
+        while node is not None and len(node.entries) > self.max_entries:
+            sibling = self._quadratic_split(node)
+            parent = node.parent
+            if parent is None:
+                # Grow a new root.
+                new_root = _Node(leaf=False)
+                for child in (node, sibling):
+                    child.parent = new_root
+                    new_root.entries.append(_Entry(child.rect(), child=child))
+                self._root = new_root
+                return
+            # Replace the parent's entry rect for `node` and add the sibling.
+            for entry in parent.entries:
+                if entry.child is node:
+                    entry.rect = node.rect()
+                    break
+            sibling.parent = parent
+            parent.entries.append(_Entry(sibling.rect(), child=sibling))
+            node = parent
+        if node is not None:
+            self._adjust_upward(node)
+
+    def _quadratic_split(self, node: _Node) -> _Node:
+        """Guttman's quadratic split: distribute entries into ``node`` and a new sibling.
+
+        All the intermediate geometry (areas, union areas, running group
+        rectangles) is computed on raw coordinate lists so the split does not
+        allocate throw-away :class:`Rect` objects — this is the hottest part
+        of an insert-heavy workload.
+        """
+        entries = node.entries
+        lows = [e.rect.low for e in entries]
+        highs = [e.rect.high for e in entries]
+        areas = [_area(lo, hi) for lo, hi in zip(lows, highs)]
+
+        # PickSeeds: the pair wasting the most area together.
+        best_pair = (0, 1)
+        worst_waste = float("-inf")
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = _union_area(lows[i], highs[i], lows[j], highs[j]) - areas[i] - areas[j]
+                if waste > worst_waste:
+                    worst_waste = waste
+                    best_pair = (i, j)
+
+        i, j = best_pair
+        seed_a, seed_b = entries[i], entries[j]
+        remaining = [k for k in range(len(entries)) if k not in (i, j)]
+
+        group_a: List[_Entry] = [seed_a]
+        group_b: List[_Entry] = [seed_b]
+        low_a, high_a = list(lows[i]), list(highs[i])
+        low_b, high_b = list(lows[j]), list(highs[j])
+
+        while remaining:
+            # Force-assign if one group must take everything left to reach min fill.
+            if len(group_a) + len(remaining) == self.min_entries:
+                for k in remaining:
+                    group_a.append(entries[k])
+                    _extend(low_a, high_a, lows[k], highs[k])
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                for k in remaining:
+                    group_b.append(entries[k])
+                    _extend(low_b, high_b, lows[k], highs[k])
+                break
+            # PickNext: entry with the greatest preference for one group.
+            area_a = _area(low_a, high_a)
+            area_b = _area(low_b, high_b)
+            best_pos = 0
+            best_diff = -1.0
+            best_d_a = best_d_b = 0.0
+            for pos, k in enumerate(remaining):
+                d_a = _union_area(low_a, high_a, lows[k], highs[k]) - area_a
+                d_b = _union_area(low_b, high_b, lows[k], highs[k]) - area_b
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_pos = pos
+                    best_d_a, best_d_b = d_a, d_b
+            k = remaining.pop(best_pos)
+            if best_d_a < best_d_b or (best_d_a == best_d_b and area_a <= area_b):
+                group_a.append(entries[k])
+                _extend(low_a, high_a, lows[k], highs[k])
+            else:
+                group_b.append(entries[k])
+                _extend(low_b, high_b, lows[k], highs[k])
+
+        node.entries = group_a
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        for e in group_b:
+            if e.child is not None:
+                e.child.parent = sibling
+        return sibling
+
+    def _find_leaf(self, node: _Node, rect: Rect, item: Any) -> Optional[_Node]:
+        if node.leaf:
+            for entry in node.entries:
+                if entry.item == item:
+                    return node
+            return None
+        for entry in node.entries:
+            if entry.rect.intersects(rect):
+                found = self._find_leaf(entry.child, rect, item)  # type: ignore[arg-type]
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        """After a deletion, drop underfull nodes and re-insert their entries."""
+        orphans: List[_Entry] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self.min_entries:
+                parent.entries = [e for e in parent.entries if e.child is not node]
+                orphans.extend(self._collect_leaf_entries(node))
+            else:
+                for entry in parent.entries:
+                    if entry.child is node:
+                        entry.rect = node.rect()
+                        break
+            node = parent
+        for entry in orphans:
+            self._count -= 1  # insert() will re-increment
+            self.insert(entry.rect, entry.item)
+
+    def _collect_leaf_entries(self, node: _Node) -> List[_Entry]:
+        if node.leaf:
+            return list(node.entries)
+        collected: List[_Entry] = []
+        for entry in node.entries:
+            collected.extend(self._collect_leaf_entries(entry.child))  # type: ignore[arg-type]
+        return collected

@@ -1,0 +1,27 @@
+"""Workload generators used by the tests, examples, and benchmark harness.
+
+* :mod:`repro.workloads.synthetic` — generic point clouds (uniform, Gaussian
+  clusters, grid) used for micro-benchmarks and property tests.
+* :mod:`repro.workloads.checkins` — synthetic location-based social check-in
+  data standing in for the Brightkite / Gowalla datasets of Figure 11.
+* :mod:`repro.workloads.tpch` — a deterministic synthetic TPC-H generator
+  feeding the SQL-level experiments (Table 2, Figure 12).
+"""
+
+from repro.workloads.checkins import CheckinConfig, generate_checkins
+from repro.workloads.synthetic import (
+    clustered_points,
+    grid_points,
+    uniform_points,
+)
+from repro.workloads.tpch import TPCHGenerator, load_tpch
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "grid_points",
+    "CheckinConfig",
+    "generate_checkins",
+    "TPCHGenerator",
+    "load_tpch",
+]

@@ -1,0 +1,59 @@
+"""Tests for the BIRCH baseline."""
+
+import pytest
+
+from repro.clustering.birch import birch
+from repro.exceptions import InvalidParameterError
+from repro.workloads.synthetic import clustered_points
+
+
+class TestValidation:
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            birch([(0, 0)], threshold=0.0)
+
+    def test_invalid_branching_factor(self):
+        with pytest.raises(InvalidParameterError):
+            birch([(0, 0)], branching_factor=1)
+
+    def test_empty_input(self):
+        result = birch([])
+        assert result.labels == []
+
+
+class TestClustering:
+    def test_two_well_separated_blobs(self):
+        blob_a = [(0 + i * 0.01, 0.0) for i in range(30)]
+        blob_b = [(10 + i * 0.01, 10.0) for i in range(30)]
+        result = birch(blob_a + blob_b, threshold=0.5)
+        assert result.cluster_count == 2
+        labels_a = {result.labels[i] for i in range(30)}
+        labels_b = {result.labels[i] for i in range(30, 60)}
+        assert len(labels_a) == 1 and len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_single_tight_blob(self):
+        points = [(0.001 * i, 0.0) for i in range(100)]
+        result = birch(points, threshold=0.5)
+        assert result.cluster_count == 1
+
+    def test_every_point_gets_a_label(self):
+        points = clustered_points(400, clusters=6, seed=21)
+        result = birch(points, threshold=0.05)
+        assert len(result.labels) == 400
+        assert all(label >= 0 for label in result.labels)
+
+    def test_cf_count_reported_and_bounded(self):
+        points = clustered_points(300, clusters=5, seed=22)
+        result = birch(points, threshold=0.05)
+        assert 1 <= result.extra["cf_count"] <= 300
+
+    def test_smaller_threshold_gives_more_clusters(self):
+        points = clustered_points(300, clusters=8, spread=0.02, seed=23)
+        coarse = birch(points, threshold=0.2)
+        fine = birch(points, threshold=0.01)
+        assert fine.cluster_count >= coarse.cluster_count
+
+    def test_two_phases_reported(self):
+        result = birch([(0, 0), (1, 1)], threshold=0.1)
+        assert result.iterations == 2

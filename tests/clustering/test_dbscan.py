@@ -1,0 +1,73 @@
+"""Tests for the DBSCAN baseline."""
+
+import pytest
+
+from repro.clustering.base import NOISE
+from repro.clustering.dbscan import dbscan
+from repro.exceptions import InvalidParameterError
+from repro.workloads.synthetic import clustered_points, uniform_points
+
+
+class TestValidation:
+    def test_invalid_min_pts(self):
+        with pytest.raises(InvalidParameterError):
+            dbscan([(0, 0)], eps=1.0, min_pts=0)
+
+    def test_empty_input(self):
+        result = dbscan([], eps=1.0)
+        assert result.labels == []
+        assert result.cluster_count == 0
+
+
+class TestClustering:
+    def test_two_dense_blobs_and_noise(self):
+        blob_a = [(0 + i * 0.01, 0) for i in range(20)]
+        blob_b = [(5 + i * 0.01, 5) for i in range(20)]
+        outlier = [(20.0, 20.0)]
+        result = dbscan(blob_a + blob_b + outlier, eps=0.3, min_pts=4)
+        assert result.cluster_count == 2
+        assert result.labels[-1] == NOISE
+        assert result.noise_count == 1
+
+    def test_all_points_in_one_dense_cluster(self):
+        points = [(i * 0.05, 0.0) for i in range(50)]
+        result = dbscan(points, eps=0.2, min_pts=3)
+        assert result.cluster_count == 1
+        assert result.noise_count == 0
+
+    def test_sparse_points_all_noise(self):
+        points = [(i * 10.0, 0.0) for i in range(10)]
+        result = dbscan(points, eps=0.5, min_pts=3)
+        assert result.cluster_count == 0
+        assert result.noise_count == 10
+
+    def test_border_points_attach_to_cluster(self):
+        core = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1), (0.1, 0.1)]
+        border = [(0.35, 0.0)]  # within eps of a core point but not core itself
+        result = dbscan(core + border, eps=0.3, min_pts=4)
+        assert result.labels[-1] == result.labels[0]
+
+    def test_linf_metric_supported(self):
+        points = [(0, 0), (0.9, 0.9), (1.8, 1.8), (10, 10)]
+        result = dbscan(points, eps=1.0, min_pts=2, metric="LINF")
+        assert result.labels[0] == result.labels[1] == result.labels[2]
+        assert result.labels[3] == NOISE
+
+    def test_region_query_count_reported(self):
+        points = uniform_points(100, seed=3)
+        result = dbscan(points, eps=0.1, min_pts=4)
+        assert result.extra["region_queries"] >= 100
+
+    def test_labels_cover_all_points(self):
+        points = clustered_points(300, clusters=5, seed=12)
+        result = dbscan(points, eps=0.05, min_pts=4)
+        assert len(result.labels) == 300
+        assert sum(len(v) for v in result.clusters().values()) + result.noise_count == 300
+
+    def test_clusters_respect_connectivity(self):
+        """Points in the same DBSCAN cluster are connected through eps-neighbours."""
+        points = [(0, 0), (0.2, 0), (0.4, 0), (5, 5), (5.2, 5), (5.4, 5)]
+        result = dbscan(points, eps=0.3, min_pts=2)
+        assert result.labels[0] == result.labels[2]
+        assert result.labels[3] == result.labels[5]
+        assert result.labels[0] != result.labels[3]

@@ -1,0 +1,69 @@
+"""Tests for the K-means baseline."""
+
+import pytest
+
+from repro.clustering.kmeans import kmeans
+from repro.exceptions import EmptyInputError, InvalidParameterError
+from repro.workloads.synthetic import clustered_points
+
+
+class TestValidation:
+    def test_empty_input_raises(self):
+        with pytest.raises(EmptyInputError):
+            kmeans([], k=2)
+
+    def test_non_positive_k_raises(self):
+        with pytest.raises(InvalidParameterError):
+            kmeans([(0, 0)], k=0)
+
+    def test_k_larger_than_n_is_clamped(self):
+        result = kmeans([(0, 0), (1, 1)], k=10)
+        assert result.cluster_count <= 2
+        assert len(result.centroids) == 2
+
+
+class TestClustering:
+    def test_two_well_separated_blobs(self):
+        points = [(0, 0), (0.1, 0.1), (0.2, 0.0), (10, 10), (10.1, 10.2), (9.9, 10.0)]
+        result = kmeans(points, k=2, seed=3)
+        labels = result.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_labels_are_index_aligned(self):
+        points = clustered_points(200, clusters=4, seed=2)
+        result = kmeans(points, k=4, seed=2)
+        assert len(result.labels) == len(points)
+        assert all(0 <= label < 4 for label in result.labels)
+
+    def test_deterministic_for_fixed_seed(self):
+        points = clustered_points(150, clusters=5, seed=6)
+        a = kmeans(points, k=5, seed=1)
+        b = kmeans(points, k=5, seed=1)
+        assert a.labels == b.labels
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points = clustered_points(300, clusters=6, seed=8)
+        few = kmeans(points, k=2, seed=0)
+        many = kmeans(points, k=10, seed=0)
+        assert many.inertia <= few.inertia
+
+    def test_centroids_are_within_data_bounding_box(self):
+        points = clustered_points(200, clusters=3, seed=4)
+        result = kmeans(points, k=3, seed=4)
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        for cx, cy in result.centroids:
+            assert min(xs) - 1e-9 <= cx <= max(xs) + 1e-9
+            assert min(ys) - 1e-9 <= cy <= max(ys) + 1e-9
+
+    def test_iterations_reported(self):
+        points = clustered_points(100, clusters=2, seed=5)
+        result = kmeans(points, k=2, seed=5, max_iter=30)
+        assert 1 <= result.iterations <= 30
+
+    def test_sizes_sum_to_n(self):
+        points = clustered_points(123, clusters=4, seed=9)
+        result = kmeans(points, k=4, seed=9)
+        assert sum(result.sizes()) == 123

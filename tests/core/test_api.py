@@ -1,0 +1,73 @@
+"""Tests for the top-level convenience API (repro.core.api)."""
+
+import numpy as np
+import pytest
+
+from repro import cluster_by, sgb_all, sgb_any
+from repro.exceptions import InvalidParameterError
+from repro.spatial.grid import GridIndex
+
+
+class TestInputHandling:
+    def test_accepts_lists_tuples_and_numpy(self):
+        as_tuples = [(0.0, 0.0), (0.1, 0.1), (5.0, 5.0)]
+        as_lists = [[0.0, 0.0], [0.1, 0.1], [5.0, 5.0]]
+        as_numpy = np.array(as_tuples)
+        results = [sgb_any(p, eps=1.0) for p in (as_tuples, as_lists, as_numpy)]
+        assert all(r.group_sizes() == [2, 1] for r in results)
+
+    def test_rejects_mixed_dimensionality(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_all([(0, 0), (1, 1, 1)], eps=1.0)
+
+    def test_rejects_zero_dimensional_points(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_any([()], eps=1.0)
+
+    def test_rejects_non_positive_eps(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_all([(0, 0)], eps=0)
+
+    def test_one_dimensional_points_supported(self):
+        result = sgb_any([(0.0,), (0.5,), (3.0,)], eps=1.0)
+        assert sorted(result.group_sizes(), reverse=True) == [2, 1]
+
+
+class TestCustomIndexFactory:
+    def test_sgb_all_with_grid_index(self, small_clustered):
+        rtree_result = sgb_all(small_clustered, eps=0.1, on_overlap="ELIMINATE")
+        grid_result = sgb_all(
+            small_clustered,
+            eps=0.1,
+            on_overlap="ELIMINATE",
+            index_factory=lambda: GridIndex(cell_size=0.1),
+        )
+        assert sorted(map(tuple, rtree_result.groups)) == sorted(
+            map(tuple, grid_result.groups)
+        )
+
+    def test_sgb_any_with_grid_index(self, small_clustered):
+        rtree_result = sgb_any(small_clustered, eps=0.1)
+        grid_result = sgb_any(
+            small_clustered, eps=0.1, index_factory=lambda: GridIndex(cell_size=0.1)
+        )
+        assert sorted(map(tuple, rtree_result.groups)) == sorted(
+            map(tuple, grid_result.groups)
+        )
+
+
+class TestClusterBy:
+    def test_any_semantics_matches_sgb_any(self, small_uniform):
+        assert (
+            cluster_by(small_uniform, eps=0.1, semantics="any").group_count
+            == sgb_any(small_uniform, eps=0.1).group_count
+        )
+
+    def test_all_semantics_matches_sgb_all(self, small_uniform):
+        a = cluster_by(small_uniform, eps=0.1, semantics="all", seed=9)
+        b = sgb_all(small_uniform, eps=0.1, seed=9)
+        assert a.groups == b.groups
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cluster_by([(0, 0)], eps=1.0, semantics="sorta")

@@ -1,0 +1,115 @@
+"""Tests for the metric layer (repro.core.distance)."""
+
+import math
+
+import pytest
+
+from repro.core.distance import (
+    Metric,
+    chebyshev,
+    euclidean,
+    get_distance_function,
+    manhattan,
+    minkowski,
+    resolve_metric,
+    squared_euclidean,
+)
+from repro.exceptions import DimensionalityError, InvalidParameterError
+
+
+class TestEuclidean:
+    def test_classic_345_triangle(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero_distance_to_self(self):
+        assert euclidean((1.5, -2.5), (1.5, -2.5)) == 0.0
+
+    def test_symmetry(self):
+        assert euclidean((1, 2), (4, 6)) == euclidean((4, 6), (1, 2))
+
+    def test_three_dimensions(self):
+        assert euclidean((0, 0, 0), (1, 2, 2)) == pytest.approx(3.0)
+
+    def test_high_dimensional(self):
+        p = tuple(range(10))
+        q = tuple(c + 1 for c in p)
+        assert euclidean(p, q) == pytest.approx(math.sqrt(10))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            euclidean((0, 0), (0, 0, 0))
+
+    def test_squared_euclidean_matches_square(self):
+        assert squared_euclidean((0, 0), (3, 4)) == pytest.approx(25.0)
+
+
+class TestChebyshev:
+    def test_takes_maximum_coordinate_difference(self):
+        assert chebyshev((0, 0), (3, 4)) == 4.0
+
+    def test_negative_coordinates(self):
+        assert chebyshev((-1, -1), (2, 0)) == 3.0
+
+    def test_equal_points(self):
+        assert chebyshev((7, 7), (7, 7)) == 0.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            chebyshev((0,), (0, 1))
+
+    def test_always_at_most_euclidean(self):
+        points = [((0.1, 0.9), (0.4, 0.2)), ((5, 5), (1, 2)), ((0, 0), (1, 1))]
+        for p, q in points:
+            assert chebyshev(p, q) <= euclidean(p, q) + 1e-12
+
+
+class TestManhattanAndMinkowski:
+    def test_manhattan_sums_coordinates(self):
+        assert manhattan((0, 0), (3, 4)) == 7.0
+
+    def test_minkowski_order_one_is_manhattan(self):
+        assert minkowski((1, 2), (4, 6), 1) == pytest.approx(manhattan((1, 2), (4, 6)))
+
+    def test_minkowski_order_two_is_euclidean(self):
+        assert minkowski((1, 2), (4, 6), 2) == pytest.approx(euclidean((1, 2), (4, 6)))
+
+    def test_minkowski_infinite_order_is_chebyshev(self):
+        assert minkowski((1, 2), (4, 6), math.inf) == chebyshev((1, 2), (4, 6))
+
+    def test_minkowski_rejects_order_below_one(self):
+        with pytest.raises(InvalidParameterError):
+            minkowski((0, 0), (1, 1), 0.5)
+
+
+class TestMetricResolution:
+    def test_enum_members_resolve_to_themselves(self):
+        assert resolve_metric(Metric.L2) is Metric.L2
+        assert resolve_metric(Metric.LINF) is Metric.LINF
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("L2", Metric.L2),
+            ("l2", Metric.L2),
+            ("euclidean", Metric.L2),
+            ("ltwo", Metric.L2),
+            ("LINF", Metric.LINF),
+            ("chebyshev", Metric.LINF),
+            ("lone", Metric.L1),
+            ("manhattan", Metric.L1),
+        ],
+    )
+    def test_string_aliases(self, name, expected):
+        assert resolve_metric(name) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_metric("hamming")
+
+    def test_get_distance_function_returns_callable(self):
+        fn = get_distance_function("LINF")
+        assert fn((0, 0), (2, 5)) == 5.0
+
+    def test_metric_distance_method(self):
+        assert Metric.L2.distance((0, 0), (3, 4)) == pytest.approx(5.0)
+        assert Metric.L1.distance((0, 0), (3, 4)) == pytest.approx(7.0)

@@ -1,0 +1,95 @@
+"""Tests for the Group bookkeeping used by SGB-All."""
+
+import pytest
+
+from repro.core.distance import Metric
+from repro.core.groups import Group
+from repro.core.predicates import SimilarityPredicate
+
+
+@pytest.fixture
+def linf_predicate():
+    return SimilarityPredicate(Metric.LINF, 2.0)
+
+
+@pytest.fixture
+def l2_predicate():
+    return SimilarityPredicate(Metric.L2, 2.0)
+
+
+class TestGroupMembership:
+    def test_group_starts_with_single_member(self):
+        group = Group(gid=0, eps=2.0, index=7, point=(1.0, 1.0))
+        assert len(group) == 1
+        assert group.indices == [7]
+        assert group.points == [(1.0, 1.0)]
+
+    def test_add_tracks_indices_and_shrinks_rect(self):
+        group = Group(0, 2.0, 0, (0.0, 0.0))
+        area_before = group.eps_rect.rect.area()
+        group.add(1, (1.0, 1.0))
+        assert group.indices == [0, 1]
+        assert group.eps_rect.rect.area() < area_before
+
+    def test_rect_contains_filters_far_points(self):
+        group = Group(0, 1.0, 0, (0.0, 0.0))
+        assert group.rect_contains((0.5, 0.5))
+        assert not group.rect_contains((3.0, 0.0))
+
+    def test_all_within_and_any_within(self, linf_predicate):
+        group = Group(0, 2.0, 0, (0.0, 0.0))
+        group.add(1, (1.5, 0.0))
+        assert group.all_within((0.5, 0.5), linf_predicate)
+        assert not group.all_within((-1.0, 0.0), linf_predicate)  # 2.5 from (1.5, 0)
+        assert group.any_within((-1.0, 0.0), linf_predicate)
+        assert not group.any_within((10.0, 10.0), linf_predicate)
+
+    def test_members_within_returns_indices(self, linf_predicate):
+        group = Group(0, 2.0, 10, (0.0, 0.0))
+        group.add(11, (5.0, 5.0))
+        assert group.members_within((1.0, 1.0), linf_predicate) == [10]
+
+    def test_remove_indices_rebuilds_rectangle(self):
+        group = Group(0, 2.0, 0, (0.0, 0.0))
+        group.add(1, (1.5, 1.5))
+        shrunk_area = group.eps_rect.rect.area()
+        removed = group.remove_indices([1])
+        assert removed == [(1, (1.5, 1.5))]
+        assert group.indices == [0]
+        # After removal the rectangle is rebuilt around the remaining member.
+        assert group.eps_rect.rect.area() > shrunk_area
+
+    def test_remove_all_members_leaves_empty_group(self):
+        group = Group(0, 1.0, 0, (0.0, 0.0))
+        group.remove_indices([0])
+        assert len(group) == 0
+
+
+class TestGroupHull:
+    def test_hull_is_cached_and_invalidated(self):
+        group = Group(0, 5.0, 0, (0.0, 0.0))
+        group.add(1, (1.0, 0.0))
+        group.add(2, (0.0, 1.0))
+        first = group.hull()
+        assert set(first) == {(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)}
+        group.add(3, (1.0, 1.0))
+        assert len(group.hull()) == 4
+
+    def test_hull_test_accepts_interior_point(self, l2_predicate):
+        group = Group(0, 2.0, 0, (0.0, 0.0))
+        group.add(1, (1.0, 0.0))
+        group.add(2, (0.0, 1.0))
+        assert group.passes_hull_test((0.3, 0.3), l2_predicate)
+
+    def test_hull_test_rejects_l2_false_positive(self, l2_predicate):
+        # The classic corner case of Figure 7b: inside the LINF rectangle but
+        # outside the L2 circle of an existing member.
+        group = Group(0, 2.0, 0, (0.0, 0.0))
+        corner = (1.9, 1.9)  # LINF distance 1.9 <= 2 but L2 distance ~2.69 > 2
+        assert group.rect_contains(corner)
+        assert not group.passes_hull_test(corner, l2_predicate)
+
+    def test_hull_test_falls_back_for_linf(self):
+        predicate = SimilarityPredicate(Metric.LINF, 2.0)
+        group = Group(0, 2.0, 0, (0.0, 0.0))
+        assert group.passes_hull_test((1.9, 1.9), predicate)

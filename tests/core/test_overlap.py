@@ -1,0 +1,35 @@
+"""Tests for the ON-OVERLAP action parsing."""
+
+import pytest
+
+from repro.core.overlap import OverlapAction
+from repro.exceptions import InvalidParameterError
+
+
+class TestOverlapActionParsing:
+    def test_enum_passthrough(self):
+        assert OverlapAction.parse(OverlapAction.ELIMINATE) is OverlapAction.ELIMINATE
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("JOIN-ANY", OverlapAction.JOIN_ANY),
+            ("join-any", OverlapAction.JOIN_ANY),
+            ("join_any", OverlapAction.JOIN_ANY),
+            ("ELIMINATE", OverlapAction.ELIMINATE),
+            ("eliminate", OverlapAction.ELIMINATE),
+            ("FORM-NEW-GROUP", OverlapAction.FORM_NEW_GROUP),
+            ("form_new_group", OverlapAction.FORM_NEW_GROUP),
+            ("FORM-NEW", OverlapAction.FORM_NEW_GROUP),
+        ],
+    )
+    def test_string_aliases(self, text, expected):
+        assert OverlapAction.parse(text) is expected
+
+    def test_unknown_action_raises(self):
+        with pytest.raises(InvalidParameterError):
+            OverlapAction.parse("MERGE")
+
+    def test_sql_keyword_value(self):
+        assert OverlapAction.JOIN_ANY.value == "JOIN-ANY"
+        assert OverlapAction.FORM_NEW_GROUP.value == "FORM-NEW-GROUP"

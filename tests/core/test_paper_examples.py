@@ -1,0 +1,110 @@
+"""Worked examples lifted from the paper's figures (Figures 1, 2, 4).
+
+These tests pin the operator semantics to the exact scenarios the paper uses
+to explain them.
+"""
+
+import pytest
+
+from repro.core.api import sgb_all, sgb_any
+
+
+class TestFigure1:
+    """Figure 1: the same points grouped under distance-to-all vs distance-to-any."""
+
+    # Points a-e form a clique within LINF distance 3; f, g form a second
+    # clique sharing c; h extends the chain for the ANY case.
+    POINTS_A = {
+        "a": (1.0, 5.0),
+        "b": (2.0, 4.0),
+        "c": (3.0, 3.0),
+        "d": (2.0, 2.0),
+        "e": (1.0, 3.0),
+        "f": (5.0, 2.0),
+        "g": (6.0, 1.0),
+    }
+
+    def test_distance_to_all_forms_clique_groups(self):
+        names = list(self.POINTS_A)
+        points = [self.POINTS_A[n] for n in names]
+        result = sgb_all(points, eps=3, metric="LINF", on_overlap="JOIN-ANY", seed=0)
+        # a-e are pairwise within 3; f and g attach to c but not to a/b/d/e,
+        # so they end up in a separate group.
+        sizes = sorted(result.group_sizes(), reverse=True)
+        assert sizes[0] == 5
+        assert sum(sizes) == 7
+
+    def test_distance_to_any_merges_into_one_group(self):
+        points = list(self.POINTS_A.values()) + [(7.0, 2.0)]  # h
+        result = sgb_any(points, eps=3, metric="LINF")
+        assert result.group_sizes() == [len(points)]
+
+
+class TestFigure2Example1:
+    """Figure 2 / Example 1: the three ON-OVERLAP semantics of SGB-All."""
+
+    def test_join_any_output(self, fig2_points):
+        result = sgb_all(fig2_points, eps=3, metric="LINF", on_overlap="JOIN-ANY")
+        assert sorted(result.group_sizes(), reverse=True) == [3, 2]
+
+    def test_eliminate_output(self, fig2_points):
+        result = sgb_all(fig2_points, eps=3, metric="LINF", on_overlap="ELIMINATE")
+        assert sorted(result.group_sizes(), reverse=True) == [2, 2]
+
+    def test_form_new_group_output(self, fig2_points):
+        result = sgb_all(fig2_points, eps=3, metric="LINF", on_overlap="FORM-NEW-GROUP")
+        assert sorted(result.group_sizes(), reverse=True) == [2, 2, 1]
+
+    def test_example2_sgb_any_output(self, fig2_points):
+        result = sgb_any(fig2_points, eps=3, metric="L2")
+        assert result.group_sizes() == [5]
+
+    def test_intermediate_state_after_four_points(self, fig2_points):
+        """Before a5 arrives the state is exactly g1{a1,a2}, g2{a3,a4}."""
+        result = sgb_all(fig2_points[:4], eps=3, metric="LINF", on_overlap="JOIN-ANY")
+        assert sorted(sorted(g) for g in result.groups) == [[0, 1], [2, 3]]
+
+
+class TestFigure4Scenario:
+    """Figure 4: point x overlaps groups it can fully join and groups it only touches."""
+
+    @pytest.fixture
+    def scenario(self):
+        # Four pre-existing clusters (eps = 4, LINF), then x arrives.
+        # g1 = {a1, a2, a3}: x is within 4 of a3 only -> overlap group.
+        # g2 = {b1, b2} and g3 = {c1, c2, c3}: x within 4 of all -> candidates.
+        # g4 = {d1, d2}: far away.
+        points = [
+            (0.0, 10.0), (1.0, 9.0), (3.0, 7.0),      # a1 a2 a3
+            (8.0, 9.0), (9.0, 8.0),                   # b1 b2
+            (7.0, 3.0), (8.0, 2.0), (9.0, 3.0),       # c1 c2 c3
+            (16.0, 2.0), (17.0, 1.0),                 # d1 d2
+            (6.0, 6.0),                               # x
+        ]
+        return points
+
+    def test_eliminate_drops_x_and_touched_members(self, scenario):
+        result = sgb_all(scenario, eps=4, metric="LINF", on_overlap="ELIMINATE")
+        # x (index 10) is dropped because it qualifies for two groups, and a3
+        # (index 2) is dropped because it overlaps x without its whole group.
+        assert 10 in result.eliminated
+        assert 2 in result.eliminated
+        # d1, d2 remain untouched.
+        assert any(sorted(g) == [8, 9] for g in result.groups)
+
+    def test_join_any_places_x_in_exactly_one_candidate(self, scenario):
+        result = sgb_all(scenario, eps=4, metric="LINF", on_overlap="JOIN-ANY", seed=3)
+        assignment = result.assignment()
+        assert 10 in assignment
+        group_of_x = sorted(result.groups[assignment[10]])
+        # x joined either the b-group or the c-group.
+        assert set(group_of_x) - {10} in ({3, 4}, {5, 6, 7})
+
+    def test_form_new_group_isolates_overlap_set(self, scenario):
+        result = sgb_all(scenario, eps=4, metric="LINF", on_overlap="FORM-NEW-GROUP")
+        assert result.is_partition()
+        # x and a3 leave their original groups; they form new group(s) together
+        # or separately depending on their mutual distance (3 <= 4 -> together).
+        new_groups = [g for g in result.groups if set(g) & {2, 10}]
+        flattened = {i for g in new_groups for i in g}
+        assert flattened == {2, 10}

@@ -1,0 +1,73 @@
+"""Tests for the similarity predicate (paper Definition 2)."""
+
+import pytest
+
+from repro.core.distance import Metric
+from repro.core.predicates import SimilarityPredicate
+from repro.exceptions import InvalidParameterError
+
+
+class TestConstruction:
+    def test_create_from_string_metric(self):
+        predicate = SimilarityPredicate.create("LINF", 2.0)
+        assert predicate.metric is Metric.LINF
+        assert predicate.eps == 2.0
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SimilarityPredicate(Metric.L2, 0.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SimilarityPredicate(Metric.L2, -1.0)
+
+
+class TestEvaluation:
+    def test_similar_within_threshold(self):
+        predicate = SimilarityPredicate(Metric.L2, 5.0)
+        assert predicate.similar((0, 0), (3, 4)) is True
+
+    def test_boundary_is_inclusive(self):
+        predicate = SimilarityPredicate(Metric.L2, 5.0)
+        assert predicate.similar((0, 0), (3, 4))  # exactly 5
+        predicate_linf = SimilarityPredicate(Metric.LINF, 3.0)
+        assert predicate_linf.similar((0, 0), (3, 0))
+
+    def test_not_similar_outside_threshold(self):
+        predicate = SimilarityPredicate(Metric.L2, 4.9)
+        assert predicate.similar((0, 0), (3, 4)) is False
+
+    def test_l2_and_linf_disagree_on_diagonal(self):
+        # Diagonal distance: LINF = 1, L2 = sqrt(2).
+        l2 = SimilarityPredicate(Metric.L2, 1.2)
+        linf = SimilarityPredicate(Metric.LINF, 1.2)
+        assert not l2.similar((0, 0), (1, 1))
+        assert linf.similar((0, 0), (1, 1))
+
+    def test_callable_protocol(self):
+        predicate = SimilarityPredicate(Metric.LINF, 1.0)
+        assert predicate((0, 0), (1, 1)) is True
+
+    def test_distance_method_reports_metric_distance(self):
+        predicate = SimilarityPredicate(Metric.L2, 1.0)
+        assert predicate.distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+
+class TestQuantifiedForms:
+    def test_similar_to_all(self):
+        predicate = SimilarityPredicate(Metric.LINF, 2.0)
+        group = [(0, 0), (1, 1), (2, 0)]
+        assert predicate.similar_to_all((1, 0), group)
+        assert not predicate.similar_to_all((4, 0), group)
+
+    def test_similar_to_any(self):
+        predicate = SimilarityPredicate(Metric.LINF, 2.0)
+        group = [(0, 0), (10, 10)]
+        assert predicate.similar_to_any((9, 9), group)
+        assert not predicate.similar_to_any((5, 5), group)
+
+    def test_empty_group_edge_cases(self):
+        predicate = SimilarityPredicate(Metric.L2, 1.0)
+        # all() over empty is vacuously true; any() is false.
+        assert predicate.similar_to_all((0, 0), []) is True
+        assert predicate.similar_to_any((0, 0), []) is False

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the SGB operator invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import sgb_all, sgb_any
+from repro.core.distance import chebyshev, euclidean
+
+# Small coordinate grid keeps the generated scenarios interesting (lots of
+# near-threshold pairs) while staying fast.
+coordinate = st.integers(min_value=0, max_value=12).map(lambda v: v / 2.0)
+point = st.tuples(coordinate, coordinate)
+point_list = st.lists(point, min_size=0, max_size=25)
+eps_values = st.sampled_from([0.5, 1.0, 1.5, 2.5])
+metrics = st.sampled_from(["L2", "LINF"])
+overlaps = st.sampled_from(["JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP"])
+strategies_all = st.sampled_from(["all-pairs", "bounds-checking", "index"])
+
+
+def _dist(metric):
+    return euclidean if metric == "L2" else chebyshev
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_list, eps=eps_values, metric=metrics, overlap=overlaps, strategy=strategies_all)
+def test_sgb_all_output_is_partition(points, eps, metric, overlap, strategy):
+    result = sgb_all(points, eps=eps, metric=metric, on_overlap=overlap, strategy=strategy)
+    assert result.is_partition()
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_list, eps=eps_values, metric=metrics, overlap=overlaps, strategy=strategies_all)
+def test_sgb_all_groups_are_cliques(points, eps, metric, overlap, strategy):
+    result = sgb_all(points, eps=eps, metric=metric, on_overlap=overlap, strategy=strategy)
+    dist = _dist(metric)
+    for members in result.groups:
+        coords = [points[i] for i in members]
+        for i in range(len(coords)):
+            for j in range(i + 1, len(coords)):
+                assert dist(coords[i], coords[j]) <= eps + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_list, eps=eps_values, metric=metrics)
+def test_sgb_all_deterministic_semantics_agree_across_strategies(points, eps, metric):
+    """ELIMINATE is deterministic: every strategy must produce the same grouping."""
+    outcomes = [
+        sorted(
+            map(
+                tuple,
+                sgb_all(
+                    points, eps=eps, metric=metric, on_overlap="ELIMINATE", strategy=s
+                ).groups,
+            )
+        )
+        for s in ("all-pairs", "bounds-checking", "index")
+    ]
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_list, eps=eps_values, metric=metrics)
+def test_sgb_any_matches_reference_connected_components(points, eps, metric):
+    """SGB-Any must equal the connected components of the epsilon graph."""
+    result = sgb_any(points, eps=eps, metric=metric, strategy="index")
+    dist = _dist(metric)
+
+    # Reference: brute-force union-find over all pairs.
+    parent = list(range(len(points)))
+
+    def find(i):
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i, j):
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            if dist(points[i], points[j]) <= eps:
+                union(i, j)
+    reference = {}
+    for i in range(len(points)):
+        reference.setdefault(find(i), set()).add(i)
+
+    produced = {frozenset(g) for g in result.groups}
+    expected = {frozenset(v) for v in reference.values()}
+    assert produced == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_list, eps=eps_values, metric=metrics)
+def test_sgb_any_never_has_more_groups_than_sgb_all(points, eps, metric):
+    any_result = sgb_any(points, eps=eps, metric=metric)
+    all_result = sgb_all(points, eps=eps, metric=metric, on_overlap="JOIN-ANY")
+    assert any_result.group_count <= all_result.group_count
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_list, eps=eps_values)
+def test_larger_eps_never_increases_sgb_any_group_count(points, eps):
+    small = sgb_any(points, eps=eps)
+    large = sgb_any(points, eps=eps * 2)
+    assert large.group_count <= small.group_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_list, eps=eps_values, metric=metrics)
+def test_eliminated_points_overlap_multiple_groups_or_members(points, eps, metric):
+    """ELIMINATE only ever drops points; groups stay cliques and nothing is lost."""
+    result = sgb_all(points, eps=eps, metric=metric, on_overlap="ELIMINATE")
+    grouped = {i for g in result.groups for i in g}
+    assert grouped | set(result.eliminated) == set(range(len(points)))
+    assert grouped & set(result.eliminated) == set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_list, eps=eps_values, metric=metrics)
+def test_form_new_group_keeps_every_point(points, eps, metric):
+    result = sgb_all(points, eps=eps, metric=metric, on_overlap="FORM-NEW-GROUP")
+    assert result.eliminated == []
+    assert sum(result.group_sizes()) == len(points)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_list, eps=eps_values)
+def test_duplicate_points_always_share_a_group_in_sgb_any(points, eps):
+    if not points:
+        return
+    duplicated = list(points) + [points[0]]
+    result = sgb_any(duplicated, eps=eps)
+    labels = result.labels()
+    assert labels[0] == labels[len(duplicated) - 1]

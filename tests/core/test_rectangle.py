@@ -1,0 +1,162 @@
+"""Tests for Rect and the epsilon-All bounding rectangle (paper Definition 5)."""
+
+import pytest
+
+from repro.core.distance import chebyshev
+from repro.core.rectangle import EpsAllRectangle, Rect, union_rects
+from repro.exceptions import DimensionalityError, InvalidParameterError
+
+
+class TestRectConstruction:
+    def test_from_point_with_radius(self):
+        rect = Rect.from_point((1.0, 2.0), 0.5)
+        assert rect.low == (0.5, 1.5)
+        assert rect.high == (1.5, 2.5)
+
+    def test_from_point_negative_radius_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Rect.from_point((0, 0), -1)
+
+    def test_from_points_is_mbr(self):
+        rect = Rect.from_points([(0, 5), (2, 1), (-1, 3)])
+        assert rect.low == (-1, 1)
+        assert rect.high == (2, 5)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Rect.from_points([])
+
+    def test_invalid_low_high_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Rect((1.0, 0.0), (0.0, 1.0))
+
+    def test_mixed_dimensionality_rejected(self):
+        with pytest.raises(DimensionalityError):
+            Rect((0.0,), (1.0, 1.0))
+
+
+class TestRectGeometry:
+    def test_area_and_margin(self):
+        rect = Rect((0, 0), (2, 3))
+        assert rect.area() == 6
+        assert rect.margin() == 5
+
+    def test_center_and_extents(self):
+        rect = Rect((0, 0), (2, 4))
+        assert rect.center == (1, 2)
+        assert rect.extents == (2, 4)
+
+    def test_contains_point_boundary_inclusive(self):
+        rect = Rect((0, 0), (1, 1))
+        assert rect.contains_point((0, 0))
+        assert rect.contains_point((1, 1))
+        assert rect.contains_point((0.5, 0.5))
+        assert not rect.contains_point((1.0001, 0.5))
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (10, 10))
+        inner = Rect((2, 2), (3, 3))
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_intersects_boundary_touch_counts(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((1, 1), (2, 2))
+        assert a.intersects(b)
+
+    def test_disjoint_rects_do_not_intersect(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_intersection_is_overlap_region(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((1, 1), (3, 3))
+        inter = a.intersection(b)
+        assert inter == Rect((1, 1), (2, 2))
+
+    def test_union_covers_both(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        union = a.union(b)
+        assert union.contains_rect(a) and union.contains_rect(b)
+
+    def test_enlargement_zero_for_contained_rect(self):
+        outer = Rect((0, 0), (4, 4))
+        inner = Rect((1, 1), (2, 2))
+        assert outer.enlargement(inner) == 0.0
+        assert inner.enlargement(outer) == pytest.approx(16 - 1)
+
+    def test_min_distance_to_point(self):
+        rect = Rect((0, 0), (1, 1))
+        assert rect.min_distance_to_point((0.5, 0.5)) == 0.0
+        assert rect.min_distance_to_point((4, 5)) == pytest.approx(5.0)
+
+    def test_union_rects_helper(self):
+        rects = [Rect((0, 0), (1, 1)), Rect((5, 5), (6, 7))]
+        combined = union_rects(rects)
+        assert combined == Rect((0, 0), (6, 7))
+
+    def test_union_rects_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            union_rects([])
+
+
+class TestEpsAllRectangle:
+    """Behaviour described in paper Figures 5c-5e."""
+
+    def test_initial_rectangle_is_2eps_box(self):
+        rect = EpsAllRectangle(2.0, (3.0, 3.0))
+        assert rect.rect == Rect((1.0, 1.0), (5.0, 5.0))
+        assert rect.member_count == 1
+
+    def test_requires_positive_eps(self):
+        with pytest.raises(InvalidParameterError):
+            EpsAllRectangle(0.0, (0.0, 0.0))
+
+    def test_shrinks_when_member_added(self):
+        rect = EpsAllRectangle(2.0, (3.0, 3.0))
+        before = rect.rect.area()
+        rect.add((4.0, 3.0))
+        after = rect.rect.area()
+        assert after < before
+        assert rect.member_count == 2
+
+    def test_monotone_shrinking(self):
+        rect = EpsAllRectangle(1.0, (0.0, 0.0))
+        areas = [rect.rect.area()]
+        for point in [(0.5, 0.0), (0.0, 0.5), (0.4, 0.4)]:
+            rect.add(point)
+            areas.append(rect.rect.area())
+        assert all(a >= b for a, b in zip(areas, areas[1:]))
+
+    def test_never_smaller_than_eps_per_side_for_linf_cliques(self):
+        # Members pairwise within eps (LINF) keep each side >= eps.
+        eps = 1.0
+        members = [(0.0, 0.0), (0.9, 0.0), (0.0, 0.9), (0.9, 0.9)]
+        rect = EpsAllRectangle(eps, members[0])
+        for m in members[1:]:
+            rect.add(m)
+        for extent in rect.rect.extents:
+            assert extent >= eps - 1e-12
+
+    def test_linf_invariant_point_inside_is_close_to_all_members(self):
+        """The key correctness property: inside the rectangle => within eps of all."""
+        eps = 1.5
+        members = [(0.0, 0.0)]
+        rect = EpsAllRectangle(eps, members[0])
+        for candidate in [(1.0, 0.5), (-0.3, 0.8), (0.4, -0.4)]:
+            if rect.contains(candidate):
+                assert all(chebyshev(candidate, m) <= eps for m in members)
+                rect.add(candidate)
+                members.append(candidate)
+
+    def test_members_always_inside_own_rectangle(self):
+        eps = 1.0
+        members = [(0.0, 0.0), (0.5, 0.5), (0.2, 0.9)]
+        rect = EpsAllRectangle(eps, members[0])
+        for m in members[1:]:
+            rect.add(m)
+        for m in members:
+            assert rect.contains(m)

@@ -1,0 +1,72 @@
+"""Tests for GroupingResult."""
+
+import pytest
+
+from repro.core.result import GroupingResult
+from repro.exceptions import EmptyInputError
+
+
+@pytest.fixture
+def result():
+    return GroupingResult(
+        groups=[[0, 1, 2], [3, 4]],
+        eliminated=[5],
+        points=[(0, 0), (0.1, 0), (0, 0.1), (5, 5), (5.1, 5.1), (9, 9)],
+    )
+
+
+class TestBasicViews:
+    def test_group_count_and_sizes(self, result):
+        assert result.group_count == 2
+        assert result.group_sizes() == [3, 2]
+
+    def test_labels_mark_eliminated_rows(self, result):
+        assert result.labels() == [0, 0, 0, 1, 1, -1]
+
+    def test_assignment_excludes_eliminated(self, result):
+        assignment = result.assignment()
+        assert assignment == {0: 0, 1: 0, 2: 0, 3: 1, 4: 1}
+        assert 5 not in assignment
+
+    def test_group_points_returns_coordinates(self, result):
+        assert result.group_points(1) == [(5, 5), (5.1, 5.1)]
+
+    def test_group_polygon_of_small_group(self, result):
+        polygon = result.group_polygon(1)
+        assert polygon.vertex_count == 2
+
+    def test_summary_mentions_counts(self, result):
+        text = result.summary()
+        assert "2 groups" in text
+        assert "6 points" in text
+        assert "1 eliminated" in text
+
+
+class TestPartitionCheck:
+    def test_valid_partition(self, result):
+        assert result.is_partition()
+
+    def test_duplicate_membership_is_not_a_partition(self):
+        bad = GroupingResult(groups=[[0, 1], [1]], eliminated=[], points=[(0, 0)] * 2)
+        assert not bad.is_partition()
+
+    def test_missing_row_is_not_a_partition(self):
+        bad = GroupingResult(groups=[[0]], eliminated=[], points=[(0, 0), (1, 1)])
+        assert not bad.is_partition()
+
+    def test_eliminated_and_grouped_overlap_is_invalid(self):
+        bad = GroupingResult(groups=[[0, 1]], eliminated=[1], points=[(0, 0), (1, 1)])
+        assert not bad.is_partition()
+
+
+class TestEmptyResult:
+    def test_empty_constructor(self):
+        empty = GroupingResult.empty()
+        assert empty.group_count == 0
+        assert empty.is_partition()
+        assert empty.labels() == []
+
+    def test_polygon_of_empty_group_raises(self):
+        result = GroupingResult(groups=[[]], eliminated=[], points=[])
+        with pytest.raises(EmptyInputError):
+            result.group_polygon(0)

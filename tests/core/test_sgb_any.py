@@ -1,0 +1,164 @@
+"""Behavioural tests for the SGB-Any operator (paper Section 7)."""
+
+import pytest
+
+from repro.core.api import sgb_any
+from repro.core.distance import chebyshev, euclidean
+from repro.core.sgb_any import SGBAnyGrouper, SGBAnyStrategy
+from repro.exceptions import InvalidParameterError
+
+STRATEGIES = ["all-pairs", "index"]
+
+
+class TestStrategyParsing:
+    def test_aliases(self):
+        assert SGBAnyStrategy.parse("naive") is SGBAnyStrategy.ALL_PAIRS
+        assert SGBAnyStrategy.parse("rtree") is SGBAnyStrategy.INDEX
+
+    def test_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SGBAnyStrategy.parse("bounds-checking")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestBasicGrouping:
+    def test_empty_input(self, strategy):
+        result = sgb_any([], eps=1.0, strategy=strategy)
+        assert result.group_count == 0
+
+    def test_single_point(self, strategy):
+        result = sgb_any([(3.0, 4.0)], eps=1.0, strategy=strategy)
+        assert result.groups == [[0]]
+
+    def test_far_points_stay_separate(self, strategy):
+        points = [(0, 0), (10, 0), (20, 0)]
+        result = sgb_any(points, eps=1.0, strategy=strategy)
+        assert result.group_count == 3
+
+    def test_chain_merges_into_one_group(self, strategy):
+        """Transitivity: a-b-c-d chained within eps forms a single group even
+        though the endpoints are far apart (the defining difference to SGB-All)."""
+        points = [(0, 0), (0.9, 0), (1.8, 0), (2.7, 0), (3.6, 0)]
+        result = sgb_any(points, eps=1.0, strategy=strategy)
+        assert result.group_count == 1
+        assert sorted(result.groups[0]) == [0, 1, 2, 3, 4]
+
+    def test_bridge_point_merges_two_clusters(self, strategy, fig2_points):
+        result = sgb_any(fig2_points, eps=3, metric="LINF", strategy=strategy)
+        assert result.group_sizes() == [5]
+
+    def test_never_eliminates(self, strategy, small_clustered):
+        result = sgb_any(small_clustered, eps=0.1, strategy=strategy)
+        assert result.eliminated == []
+        assert result.is_partition()
+
+    def test_three_dimensional_points(self, strategy):
+        points = [(0, 0, 0), (0.5, 0, 0), (1.0, 0, 0), (9, 9, 9)]
+        result = sgb_any(points, eps=0.6, strategy=strategy)
+        assert sorted(result.group_sizes(), reverse=True) == [3, 1]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("metric", ["L2", "LINF"])
+class TestConnectivityInvariant:
+    def test_groups_are_connected_components(self, strategy, metric, small_clustered):
+        """Every group must be exactly an epsilon-connected component."""
+        eps = 0.07
+        result = sgb_any(small_clustered, eps=eps, metric=metric, strategy=strategy)
+        dist = euclidean if metric == "L2" else chebyshev
+        labels = result.labels()
+        n = len(small_clustered)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if dist(small_clustered[i], small_clustered[j]) <= eps:
+                    assert labels[i] == labels[j], (
+                        f"points {i} and {j} are within eps but in different groups"
+                    )
+
+    def test_each_member_has_a_close_neighbour_in_group(self, strategy, metric, small_clustered):
+        eps = 0.07
+        result = sgb_any(small_clustered, eps=eps, metric=metric, strategy=strategy)
+        dist = euclidean if metric == "L2" else chebyshev
+        for members in result.groups:
+            if len(members) == 1:
+                continue
+            for i in members:
+                assert any(
+                    dist(small_clustered[i], small_clustered[j]) <= eps + 1e-12
+                    for j in members
+                    if j != i
+                )
+
+
+class TestStrategyConsistency:
+    @pytest.mark.parametrize("metric", ["L2", "LINF"])
+    def test_all_pairs_and_index_agree(self, metric, small_clustered):
+        naive = sgb_any(small_clustered, eps=0.1, metric=metric, strategy="all-pairs")
+        indexed = sgb_any(small_clustered, eps=0.1, metric=metric, strategy="index")
+        assert sorted(map(tuple, naive.groups)) == sorted(map(tuple, indexed.groups))
+
+    def test_insertion_order_does_not_change_components(self, small_clustered):
+        forwards = sgb_any(small_clustered, eps=0.1)
+        backwards = sgb_any(list(reversed(small_clustered)), eps=0.1)
+        # Compare as sets of frozensets of coordinates (indices differ).
+        def as_sets(result, points):
+            return {
+                frozenset(tuple(points[i]) for i in members) for members in result.groups
+            }
+
+        assert as_sets(forwards, small_clustered) == as_sets(
+            backwards, list(reversed(small_clustered))
+        )
+
+
+class TestRelationToSGBAll:
+    def test_sgb_any_groups_are_coarser_than_sgb_all(self, small_clustered):
+        """SGB-Any components are unions of SGB-All cliques: never more groups."""
+        from repro.core.api import sgb_all
+
+        eps = 0.1
+        any_result = sgb_any(small_clustered, eps=eps)
+        all_result = sgb_all(small_clustered, eps=eps, on_overlap="JOIN-ANY")
+        assert any_result.group_count <= all_result.group_count
+
+    def test_sgb_all_groups_never_cross_any_components(self, small_clustered):
+        from repro.core.api import sgb_all
+
+        eps = 0.1
+        any_labels = sgb_any(small_clustered, eps=eps).labels()
+        all_result = sgb_all(small_clustered, eps=eps, on_overlap="JOIN-ANY")
+        for members in all_result.groups:
+            component_labels = {any_labels[i] for i in members}
+            assert len(component_labels) == 1
+
+
+class TestIncrementalInterface:
+    def test_incremental_matches_batch(self, small_clustered):
+        grouper = SGBAnyGrouper(eps=0.1)
+        for p in small_clustered:
+            grouper.add(p)
+        incremental = grouper.finalize()
+        batch = sgb_any(small_clustered, eps=0.1)
+        assert sorted(map(tuple, incremental.groups)) == sorted(map(tuple, batch.groups))
+
+    def test_group_count_decreases_on_merge(self):
+        grouper = SGBAnyGrouper(eps=1.0)
+        grouper.add((0, 0))
+        grouper.add((5, 5))
+        assert grouper.group_count == 2
+        grouper.add((2.5, 2.5))  # not close to either (L2 ~3.5)
+        assert grouper.group_count == 3
+        grouper.add((1.0, 1.0))  # close to (0,0) group and (2.5,2.5)? L2=1.41 no
+        assert grouper.group_count == 4 or grouper.group_count == 3
+
+    def test_merging_bridge(self):
+        grouper = SGBAnyGrouper(eps=1.5)
+        grouper.add((0, 0))
+        grouper.add((3, 0))
+        assert grouper.group_count == 2
+        grouper.add((1.5, 0))  # bridges both
+        assert grouper.group_count == 1
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SGBAnyGrouper(eps=-1.0)

@@ -1,0 +1,59 @@
+"""Tests for the per-group tuple store."""
+
+from repro.dstruct.tuple_store import TupleStore
+
+
+class TestTupleStore:
+    def test_append_returns_stable_handles(self):
+        store = TupleStore()
+        assert store.append("a") == 0
+        assert store.append("b") == 1
+        assert store.get(0) == "a"
+        assert store.get(1) == "b"
+
+    def test_len_counts_live_rows(self):
+        store = TupleStore()
+        store.append("a")
+        store.append("b")
+        assert len(store) == 2
+        store.delete(0)
+        assert len(store) == 1
+
+    def test_delete_is_idempotent(self):
+        store = TupleStore()
+        store.append("a")
+        store.delete(0)
+        store.delete(0)
+        assert len(store) == 0
+
+    def test_iteration_skips_deleted_preserves_order(self):
+        store = TupleStore()
+        for value in ["a", "b", "c", "d"]:
+            store.append(value)
+        store.delete(1)
+        assert list(store) == ["a", "c", "d"]
+        assert store.to_list() == ["a", "c", "d"]
+
+    def test_get_still_returns_deleted_rows(self):
+        store = TupleStore()
+        store.append("x")
+        store.delete(0)
+        assert store.get(0) == "x"
+
+    def test_extend_copies_live_rows_only(self):
+        a = TupleStore()
+        b = TupleStore()
+        for value in ["1", "2", "3"]:
+            a.append(value)
+        a.delete(2)
+        b.append("0")
+        b.extend(a)
+        assert b.to_list() == ["0", "1", "2"]
+
+    def test_clear(self):
+        store = TupleStore()
+        store.append("a")
+        store.clear()
+        assert len(store) == 0
+        assert list(store) == []
+        assert store.append("b") == 0

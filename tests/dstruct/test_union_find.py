@@ -1,0 +1,113 @@
+"""Tests for the disjoint-set forest."""
+
+import pytest
+
+from repro.dstruct.union_find import UnionFind
+from repro.exceptions import UnionFindError
+
+
+class TestBasicOperations:
+    def test_new_elements_are_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert uf.component_count == 3
+        assert uf.find("a") == "a"
+        assert not uf.connected("a", "b")
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        assert uf.add("x") is True
+        assert uf.add("x") is False
+        assert len(uf) == 1
+
+    def test_union_merges_components(self):
+        uf = UnionFind([1, 2, 3])
+        uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+        assert uf.component_count == 2
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind([1, 2])
+        uf.union(1, 2)
+        uf.union(1, 2)
+        assert uf.component_count == 1
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+
+    def test_find_unknown_element_raises(self):
+        uf = UnionFind([1])
+        with pytest.raises(UnionFindError):
+            uf.find(99)
+
+    def test_contains_and_len(self):
+        uf = UnionFind(["a"])
+        assert "a" in uf
+        assert "b" not in uf
+        assert len(uf) == 1
+
+
+class TestComponents:
+    def test_component_size(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(0) == 3
+        assert uf.component_size(5) == 1
+
+    def test_components_mapping(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        components = uf.components()
+        sizes = sorted(len(v) for v in components.values())
+        assert sizes == [1, 1, 2]
+        all_members = sorted(m for members in components.values() for m in members)
+        assert all_members == [0, 1, 2, 3]
+
+    def test_union_many(self):
+        uf = UnionFind(range(5))
+        root = uf.union_many([0, 1, 2, 3])
+        assert uf.component_count == 2
+        assert root == uf.find(0) == uf.find(3)
+
+    def test_union_many_empty_returns_none(self):
+        uf = UnionFind()
+        assert uf.union_many([]) is None
+
+    def test_large_random_merge_sequence_matches_reference(self):
+        import random
+
+        rng = random.Random(17)
+        n = 300
+        uf = UnionFind(range(n))
+        # Reference adjacency via sets.
+        reference = {i: {i} for i in range(n)}
+
+        def ref_union(a, b):
+            sa, sb = reference[a], reference[b]
+            if sa is sb:
+                return
+            merged = sa | sb
+            for member in merged:
+                reference[member] = merged
+
+        for _ in range(400):
+            a, b = rng.randrange(n), rng.randrange(n)
+            uf.union(a, b)
+            ref_union(a, b)
+        for _ in range(200):
+            a, b = rng.randrange(n), rng.randrange(n)
+            assert uf.connected(a, b) == (reference[a] is reference[b] or b in reference[a])
+
+    def test_component_count_tracks_merges(self):
+        uf = UnionFind(range(10))
+        count = 10
+        for i in range(9):
+            uf.union(i, i + 1)
+            count -= 1
+            assert uf.component_count == count

@@ -1,0 +1,132 @@
+"""Tests for the convex hull utilities."""
+
+import math
+
+import pytest
+
+from repro.exceptions import EmptyInputError
+from repro.geometry.convex_hull import (
+    convex_hull,
+    cross,
+    diameter,
+    farthest_point,
+    point_in_convex_polygon,
+)
+
+
+class TestCross:
+    def test_counter_clockwise_positive(self):
+        assert cross((0, 0), (1, 0), (0, 1)) > 0
+
+    def test_clockwise_negative(self):
+        assert cross((0, 0), (0, 1), (1, 0)) < 0
+
+    def test_collinear_zero(self):
+        assert cross((0, 0), (1, 1), (2, 2)) == 0
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        points = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        hull = convex_hull(points)
+        assert set(hull) == {(0, 0), (1, 0), (1, 1), (0, 1)}
+        assert len(hull) == 4
+
+    def test_interior_points_excluded(self):
+        points = [(0, 0), (4, 0), (2, 4), (2, 1), (2, 2)]
+        hull = convex_hull(points)
+        assert set(hull) == {(0, 0), (4, 0), (2, 4)}
+
+    def test_collinear_points_reduce_to_segment_endpoints(self):
+        points = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        hull = convex_hull(points)
+        assert set(hull) == {(0, 0), (3, 3)}
+
+    def test_duplicate_points_deduplicated(self):
+        hull = convex_hull([(1, 1), (1, 1), (1, 1)])
+        assert hull == [(1, 1)]
+
+    def test_two_distinct_points(self):
+        hull = convex_hull([(0, 0), (2, 3)])
+        assert set(hull) == {(0, 0), (2, 3)}
+
+    def test_counter_clockwise_orientation(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4)])
+        area2 = sum(
+            hull[i][0] * hull[(i + 1) % len(hull)][1]
+            - hull[(i + 1) % len(hull)][0] * hull[i][1]
+            for i in range(len(hull))
+        )
+        assert area2 > 0  # positive signed area -> counter-clockwise
+
+    def test_empty_input_raises(self):
+        with pytest.raises(EmptyInputError):
+            convex_hull([])
+
+    def test_hull_contains_all_input_points(self):
+        import random
+
+        rng = random.Random(3)
+        points = [(rng.random(), rng.random()) for _ in range(100)]
+        hull = convex_hull(points)
+        for p in points:
+            assert point_in_convex_polygon(p, hull)
+
+
+class TestPointInConvexPolygon:
+    SQUARE = [(0, 0), (4, 0), (4, 4), (0, 4)]
+
+    def test_interior(self):
+        assert point_in_convex_polygon((2, 2), self.SQUARE)
+
+    def test_boundary(self):
+        assert point_in_convex_polygon((4, 2), self.SQUARE)
+        assert point_in_convex_polygon((0, 0), self.SQUARE)
+
+    def test_exterior(self):
+        assert not point_in_convex_polygon((5, 2), self.SQUARE)
+        assert not point_in_convex_polygon((-0.1, 2), self.SQUARE)
+
+    def test_degenerate_single_vertex(self):
+        assert point_in_convex_polygon((1, 1), [(1, 1)])
+        assert not point_in_convex_polygon((1, 2), [(1, 1)])
+
+    def test_degenerate_segment(self):
+        segment = [(0, 0), (2, 2)]
+        assert point_in_convex_polygon((1, 1), segment)
+        assert not point_in_convex_polygon((1, 1.5), segment)
+        assert not point_in_convex_polygon((3, 3), segment)
+
+    def test_empty_hull(self):
+        assert not point_in_convex_polygon((0, 0), [])
+
+
+class TestFarthestPointAndDiameter:
+    def test_farthest_point_of_square(self):
+        hull = [(0, 0), (4, 0), (4, 4), (0, 4)]
+        assert farthest_point((-1, -1), hull) == (4, 4)
+        assert farthest_point((5, 5), hull) == (0, 0)
+
+    def test_farthest_point_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            farthest_point((0, 0), [])
+
+    def test_diameter_of_square(self):
+        points = [(0, 0), (4, 0), (4, 4), (0, 4)]
+        assert diameter(points) == pytest.approx(math.sqrt(32))
+
+    def test_diameter_of_segment_and_point(self):
+        assert diameter([(0, 0), (3, 4)]) == pytest.approx(5.0)
+        assert diameter([(2, 2)]) == 0.0
+
+    def test_diameter_matches_brute_force(self):
+        import random
+
+        rng = random.Random(11)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(60)]
+        brute = max(
+            math.dist(points[i], points[j])
+            for i in range(len(points))
+            for j in range(i + 1, len(points))
+        )
+        assert diameter(points) == pytest.approx(brute)

@@ -1,0 +1,79 @@
+"""Property-based tests for the geometry substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.convex_hull import convex_hull, diameter, point_in_convex_polygon
+from repro.geometry.polygon import Polygon
+
+# Quantised coordinates avoid denormal-float artefacts (two points that are
+# distinct before translation but collapse to the same float afterwards).
+coordinate = st.integers(min_value=-1000, max_value=1000).map(lambda v: v / 10.0)
+point = st.tuples(coordinate, coordinate)
+points = st.lists(point, min_size=1, max_size=40)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pts=points)
+def test_hull_vertices_are_input_points(pts):
+    hull = convex_hull(pts)
+    originals = {(float(x), float(y)) for x, y in pts}
+    assert set(hull) <= originals
+
+
+@settings(max_examples=80, deadline=None)
+@given(pts=points)
+def test_hull_contains_every_input_point(pts):
+    hull = convex_hull(pts)
+    for p in pts:
+        assert point_in_convex_polygon(p, hull)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pts=points)
+def test_hull_is_convex(pts):
+    from repro.geometry.convex_hull import cross
+
+    hull = convex_hull(pts)
+    if len(hull) < 3:
+        return
+    n = len(hull)
+    for i in range(n):
+        a, b, c = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+        assert cross(a, b, c) >= -1e-7
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=st.lists(point, min_size=2, max_size=25))
+def test_diameter_equals_max_pairwise_distance(pts):
+    brute = max(
+        math.dist(pts[i], pts[j]) for i in range(len(pts)) for j in range(i + 1, len(pts))
+    )
+    assert diameter(pts) <= brute + 1e-6
+    assert diameter(pts) >= brute - max(1e-9, 1e-9 * brute)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=points)
+def test_polygon_area_is_non_negative_and_bounded_by_bbox(pts):
+    polygon = Polygon.from_points(pts)
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    bbox_area = (max(xs) - min(xs)) * (max(ys) - min(ys))
+    assert 0.0 <= polygon.area() <= bbox_area + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=points, translation=point)
+def test_hull_is_translation_invariant(pts, translation):
+    dx, dy = translation
+    hull_a = convex_hull(pts)
+    hull_b = convex_hull([(x + dx, y + dy) for x, y in pts])
+    translated = sorted((round(x + dx, 6), round(y + dy, 6)) for x, y in hull_a)
+    produced = sorted((round(x, 6), round(y, 6)) for x, y in hull_b)
+    assert len(translated) == len(produced)
+    for (ax, ay), (bx, by) in zip(translated, produced):
+        assert math.isclose(ax, bx, abs_tol=1e-4)
+        assert math.isclose(ay, by, abs_tol=1e-4)

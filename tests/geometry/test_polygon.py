@@ -1,0 +1,67 @@
+"""Tests for the Polygon value type (ST_Polygon aggregate output)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import EmptyInputError
+from repro.geometry.polygon import Polygon
+
+
+class TestConstruction:
+    def test_from_points_builds_hull(self):
+        polygon = Polygon.from_points([(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)])
+        assert polygon.vertex_count == 4
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            Polygon.from_points([])
+
+    def test_single_point_polygon(self):
+        polygon = Polygon.from_points([(3, 4)])
+        assert polygon.vertex_count == 1
+        assert polygon.area() == 0.0
+        assert polygon.perimeter() == 0.0
+
+
+class TestGeometry:
+    def test_square_area_and_perimeter(self):
+        polygon = Polygon.from_points([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert polygon.area() == pytest.approx(4.0)
+        assert polygon.perimeter() == pytest.approx(8.0)
+
+    def test_triangle_area(self):
+        polygon = Polygon.from_points([(0, 0), (4, 0), (0, 3)])
+        assert polygon.area() == pytest.approx(6.0)
+
+    def test_segment_perimeter_is_length(self):
+        polygon = Polygon.from_points([(0, 0), (3, 4)])
+        assert polygon.perimeter() == pytest.approx(5.0)
+        assert polygon.area() == 0.0
+
+    def test_contains(self):
+        polygon = Polygon.from_points([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert polygon.contains((2, 2))
+        assert polygon.contains((0, 0))
+        assert not polygon.contains((5, 5))
+
+    def test_centroid_of_square(self):
+        polygon = Polygon.from_points([(0, 0), (2, 0), (2, 2), (0, 2)])
+        cx, cy = polygon.centroid()
+        assert cx == pytest.approx(1.0)
+        assert cy == pytest.approx(1.0)
+
+
+class TestWkt:
+    def test_point_wkt(self):
+        assert Polygon.from_points([(1, 2)]).wkt() == "POINT (1.0 2.0)"
+
+    def test_linestring_wkt(self):
+        wkt = Polygon.from_points([(0, 0), (1, 1)]).wkt()
+        assert wkt.startswith("LINESTRING")
+
+    def test_polygon_wkt_is_closed_ring(self):
+        wkt = Polygon.from_points([(0, 0), (1, 0), (0, 1)]).wkt()
+        assert wkt.startswith("POLYGON ((")
+        ring = wkt[len("POLYGON (("):-2].split(", ")
+        assert ring[0] == ring[-1]

@@ -1,0 +1,228 @@
+"""End-to-end SQL tests against the Database facade (non-SGB features)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.exceptions import CatalogError, PlanningError, SqlSyntaxError
+from repro.minidb import Database
+
+
+class TestDdlAndDml:
+    def test_create_insert_select_roundtrip(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT, v FLOAT)")
+        result = db.execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5)")
+        assert result.rowcount == 2
+        rows = db.execute("SELECT * FROM t").rows
+        assert rows == [(1, 1.5), (2, 2.5)]
+
+    def test_create_duplicate_table_raises(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (id INT)")
+
+    def test_drop_table(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT)")
+        db.execute("DROP TABLE t")
+        assert not db.has_table("t")
+
+    def test_insert_with_column_list_reorders(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b TEXT)")
+        db.execute("INSERT INTO t (b, a) VALUES ('x', 1)")
+        assert db.execute("SELECT * FROM t").rows == [(1, "x")]
+
+    def test_insert_date_literal(self):
+        db = Database()
+        db.execute("CREATE TABLE t (d DATE)")
+        db.execute("INSERT INTO t VALUES (date '2001-09-09')")
+        assert db.execute("SELECT * FROM t").rows == [(dt.date(2001, 9, 9),)]
+
+    def test_syntax_error_reported(self):
+        db = Database()
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELEKT 1")
+
+    def test_query_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Database().execute("SELECT * FROM ghosts")
+
+
+class TestSelectBasics:
+    def test_projection_and_alias(self, simple_db):
+        result = simple_db.execute("SELECT id, x + y AS total FROM points WHERE id = 2")
+        assert result.columns == ["id", "total"]
+        assert result.rows == [(2, 1.0)]
+
+    def test_where_and_or_not(self, simple_db):
+        rows = simple_db.execute(
+            "SELECT id FROM points WHERE (x > 4 AND y > 4) OR id = 1"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 4, 5, 6]
+
+    def test_between_and_in_list(self, simple_db):
+        rows = simple_db.execute("SELECT id FROM points WHERE x BETWEEN 0.4 AND 1.0").rows
+        assert sorted(r[0] for r in rows) == [2, 3]
+        rows = simple_db.execute("SELECT id FROM points WHERE label IN ('a', 'c')").rows
+        assert sorted(r[0] for r in rows) == [1, 2, 5, 6]
+
+    def test_order_by_and_limit(self, simple_db):
+        result = simple_db.execute("SELECT id FROM points ORDER BY x DESC LIMIT 3")
+        assert [r[0] for r in result.rows] == [6, 5, 4]
+
+    def test_order_by_ordinal(self, simple_db):
+        result = simple_db.execute("SELECT id, x FROM points ORDER BY 2 DESC LIMIT 2")
+        assert [r[0] for r in result.rows] == [6, 5]
+
+    def test_distinct(self, simple_db):
+        result = simple_db.execute("SELECT DISTINCT label FROM points")
+        assert sorted(r[0] for r in result.rows) == ["a", "b", "c"]
+
+    def test_select_star(self, simple_db):
+        result = simple_db.execute("SELECT * FROM tags")
+        assert len(result.rows) == 4
+        assert result.columns == ["pid", "tag", "weight"]
+
+    def test_scalar_helper(self, simple_db):
+        assert simple_db.execute("SELECT count(*) FROM points").scalar() == 6
+
+    def test_scalar_on_multi_row_result_raises(self, simple_db):
+        with pytest.raises(PlanningError):
+            simple_db.execute("SELECT id FROM points").scalar()
+
+    def test_column_helper_and_to_dicts(self, simple_db):
+        result = simple_db.execute("SELECT id, label FROM points ORDER BY id")
+        assert result.column("label")[:2] == ["a", "a"]
+        assert result.to_dicts()[0] == {"id": 1, "label": "a"}
+        with pytest.raises(PlanningError):
+            result.column("missing")
+
+
+class TestJoins:
+    def test_comma_join_with_where(self, simple_db):
+        result = simple_db.execute(
+            "SELECT p.id, t.tag FROM points p, tags t WHERE p.id = t.pid ORDER BY p.id"
+        )
+        assert result.rows == [(1, "red"), (2, "blue"), (4, "red"), (6, "green")]
+
+    def test_explicit_join_on(self, simple_db):
+        result = simple_db.execute(
+            "SELECT p.id, t.weight FROM points p JOIN tags t ON p.id = t.pid "
+            "WHERE t.weight > 1 ORDER BY p.id"
+        )
+        assert result.rows == [(2, 2.0), (6, 3.0)]
+
+    def test_three_way_join(self, simple_db):
+        simple_db.execute("CREATE TABLE colors (name TEXT, code INT)")
+        simple_db.execute("INSERT INTO colors VALUES ('red', 1), ('blue', 2), ('green', 3)")
+        result = simple_db.execute(
+            "SELECT p.id, c.code FROM points p, tags t, colors c "
+            "WHERE p.id = t.pid AND t.tag = c.name ORDER BY p.id"
+        )
+        assert result.rows == [(1, 1), (2, 2), (4, 1), (6, 3)]
+
+    def test_join_uses_hash_join_in_plan(self, simple_db):
+        plan = simple_db.explain(
+            "SELECT p.id FROM points p, tags t WHERE p.id = t.pid"
+        )
+        assert "HashJoin" in plan
+
+    def test_cross_join_when_no_equi_condition(self, simple_db):
+        result = simple_db.execute(
+            "SELECT p.id FROM points p, tags t WHERE p.x > t.weight"
+        )
+        plan = simple_db.explain("SELECT p.id FROM points p, tags t WHERE p.x > t.weight")
+        assert "NestedLoopJoin" in plan
+        assert len(result.rows) > 0
+
+
+class TestSubqueries:
+    def test_in_subquery(self, simple_db):
+        result = simple_db.execute(
+            "SELECT id FROM points WHERE id IN (SELECT pid FROM tags WHERE tag = 'red') "
+            "ORDER BY id"
+        )
+        assert [r[0] for r in result.rows] == [1, 4]
+
+    def test_not_in_subquery(self, simple_db):
+        result = simple_db.execute(
+            "SELECT id FROM points WHERE id NOT IN (SELECT pid FROM tags) ORDER BY id"
+        )
+        assert [r[0] for r in result.rows] == [3, 5]
+
+    def test_derived_table_with_aggregation(self, simple_db):
+        result = simple_db.execute(
+            "SELECT label, total FROM "
+            "(SELECT label, sum(x) AS total FROM points GROUP BY label) AS sums "
+            "ORDER BY label"
+        )
+        assert [r[0] for r in result.rows] == ["a", "b", "c"]
+
+    def test_in_subquery_with_having(self, simple_db):
+        result = simple_db.execute(
+            "SELECT id FROM points WHERE label IN "
+            "(SELECT label FROM points GROUP BY label HAVING count(*) > 1) ORDER BY id"
+        )
+        assert len(result.rows) == 6  # every label appears twice
+
+
+class TestAggregation:
+    def test_global_aggregates(self, simple_db):
+        result = simple_db.execute("SELECT count(*), min(x), max(y), avg(x) FROM points")
+        count, min_x, max_y, avg_x = result.rows[0]
+        assert count == 6
+        assert min_x == 0.0
+        assert max_y == 9.0
+        assert avg_x == pytest.approx(20.3 / 6)
+
+    def test_group_by_with_having(self, simple_db):
+        result = simple_db.execute(
+            "SELECT label, count(*) AS n FROM points GROUP BY label HAVING count(*) >= 2 "
+            "ORDER BY label"
+        )
+        assert result.rows == [("a", 2), ("b", 2), ("c", 2)]
+
+    def test_aggregate_of_expression(self, simple_db):
+        result = simple_db.execute("SELECT sum(x * 2 + 1) FROM points")
+        assert result.scalar() == pytest.approx(2 * 20.3 + 6)
+
+    def test_expression_of_aggregates(self, simple_db):
+        result = simple_db.execute("SELECT max(x) - min(x) AS span FROM points")
+        assert result.scalar() == pytest.approx(9.0)
+
+    def test_array_agg(self, simple_db):
+        result = simple_db.execute(
+            "SELECT label, array_agg(id) FROM points GROUP BY label ORDER BY label"
+        )
+        assert result.rows[0] == ("a", [1, 2])
+
+    def test_count_distinct_rows_via_distinct_subquery(self, simple_db):
+        result = simple_db.execute(
+            "SELECT count(*) FROM (SELECT DISTINCT label FROM points) AS labels"
+        )
+        assert result.scalar() == 3
+
+    def test_group_key_in_select_without_aggregate(self, simple_db):
+        result = simple_db.execute("SELECT label FROM points GROUP BY label ORDER BY label")
+        assert [r[0] for r in result.rows] == ["a", "b", "c"]
+
+    def test_having_without_select_aggregate(self, simple_db):
+        result = simple_db.execute(
+            "SELECT label FROM points GROUP BY label HAVING sum(x) > 5 ORDER BY label"
+        )
+        assert [r[0] for r in result.rows] == ["b", "c"]
+
+
+class TestExplain:
+    def test_explain_lists_operators(self, simple_db):
+        plan = simple_db.explain("SELECT count(*) FROM points WHERE x > 1")
+        assert "HashAggregate" in plan
+        assert "Filter" in plan
+        assert "SeqScan(points)" in plan
+
+    def test_explain_rejects_non_select(self, simple_db):
+        with pytest.raises(PlanningError):
+            simple_db.explain("CREATE TABLE z (a INT)")

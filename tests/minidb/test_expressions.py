@@ -1,0 +1,173 @@
+"""Tests for expression compilation and evaluation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.exceptions import ExecutionError, PlanningError
+from repro.minidb.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    InSet,
+    IntervalLiteral,
+    IsNull,
+    Literal,
+    Star,
+    UnaryOp,
+    compile_expression,
+    contains_aggregate,
+    expression_name,
+    extract_aggregates,
+)
+from repro.minidb.schema import Schema
+
+SCHEMA = Schema.from_pairs(
+    [("a", "INT"), ("b", "FLOAT"), ("name", "TEXT"), ("d", "DATE")], qualifier="t"
+)
+ROW = (3, 2.5, "hello", dt.date(1995, 6, 15))
+
+
+def evaluate(expr, row=ROW, schema=SCHEMA):
+    return compile_expression(expr, schema)(row)
+
+
+class TestBasicEvaluation:
+    def test_literal(self):
+        assert evaluate(Literal(42)) == 42
+
+    def test_column_ref_unqualified_and_qualified(self):
+        assert evaluate(ColumnRef("a")) == 3
+        assert evaluate(ColumnRef("b", "t")) == 2.5
+
+    def test_arithmetic(self):
+        expr = BinaryOp("+", ColumnRef("a"), BinaryOp("*", ColumnRef("b"), Literal(2)))
+        assert evaluate(expr) == 8.0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate(BinaryOp("/", Literal(1), Literal(0)))
+
+    def test_unary_minus(self):
+        assert evaluate(UnaryOp("-", ColumnRef("a"))) == -3
+
+    def test_comparisons(self):
+        assert evaluate(BinaryOp(">", ColumnRef("a"), Literal(2))) is True
+        assert evaluate(BinaryOp("<=", ColumnRef("b"), Literal(2))) is False
+        assert evaluate(BinaryOp("=", ColumnRef("name"), Literal("hello"))) is True
+        assert evaluate(BinaryOp("<>", ColumnRef("name"), Literal("hello"))) is False
+
+    def test_null_propagates_through_arithmetic_and_comparison(self):
+        assert evaluate(BinaryOp("+", Literal(None), Literal(1))) is None
+        assert evaluate(BinaryOp(">", Literal(None), Literal(1))) is None
+
+    def test_and_or_three_valued_logic(self):
+        true = Literal(True)
+        false = Literal(False)
+        null = Literal(None)
+        assert evaluate(BinaryOp("AND", true, null)) is None
+        assert evaluate(BinaryOp("AND", false, null)) is False
+        assert evaluate(BinaryOp("OR", true, null)) is True
+        assert evaluate(BinaryOp("OR", false, null)) is None
+
+    def test_not(self):
+        assert evaluate(UnaryOp("NOT", Literal(True))) is False
+        assert evaluate(UnaryOp("NOT", Literal(None))) is None
+
+    def test_scalar_function(self):
+        assert evaluate(FuncCall("abs", (UnaryOp("-", ColumnRef("a")),))) == 3
+        assert evaluate(FuncCall("round", (Literal(3.14159), Literal(2)))) == 3.14
+
+    def test_unknown_scalar_function_raises(self):
+        with pytest.raises(PlanningError):
+            compile_expression(FuncCall("frobnicate", (Literal(1),)), SCHEMA)
+
+    def test_aggregate_in_scalar_context_raises(self):
+        with pytest.raises(PlanningError):
+            compile_expression(FuncCall("sum", (ColumnRef("a"),)), SCHEMA)
+
+    def test_star_alone_cannot_compile(self):
+        with pytest.raises(PlanningError):
+            compile_expression(Star(), SCHEMA)
+
+
+class TestPredicates:
+    def test_in_list(self):
+        expr = InList(ColumnRef("a"), (Literal(1), Literal(3)))
+        assert evaluate(expr) is True
+        assert evaluate(InList(ColumnRef("a"), (Literal(1),), negated=True)) is True
+
+    def test_in_set(self):
+        expr = InSet(ColumnRef("a"), frozenset({1, 2, 3}))
+        assert evaluate(expr) is True
+        assert evaluate(InSet(ColumnRef("a"), frozenset({5}), negated=True)) is True
+
+    def test_between(self):
+        assert evaluate(Between(ColumnRef("b"), Literal(2), Literal(3))) is True
+        assert evaluate(Between(ColumnRef("b"), Literal(3), Literal(4))) is False
+        assert evaluate(Between(ColumnRef("b"), Literal(3), Literal(4), negated=True)) is True
+
+    def test_is_null(self):
+        assert evaluate(IsNull(Literal(None))) is True
+        assert evaluate(IsNull(ColumnRef("a"))) is False
+        assert evaluate(IsNull(ColumnRef("a"), negated=True)) is True
+
+
+class TestDateArithmetic:
+    def test_date_minus_date_gives_days(self):
+        expr = BinaryOp("-", ColumnRef("d"), Literal(dt.date(1995, 6, 1)))
+        assert evaluate(expr) == 14
+
+    def test_date_plus_days(self):
+        expr = BinaryOp("+", ColumnRef("d"), Literal(10))
+        assert evaluate(expr) == dt.date(1995, 6, 25)
+
+    def test_date_plus_month_interval(self):
+        expr = BinaryOp("+", ColumnRef("d"), IntervalLiteral(10, "month"))
+        assert evaluate(expr) == dt.date(1996, 4, 15)
+
+    def test_date_minus_month_interval(self):
+        expr = BinaryOp("-", ColumnRef("d"), IntervalLiteral(6, "month"))
+        assert evaluate(expr) == dt.date(1994, 12, 15)
+
+    def test_date_plus_year_interval_handles_leap_days(self):
+        schema = Schema.from_pairs([("d", "DATE")])
+        expr = BinaryOp("+", ColumnRef("d"), IntervalLiteral(1, "year"))
+        result = compile_expression(expr, schema)((dt.date(2020, 2, 29),))
+        assert result == dt.date(2021, 2, 28)
+
+    def test_date_plus_day_interval(self):
+        expr = BinaryOp("+", ColumnRef("d"), IntervalLiteral(7, "day"))
+        assert evaluate(expr) == dt.date(1995, 6, 22)
+
+    def test_date_comparison(self):
+        expr = BinaryOp(">", ColumnRef("d"), Literal(dt.date(1995, 1, 1)))
+        assert evaluate(expr) is True
+
+
+class TestTreeUtilities:
+    def test_contains_aggregate(self):
+        assert contains_aggregate(FuncCall("sum", (ColumnRef("a"),)))
+        assert contains_aggregate(
+            BinaryOp("+", Literal(1), FuncCall("count", (), star=True))
+        )
+        assert not contains_aggregate(BinaryOp("+", ColumnRef("a"), Literal(1)))
+
+    def test_extract_aggregates_deduplicates(self):
+        call = FuncCall("sum", (ColumnRef("a"),))
+        expr = BinaryOp("+", call, call)
+        assert extract_aggregates(expr) == [call]
+
+    def test_extract_aggregates_ignores_scalar_functions(self):
+        expr = FuncCall("abs", (FuncCall("sum", (ColumnRef("a"),)),))
+        found = extract_aggregates(expr)
+        assert len(found) == 1
+        assert found[0].name == "sum"
+
+    def test_expression_name(self):
+        assert expression_name(ColumnRef("foo")) == "foo"
+        assert expression_name(FuncCall("SUM", (ColumnRef("a"),))) == "sum"
+        assert expression_name(Literal(3)) == "literal"
+        assert expression_name(BinaryOp("+", Literal(1), Literal(2))) == "expr"

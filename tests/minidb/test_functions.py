@@ -1,0 +1,99 @@
+"""Tests for scalar and aggregate function implementations."""
+
+import pytest
+
+from repro.exceptions import AggregateError
+from repro.geometry.polygon import Polygon
+from repro.minidb.functions import (
+    SCALAR_FUNCTIONS,
+    create_aggregate,
+    is_aggregate_function,
+)
+
+
+class TestScalarFunctions:
+    def test_null_safety(self):
+        assert SCALAR_FUNCTIONS["abs"](None) is None
+        assert SCALAR_FUNCTIONS["round"](None, 2) is None
+
+    def test_coalesce(self):
+        assert SCALAR_FUNCTIONS["coalesce"](None, None, 3, 4) == 3
+        assert SCALAR_FUNCTIONS["coalesce"](None, None) is None
+
+    def test_string_functions(self):
+        assert SCALAR_FUNCTIONS["lower"]("ABC") == "abc"
+        assert SCALAR_FUNCTIONS["upper"]("abc") == "ABC"
+        assert SCALAR_FUNCTIONS["length"]("abcd") == 4
+
+    def test_math_functions(self):
+        assert SCALAR_FUNCTIONS["sqrt"](16) == 4
+        assert SCALAR_FUNCTIONS["power"](2, 10) == 1024
+        assert SCALAR_FUNCTIONS["greatest"](1, 5, 3) == 5
+        assert SCALAR_FUNCTIONS["least"](1, 5, 3) == 1
+
+
+class TestAggregateRegistry:
+    def test_is_aggregate_function(self):
+        assert is_aggregate_function("sum")
+        assert is_aggregate_function("COUNT")
+        assert is_aggregate_function("st_polygon")
+        assert not is_aggregate_function("abs")
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(AggregateError):
+            create_aggregate("median_absolute_deviation")
+
+
+class TestAccumulators:
+    def _run(self, name, values, star=False):
+        acc = create_aggregate(name, star=star)
+        for v in values:
+            acc.step(v)
+        return acc.final()
+
+    def test_count_star_counts_everything(self):
+        assert self._run("count", [1, None, "x"], star=True) == 3
+
+    def test_count_skips_nulls(self):
+        assert self._run("count", [1, None, 2]) == 2
+
+    def test_sum(self):
+        assert self._run("sum", [1, 2, 3.5]) == 6.5
+        assert self._run("sum", [None, None]) is None
+        assert self._run("sum", [1, None, 2]) == 3
+
+    def test_avg_and_alias(self):
+        assert self._run("avg", [2, 4, 6]) == 4
+        assert self._run("average", [2, 4]) == 3
+        assert self._run("avg", []) is None
+
+    def test_min_max(self):
+        assert self._run("min", [5, 2, 8]) == 2
+        assert self._run("max", [5, 2, 8]) == 8
+        assert self._run("min", [None]) is None
+
+    def test_array_agg_and_list_id(self):
+        assert self._run("array_agg", [3, 1, 2]) == [3, 1, 2]
+        assert self._run("list_id", ["u1", "u2"]) == ["u1", "u2"]
+
+    def test_stddev(self):
+        assert self._run("stddev", [2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+        assert self._run("stddev", [1]) is None
+
+    def test_st_polygon_builds_hull(self):
+        result = self._run("st_polygon", [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)])
+        assert isinstance(result, Polygon)
+        assert result.area() == pytest.approx(4.0)
+
+    def test_st_polygon_ignores_null_points(self):
+        result = self._run("st_polygon", [(0, 0), None, (None, 1), (1, 1)])
+        assert isinstance(result, Polygon)
+        assert result.vertex_count == 2
+
+    def test_st_polygon_empty_returns_none(self):
+        assert self._run("st_polygon", []) is None
+
+    def test_st_polygon_rejects_bad_arity(self):
+        acc = create_aggregate("st_polygon")
+        with pytest.raises(AggregateError):
+            acc.step((1, 2, 3))

@@ -1,0 +1,94 @@
+"""Tests for the SQL lexer, including the SGB compound keywords."""
+
+import pytest
+
+from repro.exceptions import SqlSyntaxError
+from repro.minidb.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_upper_cased(self):
+        tokens = kinds("select from where")
+        assert tokens == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        tokens = kinds("SELECT MyColumn")
+        assert tokens[1] == (TokenType.IDENTIFIER, "MyColumn")
+
+    def test_numbers(self):
+        tokens = kinds("1 2.5 0.001 3e2 1.5e-3")
+        assert [t[0] for t in tokens] == [TokenType.NUMBER] * 5
+
+    def test_strings_with_escaped_quote(self):
+        tokens = kinds("'it''s fine'")
+        assert tokens == [(TokenType.STRING, "it's fine")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_operators_and_punctuation(self):
+        tokens = kinds("a >= 1 AND b <> 2, (c)")
+        values = [t[1] for t in tokens]
+        assert ">=" in values and "<>" in values and "(" in values and ")" in values
+
+    def test_line_comment_skipped(self):
+        tokens = kinds("SELECT 1 -- this is a comment\n , 2")
+        values = [t[1] for t in tokens]
+        assert values == ["SELECT", "1", ",", "2"]
+
+    def test_quoted_identifier(self):
+        tokens = kinds('SELECT "Weird Name"')
+        assert tokens[1] == (TokenType.IDENTIFIER, "Weird Name")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @foo")
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestCompoundKeywords:
+    def test_distance_to_all(self):
+        tokens = kinds("GROUP BY x DISTANCE-TO-ALL L2 WITHIN 3")
+        values = [t[1] for t in tokens]
+        assert "DISTANCE-TO-ALL" in values
+
+    def test_distance_to_any_lower_case(self):
+        tokens = kinds("distance-to-any")
+        assert tokens == [(TokenType.KEYWORD, "DISTANCE-TO-ANY")]
+
+    def test_on_overlap_and_actions(self):
+        values = [t[1] for t in kinds("ON-OVERLAP JOIN-ANY ELIMINATE FORM-NEW-GROUP")]
+        assert values == ["ON-OVERLAP", "JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP"]
+
+    def test_form_new_shorthand(self):
+        values = [t[1] for t in kinds("on-overlap form-new")]
+        assert values == ["ON-OVERLAP", "FORM-NEW"]
+
+    def test_distance_all_shorthand(self):
+        values = [t[1] for t in kinds("DISTANCE-ALL WITHIN 0.5")]
+        assert values[0] == "DISTANCE-ALL"
+
+    def test_subtraction_not_confused_with_compound(self):
+        """``a - b`` and ``join - any`` as arithmetic must stay three tokens."""
+        values = [t[1] for t in kinds("price - discount")]
+        assert values == ["price", "-", "discount"]
+
+    def test_join_keyword_not_swallowed(self):
+        values = [t[1] for t in kinds("a JOIN b ON x = y")]
+        assert "JOIN" in values and "ON" in values
+
+    def test_compound_requires_word_boundary(self):
+        # "DISTANCE-ALLOWED" is not the keyword DISTANCE-ALL.
+        values = [t[1] for t in kinds("DISTANCE-ALLOWED")]
+        assert values == ["DISTANCE", "-", "ALLOWED"]

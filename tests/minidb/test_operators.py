@@ -1,0 +1,224 @@
+"""Unit tests for the physical operators (executed directly, without SQL)."""
+
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.minidb.exec.aggregate import AggregateSpec, HashAggregate
+from repro.minidb.exec.operators import (
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    Rename,
+    SeqScan,
+    Sort,
+    ValuesScan,
+)
+from repro.minidb.expressions import BinaryOp, ColumnRef, FuncCall, Literal
+from repro.minidb.schema import Schema
+from repro.minidb.table import Table
+from repro.minidb.types import DataType
+
+
+@pytest.fixture
+def people():
+    table = Table("people", Schema.from_pairs(
+        [("id", "INT"), ("age", "INT"), ("city", "TEXT")], qualifier="people"
+    ))
+    table.insert_many(
+        [
+            (1, 30, "ams"),
+            (2, 25, "nyc"),
+            (3, 35, "ams"),
+            (4, 40, "sfo"),
+        ]
+    )
+    return table
+
+
+@pytest.fixture
+def orders():
+    table = Table("orders", Schema.from_pairs(
+        [("person_id", "INT"), ("amount", "FLOAT")], qualifier="orders"
+    ))
+    table.insert_many([(1, 10.0), (1, 20.0), (2, 5.0), (9, 99.0)])
+    return table
+
+
+class TestScanFilterProject:
+    def test_seqscan_yields_all_rows(self, people):
+        scan = SeqScan(people)
+        assert len(list(scan.rows())) == 4
+
+    def test_seqscan_alias_requalifies_schema(self, people):
+        scan = SeqScan(people, alias="p")
+        assert scan.schema.has_column("id", "p")
+        assert not scan.schema.has_column("id", "people")
+
+    def test_filter(self, people):
+        op = Filter(SeqScan(people), BinaryOp(">", ColumnRef("age"), Literal(28)))
+        assert [row[0] for row in op.rows()] == [1, 3, 4]
+
+    def test_filter_drops_null_comparisons(self, people):
+        people.insert((5, None, "ber"))
+        op = Filter(SeqScan(people), BinaryOp(">", ColumnRef("age"), Literal(28)))
+        assert 5 not in [row[0] for row in op.rows()]
+
+    def test_project_computes_expressions(self, people):
+        op = Project(
+            SeqScan(people),
+            [ColumnRef("id"), BinaryOp("*", ColumnRef("age"), Literal(2))],
+            ["id", "double_age"],
+            [DataType.INT, DataType.INT],
+        )
+        rows = list(op.rows())
+        assert rows[0] == (1, 60)
+        assert op.schema.names() == ["id", "double_age"]
+
+    def test_project_name_mismatch_raises(self, people):
+        with pytest.raises(ExecutionError):
+            Project(SeqScan(people), [ColumnRef("id")], ["a", "b"])
+
+    def test_values_scan(self):
+        schema = Schema.from_pairs([("x", "INT")])
+        op = ValuesScan([(1,), (2,)], schema)
+        assert list(op.rows()) == [(1,), (2,)]
+
+    def test_rename_requalifies(self, people):
+        renamed = Rename(SeqScan(people), qualifier="r", names=["pid", "years", "town"])
+        assert renamed.schema.has_column("pid", "r")
+        assert list(renamed.rows())[0] == (1, 30, "ams")
+
+    def test_explain_renders_tree(self, people):
+        op = Filter(SeqScan(people), BinaryOp(">", ColumnRef("age"), Literal(28)))
+        text = op.explain()
+        assert "Filter" in text and "SeqScan(people)" in text
+
+
+class TestJoins:
+    def test_nested_loop_cross_join(self, people, orders):
+        join = NestedLoopJoin(SeqScan(people), SeqScan(orders))
+        assert len(list(join.rows())) == 16
+
+    def test_nested_loop_with_condition(self, people, orders):
+        condition = BinaryOp(
+            "=", ColumnRef("id", "people"), ColumnRef("person_id", "orders")
+        )
+        join = NestedLoopJoin(SeqScan(people), SeqScan(orders), condition)
+        rows = list(join.rows())
+        assert len(rows) == 3
+        assert all(row[0] == row[3] for row in rows)
+
+    def test_hash_join_matches_nested_loop(self, people, orders):
+        left_key = [ColumnRef("id", "people")]
+        right_key = [ColumnRef("person_id", "orders")]
+        hash_rows = set(
+            HashJoin(SeqScan(people), SeqScan(orders), left_key, right_key).rows()
+        )
+        condition = BinaryOp("=", left_key[0], right_key[0])
+        nl_rows = set(NestedLoopJoin(SeqScan(people), SeqScan(orders), condition).rows())
+        assert hash_rows == nl_rows
+
+    def test_hash_join_with_residual(self, people, orders):
+        join = HashJoin(
+            SeqScan(people),
+            SeqScan(orders),
+            [ColumnRef("id", "people")],
+            [ColumnRef("person_id", "orders")],
+            residual=BinaryOp(">", ColumnRef("amount"), Literal(8.0)),
+        )
+        rows = list(join.rows())
+        assert {row[4] for row in rows} == {10.0, 20.0}
+
+    def test_hash_join_requires_keys(self, people, orders):
+        with pytest.raises(ExecutionError):
+            HashJoin(SeqScan(people), SeqScan(orders), [], [])
+
+    def test_hash_join_skips_null_keys(self, people, orders):
+        orders.insert((None, 7.0))
+        join = HashJoin(
+            SeqScan(people),
+            SeqScan(orders),
+            [ColumnRef("id", "people")],
+            [ColumnRef("person_id", "orders")],
+        )
+        assert all(row[3] is not None for row in join.rows())
+
+
+class TestSortLimitDistinct:
+    def test_sort_ascending_descending(self, people):
+        ascending = Sort(SeqScan(people), [ColumnRef("age")], [True])
+        assert [row[1] for row in ascending.rows()] == [25, 30, 35, 40]
+        descending = Sort(SeqScan(people), [ColumnRef("age")], [False])
+        assert [row[1] for row in descending.rows()] == [40, 35, 30, 25]
+
+    def test_multi_key_sort(self, people):
+        op = Sort(SeqScan(people), [ColumnRef("city"), ColumnRef("age")], [True, False])
+        rows = list(op.rows())
+        assert [(row[2], row[1]) for row in rows] == [
+            ("ams", 35), ("ams", 30), ("nyc", 25), ("sfo", 40),
+        ]
+
+    def test_limit(self, people):
+        op = Limit(SeqScan(people), 2)
+        assert len(list(op.rows())) == 2
+        assert len(list(Limit(SeqScan(people), 0).rows())) == 0
+
+    def test_distinct(self):
+        schema = Schema.from_pairs([("x", "INT")])
+        op = Distinct(ValuesScan([(1,), (2,), (1,), (3,), (2,)], schema))
+        assert sorted(list(op.rows())) == [(1,), (2,), (3,)]
+
+    def test_distinct_handles_list_values(self):
+        schema = Schema.from_pairs([("x", "TEXT")])
+        op = Distinct(ValuesScan([([1, 2],), ([1, 2],)], schema))
+        assert len(list(op.rows())) == 1
+
+
+class TestHashAggregateOperator:
+    def test_group_by_city(self, people):
+        agg = HashAggregate(
+            SeqScan(people),
+            [ColumnRef("city")],
+            ["city"],
+            [
+                AggregateSpec("count", (), True, "n"),
+                AggregateSpec("avg", (ColumnRef("age"),), False, "avg_age"),
+            ],
+        )
+        rows = {row[0]: (row[1], row[2]) for row in agg.rows()}
+        assert rows["ams"] == (2, 32.5)
+        assert rows["nyc"] == (1, 25.0)
+
+    def test_global_aggregation_over_empty_input_yields_one_row(self):
+        schema = Schema.from_pairs([("x", "INT")])
+        agg = HashAggregate(
+            ValuesScan([], schema),
+            [],
+            [],
+            [AggregateSpec("count", (), True, "n"),
+             AggregateSpec("sum", (ColumnRef("x"),), False, "total")],
+        )
+        rows = list(agg.rows())
+        assert rows == [(0, None)]
+
+    def test_grouped_aggregation_over_empty_input_yields_no_rows(self):
+        schema = Schema.from_pairs([("x", "INT")])
+        agg = HashAggregate(
+            ValuesScan([], schema),
+            [ColumnRef("x")],
+            ["x"],
+            [AggregateSpec("count", (), True, "n")],
+        )
+        assert list(agg.rows()) == []
+
+    def test_aggregate_output_schema(self, people):
+        agg = HashAggregate(
+            SeqScan(people),
+            [ColumnRef("city")],
+            ["city"],
+            [AggregateSpec("count", (), True, "n")],
+        )
+        assert agg.schema.names() == ["city", "n"]

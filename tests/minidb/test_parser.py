@@ -1,0 +1,272 @@
+"""Tests for the SQL parser (statements, expressions, SGB clauses)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.exceptions import SqlSyntaxError
+from repro.minidb.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    InSubquery,
+    IntervalLiteral,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.minidb.sql.ast import (
+    CreateTableStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    SubquerySource,
+    TableSource,
+)
+from repro.minidb.sql.parser import parse_sql
+
+
+class TestDdlDml:
+    def test_create_table(self):
+        stmt = parse_sql("CREATE TABLE t (id INT, name VARCHAR(20), score FLOAT)")
+        assert isinstance(stmt, CreateTableStatement)
+        assert stmt.name == "t"
+        assert stmt.columns == (("id", "INT"), ("name", "VARCHAR"), ("score", "FLOAT"))
+
+    def test_drop_table(self):
+        stmt = parse_sql("DROP TABLE old_data")
+        assert isinstance(stmt, DropTableStatement)
+        assert stmt.name == "old_data"
+
+    def test_insert_values(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'a', 2.5), (2, 'b', -1.0)")
+        assert isinstance(stmt, InsertStatement)
+        assert len(stmt.rows) == 2
+        assert stmt.rows[0][0] == Literal(1)
+        assert stmt.rows[1][2] == UnaryOp("-", Literal(1.0))
+
+    def test_insert_with_column_list(self):
+        stmt = parse_sql("INSERT INTO t (id, name) VALUES (1, 'x')")
+        assert stmt.columns == ("id", "name")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT 1 FROM t extra tokens here ;;")
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("UPDATE t SET a = 1")
+
+
+class TestSelectStructure:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b AS bee FROM t WHERE a > 1")
+        assert isinstance(stmt, SelectStatement)
+        assert len(stmt.items) == 2
+        assert stmt.items[1].alias == "bee"
+        assert isinstance(stmt.from_items[0], TableSource)
+        assert stmt.where == BinaryOp(">", ColumnRef("a"), Literal(1))
+
+    def test_select_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        from repro.minidb.expressions import Star
+
+        assert isinstance(stmt.items[0].expr, Star)
+
+    def test_table_alias_with_and_without_as(self):
+        stmt = parse_sql("SELECT x FROM customers AS c, orders o")
+        assert stmt.from_items[0].alias == "c"
+        assert stmt.from_items[1].alias == "o"
+
+    def test_derived_table(self):
+        stmt = parse_sql("SELECT x FROM (SELECT a AS x FROM t) AS sub")
+        assert isinstance(stmt.from_items[0], SubquerySource)
+        assert stmt.from_items[0].alias == "sub"
+
+    def test_explicit_join_with_on(self):
+        stmt = parse_sql("SELECT * FROM a JOIN b ON a.id = b.id")
+        assert len(stmt.from_items) == 2
+        assert len(stmt.join_conditions) == 1
+
+    def test_order_by_and_limit(self):
+        stmt = parse_sql("SELECT a FROM t ORDER BY a DESC, b LIMIT 7")
+        assert stmt.limit == 7
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_group_by_having(self):
+        stmt = parse_sql("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2")
+        assert stmt.group_by is not None
+        assert stmt.group_by.keys == (ColumnRef("a"),)
+        assert stmt.group_by.sgb is None
+        assert isinstance(stmt.having, BinaryOp)
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_count_star(self):
+        stmt = parse_sql("SELECT count(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, FuncCall) and call.star
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse_sql(f"SELECT {text} FROM t").items[0].expr
+
+    def test_arithmetic_precedence(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr == BinaryOp("+", Literal(1), BinaryOp("*", Literal(2), Literal(3)))
+
+    def test_parentheses_override_precedence(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr == BinaryOp("*", BinaryOp("+", Literal(1), Literal(2)), Literal(3))
+
+    def test_qualified_column(self):
+        assert self._expr("r1.c_custkey") == ColumnRef("c_custkey", "r1")
+
+    def test_boolean_connectives(self):
+        where = parse_sql("SELECT a FROM t WHERE a = 1 OR b = 2 AND NOT c = 3").where
+        assert isinstance(where, BinaryOp) and where.op == "OR"
+
+    def test_between(self):
+        where = parse_sql("SELECT a FROM t WHERE a BETWEEN 1 AND 10").where
+        assert where == Between(ColumnRef("a"), Literal(1), Literal(10), False)
+
+    def test_not_between(self):
+        where = parse_sql("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10").where
+        assert isinstance(where, Between) and where.negated
+
+    def test_in_list(self):
+        where = parse_sql("SELECT a FROM t WHERE a IN (1, 2, 3)").where
+        assert isinstance(where, InList)
+        assert len(where.values) == 3
+
+    def test_in_subquery(self):
+        where = parse_sql("SELECT a FROM t WHERE a IN (SELECT b FROM u)").where
+        assert isinstance(where, InSubquery)
+        assert isinstance(where.subquery, SelectStatement)
+
+    def test_not_in_subquery(self):
+        where = parse_sql("SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)").where
+        assert isinstance(where, InSubquery) and where.negated
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_sql("SELECT a FROM t WHERE a IS NULL").where == IsNull(ColumnRef("a"))
+        assert parse_sql("SELECT a FROM t WHERE a IS NOT NULL").where == IsNull(
+            ColumnRef("a"), negated=True
+        )
+
+    def test_date_literal(self):
+        expr = self._expr("date '1995-01-01'")
+        assert expr == Literal(dt.date(1995, 1, 1))
+
+    def test_invalid_date_literal(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT date 'not-a-date' FROM t")
+
+    def test_interval_literal(self):
+        expr = self._expr("interval '10' month")
+        assert expr == IntervalLiteral(10, "month")
+
+    def test_function_with_expression_argument(self):
+        expr = self._expr("sum(price * (1 - discount))")
+        assert isinstance(expr, FuncCall)
+        assert expr.name == "sum"
+
+    def test_nested_function_calls(self):
+        expr = self._expr("round(avg(x), 2)")
+        assert expr.name == "round"
+        assert isinstance(expr.args[0], FuncCall)
+
+    def test_null_true_false_literals(self):
+        assert self._expr("NULL") == Literal(None)
+        assert self._expr("TRUE") == Literal(True)
+        assert self._expr("FALSE") == Literal(False)
+
+
+class TestSGBClauses:
+    def test_distance_to_all_full_form(self):
+        stmt = parse_sql(
+            "SELECT count(*) FROM p GROUP BY x, y "
+            "DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE"
+        )
+        sgb = stmt.group_by.sgb
+        assert sgb.kind == "all"
+        assert sgb.metric == "LINF"
+        assert sgb.eps == Literal(3)
+        assert sgb.on_overlap == "ELIMINATE"
+
+    def test_distance_to_any(self):
+        stmt = parse_sql(
+            "SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5"
+        )
+        sgb = stmt.group_by.sgb
+        assert sgb.kind == "any"
+        assert sgb.metric == "L2"
+        assert sgb.on_overlap is None
+
+    def test_default_metric_is_l2(self):
+        stmt = parse_sql("SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ALL WITHIN 1")
+        assert stmt.group_by.sgb.metric == "L2"
+
+    def test_default_overlap_is_join_any(self):
+        stmt = parse_sql("SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ALL WITHIN 1")
+        assert stmt.group_by.sgb.on_overlap == "JOIN-ANY"
+
+    def test_using_metric_form(self):
+        stmt = parse_sql(
+            "SELECT count(*) FROM p GROUP BY a, b "
+            "DISTANCE-ALL WITHIN 500 USING lone ON-OVERLAP FORM-NEW-GROUP"
+        )
+        sgb = stmt.group_by.sgb
+        assert sgb.kind == "all"
+        assert sgb.metric == "LONE"
+        assert sgb.on_overlap == "FORM-NEW-GROUP"
+
+    def test_two_word_on_overlap(self):
+        stmt = parse_sql(
+            "SELECT count(*) FROM p GROUP BY a, b DISTANCE-ALL WITHIN 5 USING ltwo "
+            "on overlap join-any"
+        )
+        assert stmt.group_by.sgb.on_overlap == "JOIN-ANY"
+
+    def test_form_new_shorthand(self):
+        stmt = parse_sql(
+            "SELECT count(*) FROM p GROUP BY a, b DISTANCE-ALL WITHIN 5 "
+            "ON-OVERLAP FORM-NEW"
+        )
+        assert stmt.group_by.sgb.on_overlap == "FORM-NEW"
+
+    def test_distance_any_shorthand(self):
+        stmt = parse_sql("SELECT count(*) FROM p GROUP BY a, b DISTANCE-ANY WITHIN 5 USING ltwo")
+        assert stmt.group_by.sgb.kind == "any"
+        assert stmt.group_by.sgb.metric == "LTWO"
+
+    def test_eps_can_be_an_expression(self):
+        stmt = parse_sql("SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 2 * 3")
+        assert stmt.group_by.sgb.eps == BinaryOp("*", Literal(2), Literal(3))
+
+    def test_plain_group_by_unaffected(self):
+        stmt = parse_sql("SELECT a, count(*) FROM t GROUP BY a")
+        assert stmt.group_by.sgb is None
+
+    def test_missing_within_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ALL L2 3")
+
+    def test_bad_overlap_action_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(
+                "SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 3 "
+                "ON-OVERLAP MERGE"
+            )
+
+    def test_prose_and_between_group_keys(self):
+        """The paper's Example 2 writes 'GROUP BY lat and long DISTANCE-TO-ANY ...'."""
+        stmt = parse_sql(
+            "SELECT count(*) FROM p GROUP BY lat and long DISTANCE-TO-ANY L2 WITHIN 3"
+        )
+        assert len(stmt.group_by.keys) == 2

@@ -1,0 +1,136 @@
+"""Tests for the planner and its optimisation helpers."""
+
+import pytest
+
+from repro.exceptions import PlanningError
+from repro.minidb import Database
+from repro.minidb.expressions import BinaryOp, ColumnRef, Literal
+from repro.minidb.plan.optimizer import (
+    collect_column_refs,
+    conjoin,
+    expression_sources,
+    extract_equi_join,
+    rewrite_expression,
+    split_conjuncts,
+)
+from repro.minidb.schema import Schema
+
+
+class TestConjunctHelpers:
+    def test_split_conjuncts_flattens_ands(self):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp("AND", ColumnRef("a"), ColumnRef("b")),
+            ColumnRef("c"),
+        )
+        assert split_conjuncts(expr) == [ColumnRef("a"), ColumnRef("b"), ColumnRef("c")]
+
+    def test_split_conjuncts_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_split_does_not_flatten_or(self):
+        expr = BinaryOp("OR", ColumnRef("a"), ColumnRef("b"))
+        assert split_conjuncts(expr) == [expr]
+
+    def test_conjoin_roundtrip(self):
+        conjuncts = [ColumnRef("a"), ColumnRef("b")]
+        combined = conjoin(conjuncts)
+        assert split_conjuncts(combined) == conjuncts
+        assert conjoin([]) is None
+
+    def test_collect_column_refs(self):
+        expr = BinaryOp("+", ColumnRef("a"), BinaryOp("*", ColumnRef("b", "t"), Literal(2)))
+        refs = collect_column_refs(expr)
+        assert ColumnRef("a") in refs and ColumnRef("b", "t") in refs
+
+
+class TestSourceAttribution:
+    @pytest.fixture
+    def schemas(self):
+        return [
+            Schema.from_pairs([("id", "INT"), ("x", "FLOAT")], qualifier="p"),
+            Schema.from_pairs([("pid", "INT"), ("w", "FLOAT")], qualifier="t"),
+        ]
+
+    def test_single_source_expression(self, schemas):
+        expr = BinaryOp(">", ColumnRef("x"), Literal(1))
+        assert expression_sources(expr, schemas) == {0}
+
+    def test_two_source_expression(self, schemas):
+        expr = BinaryOp("=", ColumnRef("id", "p"), ColumnRef("pid", "t"))
+        assert expression_sources(expr, schemas) == {0, 1}
+
+    def test_unknown_column_raises(self, schemas):
+        with pytest.raises(PlanningError):
+            expression_sources(ColumnRef("nope"), schemas)
+
+    def test_extract_equi_join(self, schemas):
+        conjunct = BinaryOp("=", ColumnRef("id", "p"), ColumnRef("pid", "t"))
+        extracted = extract_equi_join(conjunct, schemas)
+        assert extracted == (0, ColumnRef("id", "p"), 1, ColumnRef("pid", "t"))
+
+    def test_extract_equi_join_rejects_single_source_equality(self, schemas):
+        conjunct = BinaryOp("=", ColumnRef("id", "p"), ColumnRef("x", "p"))
+        assert extract_equi_join(conjunct, schemas) is None
+
+    def test_extract_equi_join_rejects_inequality(self, schemas):
+        conjunct = BinaryOp(">", ColumnRef("id", "p"), ColumnRef("pid", "t"))
+        assert extract_equi_join(conjunct, schemas) is None
+
+    def test_rewrite_expression_substitutes_nodes(self):
+        expr = BinaryOp("+", ColumnRef("a"), ColumnRef("b"))
+        rewritten = rewrite_expression(expr, {ColumnRef("a"): Literal(1)})
+        assert rewritten == BinaryOp("+", Literal(1), ColumnRef("b"))
+
+
+class TestPlanShapes:
+    def test_filter_pushdown_below_join(self, simple_db):
+        plan = simple_db.explain(
+            "SELECT p.id FROM points p, tags t WHERE p.id = t.pid AND p.x > 1"
+        )
+        # The single-table predicate must appear below the join in the tree.
+        join_pos = plan.index("HashJoin")
+        filter_pos = plan.index("Filter")
+        assert filter_pos > join_pos  # child lines are printed after the parent
+
+    def test_equi_join_prefers_hash_join(self, simple_db):
+        plan = simple_db.explain("SELECT p.id FROM points p, tags t WHERE p.id = t.pid")
+        assert "HashJoin" in plan and "NestedLoopJoin" not in plan
+
+    def test_non_equi_join_uses_nested_loop(self, simple_db):
+        plan = simple_db.explain("SELECT p.id FROM points p, tags t WHERE p.x > t.weight")
+        assert "NestedLoopJoin" in plan
+
+    def test_aggregate_plan_contains_hash_aggregate(self, simple_db):
+        plan = simple_db.explain("SELECT label, count(*) FROM points GROUP BY label")
+        assert "HashAggregate" in plan
+
+    def test_sgb_plan_contains_sgb_aggregate(self, simple_db):
+        plan = simple_db.explain(
+            "SELECT count(*) FROM points GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1"
+        )
+        assert "SGBAggregate" in plan
+
+    def test_order_limit_decorate_plan(self, simple_db):
+        plan = simple_db.explain("SELECT id FROM points ORDER BY id LIMIT 2")
+        assert "Sort" in plan and "Limit" in plan
+
+    def test_select_without_from_rejected(self):
+        with pytest.raises(PlanningError):
+            Database().execute("SELECT 1")
+
+    def test_in_subquery_must_be_single_column(self, simple_db):
+        with pytest.raises(PlanningError):
+            simple_db.execute(
+                "SELECT id FROM points WHERE id IN (SELECT pid, tag FROM tags)"
+            )
+
+    def test_derived_table_alias_usable_in_outer_query(self, simple_db):
+        result = simple_db.execute(
+            "SELECT s.total FROM (SELECT sum(x) AS total FROM points) AS s"
+        )
+        assert len(result.rows) == 1
+
+    def test_duplicate_output_names_deduplicated(self, simple_db):
+        result = simple_db.execute("SELECT x, x FROM points LIMIT 1")
+        assert len(set(result.columns)) == 2

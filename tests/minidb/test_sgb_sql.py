@@ -1,0 +1,201 @@
+"""End-to-end tests of the similarity group-by SQL syntax."""
+
+import pytest
+
+from repro.exceptions import ExecutionError, PlanningError
+from repro.minidb import Database
+
+
+@pytest.fixture
+def gps_db():
+    """The Figure 2 point layout exposed as a GPSPoints table."""
+    db = Database()
+    db.execute("CREATE TABLE gpspoints (id INT, lat FLOAT, lon FLOAT)")
+    db.execute(
+        "INSERT INTO gpspoints VALUES "
+        "(1, 2.0, 8.0), (2, 3.0, 7.0), (3, 7.0, 5.0), (4, 8.0, 4.0), (5, 5.0, 6.5)"
+    )
+    return db
+
+
+@pytest.fixture
+def cluster_db():
+    """Three clusters of 2-d points with ids 1..9."""
+    db = Database()
+    db.execute("CREATE TABLE pts (id INT, x FLOAT, y FLOAT)")
+    db.execute(
+        "INSERT INTO pts VALUES "
+        "(1, 0.0, 0.0), (2, 0.2, 0.1), (3, 0.1, 0.2), "
+        "(4, 5.0, 5.0), (5, 5.1, 5.2), (6, 4.9, 5.1), "
+        "(7, 9.0, 0.0), (8, 9.1, 0.1), (9, 9.2, 0.2)"
+    )
+    return db
+
+
+class TestSGBAllSql:
+    def test_join_any_counts(self, gps_db):
+        result = gps_db.execute(
+            "SELECT count(*) FROM gpspoints "
+            "GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP JOIN-ANY"
+        )
+        assert sorted((r[0] for r in result.rows), reverse=True) == [3, 2]
+
+    def test_eliminate_counts(self, gps_db):
+        result = gps_db.execute(
+            "SELECT count(*) FROM gpspoints "
+            "GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE"
+        )
+        assert sorted(r[0] for r in result.rows) == [2, 2]
+
+    def test_form_new_group_counts(self, gps_db):
+        result = gps_db.execute(
+            "SELECT count(*) FROM gpspoints "
+            "GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP FORM-NEW-GROUP"
+        )
+        assert sorted(r[0] for r in result.rows) == [1, 2, 2]
+
+    def test_default_overlap_is_join_any(self, gps_db):
+        result = gps_db.execute(
+            "SELECT count(*) FROM gpspoints GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3"
+        )
+        assert sorted((r[0] for r in result.rows), reverse=True) == [3, 2]
+
+    def test_three_clusters(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT count(*), array_agg(id) FROM pts "
+            "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP JOIN-ANY"
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 3, 3]
+        member_sets = sorted(tuple(sorted(r[1])) for r in result.rows)
+        assert member_sets == [(1, 2, 3), (4, 5, 6), (7, 8, 9)]
+
+    def test_centroid_key_columns_exposed(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT x, y, count(*) FROM pts "
+            "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP JOIN-ANY"
+        )
+        centroids = sorted((round(r[0], 2), round(r[1], 2)) for r in result.rows)
+        assert centroids == [(0.1, 0.1), (5.0, 5.1), (9.1, 0.1)]
+
+    def test_aggregates_computed_per_group(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT count(*), min(id), max(id), sum(x) FROM pts "
+            "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP JOIN-ANY"
+        )
+        by_min_id = {r[1]: r for r in result.rows}
+        assert by_min_id[1][2] == 3 and by_min_id[1][3] == pytest.approx(0.3)
+        assert by_min_id[7][3] == pytest.approx(27.3)
+
+    def test_st_polygon_aggregate(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT st_polygon(x, y) FROM pts "
+            "GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1"
+        )
+        assert len(result.rows) == 3
+        # Two of the clusters are triangles; the third is collinear (a segment).
+        assert all(r[0].vertex_count >= 2 for r in result.rows)
+        assert sum(1 for r in result.rows if r[0].vertex_count == 3) == 2
+
+    def test_strategy_override_per_statement(self, cluster_db):
+        for strategy in ("all-pairs", "bounds-checking", "index"):
+            result = cluster_db.execute(
+                "SELECT count(*) FROM pts "
+                "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP ELIMINATE",
+                sgb_strategy=strategy,
+            )
+            assert sorted(r[0] for r in result.rows) == [3, 3, 3]
+
+    def test_where_filter_applies_before_grouping(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT count(*) FROM pts WHERE id <= 6 "
+            "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP JOIN-ANY"
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 3]
+
+    def test_having_on_sgb_groups(self, cluster_db):
+        cluster_db.execute("INSERT INTO pts VALUES (10, 20.0, 20.0)")
+        result = cluster_db.execute(
+            "SELECT count(*) FROM pts "
+            "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP JOIN-ANY "
+            "HAVING count(*) > 1"
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 3, 3]
+
+    def test_null_grouping_attribute_rejected(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x FLOAT, y FLOAT)")
+        db.execute("INSERT INTO t VALUES (1.0, NULL)")
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT count(*) FROM t GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+
+    def test_non_numeric_grouping_attribute_rejected(self):
+        db = Database()
+        db.execute("CREATE TABLE t (name TEXT, y FLOAT)")
+        db.execute("INSERT INTO t VALUES ('a', 1.0)")
+        with pytest.raises(ExecutionError):
+            db.execute(
+                "SELECT count(*) FROM t GROUP BY name, y DISTANCE-TO-ANY L2 WITHIN 1"
+            )
+
+    def test_non_constant_eps_rejected(self, cluster_db):
+        with pytest.raises(PlanningError):
+            cluster_db.execute(
+                "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN x"
+            )
+
+    def test_negative_eps_rejected(self, cluster_db):
+        with pytest.raises(PlanningError):
+            cluster_db.execute(
+                "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN -1"
+            )
+
+
+class TestSGBAnySql:
+    def test_merges_bridged_clusters(self, gps_db):
+        result = gps_db.execute(
+            "SELECT count(*) FROM gpspoints GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 3"
+        )
+        assert [r[0] for r in result.rows] == [5]
+
+    def test_three_separate_clusters(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1"
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 3, 3]
+
+    def test_small_eps_gives_singletons(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.01"
+        )
+        assert [r[0] for r in result.rows] == [1] * 9
+
+    def test_linf_metric(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY LINF WITHIN 0.2"
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 3, 3]
+
+    def test_explain_shows_sgb_operator(self, cluster_db):
+        plan = cluster_db.explain(
+            "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1"
+        )
+        assert "SGBAggregate" in plan and "DISTANCE-TO-ANY" in plan
+
+    def test_paper_table2_using_syntax(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-ANY WITHIN 1 USING ltwo"
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 3, 3]
+
+    def test_one_dimensional_grouping_attribute(self, cluster_db):
+        result = cluster_db.execute(
+            "SELECT count(*) FROM pts GROUP BY x DISTANCE-TO-ANY L2 WITHIN 1"
+        )
+        assert sorted(r[0] for r in result.rows) == [3, 3, 3]
+
+    def test_session_level_strategy_setting(self):
+        db = Database(sgb_strategy="all-pairs")
+        db.execute("CREATE TABLE t (x FLOAT, y FLOAT)")
+        db.execute("INSERT INTO t VALUES (0, 0), (0.1, 0.1), (9, 9)")
+        result = db.execute("SELECT count(*) FROM t GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        assert sorted(r[0] for r in result.rows) == [1, 2]

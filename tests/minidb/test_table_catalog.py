@@ -1,0 +1,87 @@
+"""Tests for heap tables and the catalog."""
+
+import pytest
+
+from repro.exceptions import CatalogError, SchemaError
+from repro.minidb.catalog import Catalog
+from repro.minidb.schema import Schema
+from repro.minidb.table import Table
+
+
+@pytest.fixture
+def table():
+    schema = Schema.from_pairs([("id", "INT"), ("name", "TEXT"), ("score", "FLOAT")])
+    return Table("players", schema)
+
+
+class TestTable:
+    def test_insert_coerces_values(self, table):
+        table.insert((1, "alice", 3))
+        assert table.rows[0] == (1, "alice", 3.0)
+        assert isinstance(table.rows[0][2], float)
+
+    def test_insert_wrong_arity_raises(self, table):
+        with pytest.raises(SchemaError):
+            table.insert((1, "alice"))
+
+    def test_insert_bad_type_raises(self, table):
+        with pytest.raises(SchemaError):
+            table.insert(("x", "alice", 1.0))
+
+    def test_insert_many_counts(self, table):
+        count = table.insert_many([(1, "a", 0.1), (2, "b", 0.2)])
+        assert count == 2
+        assert len(table) == 2
+
+    def test_nulls_allowed(self, table):
+        table.insert((1, None, None))
+        assert table.rows[0] == (1, None, None)
+
+    def test_truncate(self, table):
+        table.insert((1, "a", 0.0))
+        table.truncate()
+        assert len(table) == 0
+
+    def test_iteration(self, table):
+        table.insert((1, "a", 0.0))
+        table.insert((2, "b", 1.0))
+        assert [row[0] for row in table] == [1, 2]
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        catalog.create_table("t", [("a", "INT")])
+        assert catalog.has_table("t")
+        assert catalog.get_table("T").name == "t"
+
+    def test_duplicate_create_raises(self):
+        catalog = Catalog()
+        catalog.create_table("t", [("a", "INT")])
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", [("a", "INT")])
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", [("a", "INT")])
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("ghost")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().get_table("ghost")
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        catalog.create_table("zeta", [("a", "INT")])
+        catalog.create_table("alpha", [("a", "INT")])
+        assert catalog.table_names() == ["alpha", "zeta"]
+
+    def test_table_schema_qualified_by_table_name(self):
+        catalog = Catalog()
+        table = catalog.create_table("orders", [("o_id", "INT")])
+        assert table.schema.index_of("o_id", "orders") == 0

@@ -1,0 +1,87 @@
+"""Integration tests: the paper's evaluation queries over synthetic TPC-H data."""
+
+import pytest
+
+from repro.bench.queries import (
+    GB1,
+    GB2,
+    GB3,
+    sgb1,
+    sgb2,
+    sgb3,
+    sgb4,
+    sgb5,
+    sgb6,
+    sgb_queries,
+    standard_queries,
+)
+
+
+class TestStandardQueries:
+    def test_gb1_runs_and_groups_customers(self, tpch_db):
+        result = tpch_db.execute(GB1)
+        assert len(result.rows) > 0
+        # One row per customer key.
+        keys = [row[0] for row in result.rows]
+        assert len(keys) == len(set(keys))
+
+    def test_gb2_runs_and_groups_parts(self, tpch_db):
+        result = tpch_db.execute(GB2)
+        assert len(result.rows) > 0
+        assert all(row[0] >= 1 for row in result.rows)  # count(*) per part
+
+    def test_gb3_runs_and_groups_suppliers(self, tpch_db):
+        result = tpch_db.execute(GB3)
+        assert 0 < len(result.rows) <= len(tpch_db.table("supplier"))
+
+    def test_query_registry_contains_three_baselines(self):
+        assert set(standard_queries()) == {"GB1", "GB2", "GB3"}
+
+
+class TestSGBQueries:
+    @pytest.mark.parametrize("overlap", ["JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP"])
+    def test_sgb1_all_overlap_variants_run(self, tpch_db, overlap):
+        result = tpch_db.execute(sgb1(eps=500.0, overlap=overlap))
+        assert result.columns[-1] == "array_agg"
+        assert len(result.rows) >= 1
+
+    def test_sgb2_any_groups_at_most_sgb1_groups(self, tpch_db):
+        all_groups = tpch_db.execute(sgb1(eps=500.0))
+        any_groups = tpch_db.execute(sgb2(eps=500.0))
+        assert len(any_groups.rows) <= len(all_groups.rows)
+
+    def test_sgb3_and_sgb4_run(self, tpch_db):
+        r3 = tpch_db.execute(sgb3(eps=5000.0))
+        r4 = tpch_db.execute(sgb4(eps=5000.0))
+        assert len(r3.rows) >= len(r4.rows) > 0
+
+    def test_sgb5_and_sgb6_run(self, tpch_db):
+        r5 = tpch_db.execute(sgb5(eps=5000.0))
+        r6 = tpch_db.execute(sgb6(eps=5000.0))
+        assert len(r5.rows) > 0 and len(r6.rows) > 0
+
+    def test_larger_eps_gives_fewer_or_equal_any_groups(self, tpch_db):
+        small = tpch_db.execute(sgb4(eps=1000.0))
+        large = tpch_db.execute(sgb4(eps=100000.0))
+        assert len(large.rows) <= len(small.rows)
+
+    def test_strategies_agree_on_eliminate_grouping(self, tpch_db):
+        counts = []
+        for strategy in ("all-pairs", "bounds-checking", "index"):
+            result = tpch_db.execute(
+                sgb3(eps=5000.0, overlap="ELIMINATE"), sgb_strategy=strategy
+            )
+            counts.append(sorted(row[0] for row in result.rows))
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_sgb_group_counts_bounded_by_input_rows(self, tpch_db):
+        baseline = tpch_db.execute(GB2)
+        sgb = tpch_db.execute(sgb3(eps=5000.0))
+        assert len(sgb.rows) <= len(baseline.rows)
+
+    def test_query_registry_contains_six_sgb_queries(self):
+        assert set(sgb_queries()) == {"SGB1", "SGB2", "SGB3", "SGB4", "SGB5", "SGB6"}
+
+    def test_linf_metric_variant_runs(self, tpch_db):
+        result = tpch_db.execute(sgb4(eps=5000.0, metric="linf"))
+        assert len(result.rows) > 0

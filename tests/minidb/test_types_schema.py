@@ -1,0 +1,126 @@
+"""Tests for engine data types, value coercion, and schemas."""
+
+import datetime as dt
+
+import pytest
+
+from repro.exceptions import CatalogError, SchemaError
+from repro.minidb.schema import Column, Schema
+from repro.minidb.types import DataType, coerce_value, infer_type
+
+
+class TestDataTypeParsing:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INT", DataType.INT),
+            ("integer", DataType.INT),
+            ("bigint", DataType.INT),
+            ("FLOAT", DataType.FLOAT),
+            ("double", DataType.FLOAT),
+            ("numeric", DataType.FLOAT),
+            ("varchar", DataType.TEXT),
+            ("text", DataType.TEXT),
+            ("DATE", DataType.DATE),
+            ("boolean", DataType.BOOL),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert DataType.parse(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            DataType.parse("GEOGRAPHY")
+
+
+class TestCoercion:
+    def test_none_passes_through(self):
+        assert coerce_value(None, DataType.INT) is None
+
+    def test_int_coercion(self):
+        assert coerce_value(5, DataType.INT) == 5
+        assert coerce_value(5.0, DataType.INT) == 5
+        with pytest.raises(SchemaError):
+            coerce_value(5.5, DataType.INT)
+
+    def test_float_coercion(self):
+        assert coerce_value(5, DataType.FLOAT) == 5.0
+        assert isinstance(coerce_value(5, DataType.FLOAT), float)
+        with pytest.raises(SchemaError):
+            coerce_value("not-a-number", DataType.FLOAT)
+
+    def test_text_coercion(self):
+        assert coerce_value(42, DataType.TEXT) == "42"
+
+    def test_date_coercion(self):
+        assert coerce_value("2020-05-17", DataType.DATE) == dt.date(2020, 5, 17)
+        assert coerce_value(dt.date(2020, 5, 17), DataType.DATE) == dt.date(2020, 5, 17)
+        assert coerce_value(dt.datetime(2020, 5, 17, 12, 30), DataType.DATE) == dt.date(2020, 5, 17)
+        with pytest.raises(SchemaError):
+            coerce_value("17/05/2020", DataType.DATE)
+        with pytest.raises(SchemaError):
+            coerce_value(123, DataType.DATE)
+
+    def test_bool_coercion(self):
+        assert coerce_value(1, DataType.BOOL) is True
+        assert coerce_value(0, DataType.BOOL) is False
+
+    def test_infer_type(self):
+        assert infer_type(True) is DataType.BOOL
+        assert infer_type(3) is DataType.INT
+        assert infer_type(3.5) is DataType.FLOAT
+        assert infer_type(dt.date.today()) is DataType.DATE
+        assert infer_type("abc") is DataType.TEXT
+
+
+class TestSchema:
+    @pytest.fixture
+    def schema(self):
+        return Schema.from_pairs(
+            [("id", "INT"), ("name", "TEXT"), ("balance", "FLOAT")], qualifier="cust"
+        )
+
+    def test_from_pairs_builds_qualified_columns(self, schema):
+        assert len(schema) == 3
+        assert schema.columns[0].qualified_name == "cust.id"
+
+    def test_unqualified_lookup(self, schema):
+        assert schema.index_of("name") == 1
+        assert schema.index_of("BALANCE") == 2
+
+    def test_qualified_lookup(self, schema):
+        assert schema.index_of("id", "cust") == 0
+        with pytest.raises(CatalogError):
+            schema.index_of("id", "other")
+
+    def test_unknown_column_raises(self, schema):
+        with pytest.raises(CatalogError):
+            schema.index_of("missing")
+
+    def test_ambiguous_unqualified_lookup_raises(self):
+        a = Schema.from_pairs([("id", "INT")], qualifier="a")
+        b = Schema.from_pairs([("id", "INT")], qualifier="b")
+        joined = a.concat(b)
+        with pytest.raises(CatalogError):
+            joined.index_of("id")
+        assert joined.index_of("id", "a") == 0
+        assert joined.index_of("id", "b") == 1
+
+    def test_with_qualifier_renames_every_column(self, schema):
+        renamed = schema.with_qualifier("r1")
+        assert renamed.index_of("id", "r1") == 0
+        assert not renamed.has_column("id", "cust")
+
+    def test_duplicate_qualified_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Column("x", DataType.INT, "t"), Column("x", DataType.INT, "t")]
+            )
+
+    def test_has_column(self, schema):
+        assert schema.has_column("id")
+        assert schema.has_column("id", "cust")
+        assert not schema.has_column("nope")
+
+    def test_names_preserved_in_order(self, schema):
+        assert schema.names() == ["id", "name", "balance"]

@@ -1,0 +1,74 @@
+"""Tests for the uniform grid index."""
+
+import random
+
+import pytest
+
+from repro.core.rectangle import Rect
+from repro.exceptions import InvalidParameterError
+from repro.spatial.grid import GridIndex
+
+
+class TestConstruction:
+    def test_rejects_non_positive_cell_size(self):
+        with pytest.raises(InvalidParameterError):
+            GridIndex(cell_size=0.0)
+
+    def test_empty_index(self):
+        grid = GridIndex(1.0)
+        assert len(grid) == 0
+        assert grid.search(Rect((0, 0), (10, 10))) == []
+
+
+class TestInsertSearchDelete:
+    def test_point_entries(self):
+        grid = GridIndex(1.0)
+        grid.insert_point((0.5, 0.5), "a")
+        grid.insert_point((5.5, 5.5), "b")
+        assert grid.search(Rect((0, 0), (1, 1))) == ["a"]
+        assert set(grid.search(Rect((0, 0), (10, 10)))) == {"a", "b"}
+
+    def test_entry_spanning_multiple_cells_reported_once(self):
+        grid = GridIndex(1.0)
+        rect = Rect((0.2, 0.2), (3.8, 0.8))  # spans 4 cells horizontally
+        grid.insert(rect, "wide")
+        hits = grid.search(Rect((0, 0), (5, 1)))
+        assert hits == ["wide"]
+
+    def test_negative_coordinates(self):
+        grid = GridIndex(0.5)
+        grid.insert_point((-1.3, -2.7), "neg")
+        assert grid.search(Rect((-2, -3), (-1, -2))) == ["neg"]
+
+    def test_search_matches_brute_force(self):
+        rng = random.Random(3)
+        grid = GridIndex(0.7)
+        entries = []
+        for i in range(300):
+            p = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            rect = Rect.from_point(p, rng.uniform(0, 0.5))
+            grid.insert(rect, i)
+            entries.append((rect, i))
+        for _ in range(30):
+            cx, cy = rng.uniform(-10, 10), rng.uniform(-10, 10)
+            window = Rect((cx - 2, cy - 2), (cx + 2, cy + 2))
+            expected = {i for rect, i in entries if rect.intersects(window)}
+            assert set(grid.search(window)) == expected
+
+    def test_delete(self):
+        grid = GridIndex(1.0)
+        rect = Rect.from_point((1.5, 1.5), 0.2)
+        grid.insert(rect, "x")
+        assert grid.delete(rect, "x") is True
+        assert len(grid) == 0
+        assert grid.search(Rect((0, 0), (3, 3))) == []
+
+    def test_delete_missing_returns_false(self):
+        grid = GridIndex(1.0)
+        assert grid.delete(Rect.from_point((0, 0)), "missing") is False
+
+    def test_window_query_helper(self):
+        grid = GridIndex(0.5)
+        grid.insert_point((2.0, 2.0), "p")
+        assert grid.window_query((2.1, 2.1), 0.3) == ["p"]
+        assert grid.window_query((5.0, 5.0), 0.3) == []

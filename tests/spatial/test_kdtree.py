@@ -1,0 +1,77 @@
+"""Tests for the kd-tree point index."""
+
+import random
+
+import pytest
+
+from repro.core.rectangle import Rect
+from repro.exceptions import InvalidParameterError
+from repro.spatial.kdtree import KDTree
+
+
+class TestConstruction:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(InvalidParameterError):
+            KDTree(dims=0)
+
+    def test_empty_tree(self):
+        tree = KDTree()
+        assert len(tree) == 0
+        assert tree.search(Rect((0, 0), (1, 1))) == []
+
+
+class TestInsertSearch:
+    def test_single_point(self):
+        tree = KDTree()
+        tree.insert_point((1, 2), "a")
+        assert tree.search(Rect((0, 0), (2, 3))) == ["a"]
+        assert tree.search(Rect((5, 5), (6, 6))) == []
+
+    def test_dimension_mismatch_rejected(self):
+        tree = KDTree(dims=2)
+        with pytest.raises(InvalidParameterError):
+            tree.insert_point((1, 2, 3), "bad")
+
+    def test_rect_insert_uses_center(self):
+        tree = KDTree()
+        tree.insert(Rect((0, 0), (2, 2)), "centered")
+        assert tree.search(Rect((0.9, 0.9), (1.1, 1.1))) == ["centered"]
+
+    def test_search_matches_brute_force(self):
+        rng = random.Random(8)
+        tree = KDTree()
+        pts = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(400)]
+        for i, p in enumerate(pts):
+            tree.insert_point(p, i)
+        for _ in range(40):
+            cx, cy = rng.uniform(0, 100), rng.uniform(0, 100)
+            window = Rect((cx - 8, cy - 8), (cx + 8, cy + 8))
+            expected = {i for i, p in enumerate(pts) if window.contains_point(p)}
+            assert set(tree.search(window)) == expected
+
+    def test_boundary_points_included(self):
+        tree = KDTree()
+        tree.insert_point((1.0, 1.0), "edge")
+        assert tree.search(Rect((1.0, 1.0), (2.0, 2.0))) == ["edge"]
+        assert tree.search(Rect((0.0, 0.0), (1.0, 1.0))) == ["edge"]
+
+    def test_three_dimensional_tree(self):
+        tree = KDTree(dims=3)
+        tree.insert_point((1, 2, 3), "p")
+        tree.insert_point((5, 5, 5), "q")
+        assert tree.search(Rect((0, 0, 0), (4, 4, 4))) == ["p"]
+
+
+class TestDelete:
+    def test_delete_tombstones_entry(self):
+        tree = KDTree()
+        tree.insert_point((1, 1), "a")
+        tree.insert_point((2, 2), "b")
+        assert tree.delete(Rect((0, 0), (1.5, 1.5)), "a") is True
+        assert len(tree) == 1
+        assert tree.search(Rect((0, 0), (3, 3))) == ["b"]
+
+    def test_delete_missing_returns_false(self):
+        tree = KDTree()
+        tree.insert_point((1, 1), "a")
+        assert tree.delete(Rect((5, 5), (6, 6)), "a") is False

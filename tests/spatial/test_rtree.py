@@ -1,0 +1,178 @@
+"""Tests for the Guttman R-tree."""
+
+import random
+
+import pytest
+
+from repro.core.rectangle import Rect
+from repro.exceptions import InvalidParameterError, SpatialIndexError
+from repro.spatial.rtree import RTree
+
+
+def brute_force_hits(entries, window):
+    return {item for rect, item in entries if rect.intersects(window)}
+
+
+class TestConstruction:
+    def test_rejects_tiny_max_entries(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(max_entries=3)
+
+    def test_rejects_inconsistent_min_entries(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.search(Rect((0, 0), (10, 10))) == []
+
+
+class TestInsertAndSearch:
+    def test_single_entry(self):
+        tree = RTree()
+        tree.insert(Rect.from_point((1, 1)), "a")
+        assert tree.search(Rect((0, 0), (2, 2))) == ["a"]
+        assert tree.search(Rect((5, 5), (6, 6))) == []
+
+    def test_point_convenience_helpers(self):
+        tree = RTree()
+        tree.insert_point((3, 3), "p")
+        assert tree.window_query((3, 3), 0.5) == ["p"]
+
+    def test_window_query_matches_brute_force_on_points(self):
+        rng = random.Random(1)
+        tree = RTree(max_entries=6)
+        entries = []
+        for i in range(300):
+            p = (rng.uniform(0, 100), rng.uniform(0, 100))
+            rect = Rect.from_point(p)
+            tree.insert(rect, i)
+            entries.append((rect, i))
+        for _ in range(30):
+            cx, cy = rng.uniform(0, 100), rng.uniform(0, 100)
+            size = rng.uniform(1, 15)
+            window = Rect((cx - size, cy - size), (cx + size, cy + size))
+            assert set(tree.search(window)) == brute_force_hits(entries, window)
+
+    def test_window_query_matches_brute_force_on_rectangles(self):
+        rng = random.Random(2)
+        tree = RTree(max_entries=5)
+        entries = []
+        for i in range(200):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            rect = Rect((x, y), (x + rng.uniform(0, 5), y + rng.uniform(0, 5)))
+            tree.insert(rect, i)
+            entries.append((rect, i))
+        for _ in range(30):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            window = Rect((x, y), (x + 10, y + 10))
+            assert set(tree.search(window)) == brute_force_hits(entries, window)
+
+    def test_search_entries_returns_rects(self):
+        tree = RTree()
+        rect = Rect.from_point((2, 2), 1)
+        tree.insert(rect, "x")
+        hits = tree.search_entries(Rect((0, 0), (5, 5)))
+        assert hits == [(rect, "x")]
+
+    def test_duplicate_payload_positions_allowed(self):
+        tree = RTree()
+        for i in range(20):
+            tree.insert(Rect.from_point((1, 1)), i)
+        assert len(tree) == 20
+        assert set(tree.search(Rect((0, 0), (2, 2)))) == set(range(20))
+
+    def test_tree_grows_in_height(self):
+        tree = RTree(max_entries=4)
+        for i in range(100):
+            tree.insert(Rect.from_point((i % 10, i // 10)), i)
+        assert tree.height() >= 2
+        tree.check_invariants()
+
+
+class TestInvariants:
+    def test_invariants_hold_after_random_inserts(self):
+        rng = random.Random(7)
+        tree = RTree(max_entries=6)
+        for i in range(500):
+            tree.insert(Rect.from_point((rng.random(), rng.random())), i)
+        tree.check_invariants()
+        assert len(tree) == 500
+
+    def test_items_iterates_everything(self):
+        tree = RTree(max_entries=4)
+        for i in range(50):
+            tree.insert(Rect.from_point((i, i)), i)
+        assert sorted(item for _, item in tree.items()) == list(range(50))
+
+
+class TestDelete:
+    def test_delete_existing_entry(self):
+        tree = RTree()
+        rect = Rect.from_point((1, 1), 0.5)
+        tree.insert(rect, "a")
+        assert tree.delete(rect, "a") is True
+        assert len(tree) == 0
+        assert tree.search(Rect((0, 0), (2, 2))) == []
+
+    def test_delete_missing_entry_returns_false(self):
+        tree = RTree()
+        tree.insert(Rect.from_point((1, 1)), "a")
+        assert tree.delete(Rect.from_point((5, 5)), "b") is False
+        assert len(tree) == 1
+
+    def test_delete_then_query_consistency(self):
+        rng = random.Random(9)
+        tree = RTree(max_entries=5)
+        entries = []
+        for i in range(200):
+            rect = Rect.from_point((rng.uniform(0, 50), rng.uniform(0, 50)))
+            tree.insert(rect, i)
+            entries.append((rect, i))
+        removed = set()
+        for rect, item in entries[::3]:
+            assert tree.delete(rect, item)
+            removed.add(item)
+        tree.check_invariants()
+        window = Rect((0, 0), (50, 50))
+        assert set(tree.search(window)) == {i for _, i in entries if i not in removed}
+
+    def test_delete_everything_leaves_empty_tree(self):
+        tree = RTree(max_entries=4)
+        entries = []
+        for i in range(40):
+            rect = Rect.from_point((i % 7, i % 5))
+            tree.insert(rect, i)
+            entries.append((rect, i))
+        for rect, item in entries:
+            assert tree.delete(rect, item)
+        assert len(tree) == 0
+        assert tree.search(Rect((-10, -10), (10, 10))) == []
+
+
+class TestNearest:
+    def test_nearest_point(self):
+        tree = RTree()
+        tree.insert_point((0, 0), "origin")
+        tree.insert_point((10, 10), "far")
+        assert tree.nearest((1, 1)) == "origin"
+        assert tree.nearest((9, 9)) == "far"
+
+    def test_nearest_on_empty_tree_raises(self):
+        with pytest.raises(SpatialIndexError):
+            RTree().nearest((0, 0))
+
+    def test_nearest_matches_brute_force(self):
+        rng = random.Random(4)
+        tree = RTree(max_entries=6)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(100)]
+        for i, p in enumerate(pts):
+            tree.insert_point(p, i)
+        for _ in range(20):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            expected = min(range(len(pts)), key=lambda i: (pts[i][0] - q[0]) ** 2 + (pts[i][1] - q[1]) ** 2)
+            got = tree.nearest(q)
+            d_expected = (pts[expected][0] - q[0]) ** 2 + (pts[expected][1] - q[1]) ** 2
+            d_got = (pts[got][0] - q[0]) ** 2 + (pts[got][1] - q[1]) ** 2
+            assert d_got == pytest.approx(d_expected)

@@ -1,0 +1,73 @@
+"""Property-based tests: every spatial index must answer window queries exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rectangle import Rect
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+from repro.spatial.rtree import RTree
+
+coordinate = st.floats(min_value=0, max_value=50, allow_nan=False, allow_infinity=False)
+point = st.tuples(coordinate, coordinate)
+point_list = st.lists(point, min_size=0, max_size=60)
+window_spec = st.tuples(point, st.floats(min_value=0.1, max_value=10))
+
+
+def _window(spec):
+    (cx, cy), radius = spec
+    return Rect((cx - radius, cy - radius), (cx + radius, cy + radius))
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=point_list, spec=window_spec)
+def test_rtree_window_query_is_exact(pts, spec):
+    tree = RTree(max_entries=4)
+    for i, p in enumerate(pts):
+        tree.insert_point(p, i)
+    window = _window(spec)
+    expected = {i for i, p in enumerate(pts) if window.contains_point(p)}
+    assert set(tree.search(window)) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=point_list, spec=window_spec)
+def test_grid_window_query_is_exact(pts, spec):
+    grid = GridIndex(cell_size=1.3)
+    for i, p in enumerate(pts):
+        grid.insert_point(p, i)
+    window = _window(spec)
+    expected = {i for i, p in enumerate(pts) if window.contains_point(p)}
+    assert set(grid.search(window)) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(pts=point_list, spec=window_spec)
+def test_kdtree_window_query_is_exact(pts, spec):
+    tree = KDTree()
+    for i, p in enumerate(pts):
+        tree.insert_point(p, i)
+    window = _window(spec)
+    expected = {i for i, p in enumerate(pts) if window.contains_point(p)}
+    assert set(tree.search(window)) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(pts=st.lists(point, min_size=1, max_size=60), spec=window_spec, data=st.data())
+def test_rtree_stays_exact_after_deletions(pts, spec, data):
+    tree = RTree(max_entries=4)
+    rects = []
+    for i, p in enumerate(pts):
+        rect = Rect.from_point(p)
+        tree.insert(rect, i)
+        rects.append(rect)
+    to_delete = data.draw(
+        st.lists(st.integers(min_value=0, max_value=len(pts) - 1), unique=True, max_size=len(pts))
+    )
+    for i in to_delete:
+        assert tree.delete(rects[i], i)
+    tree.check_invariants()
+    window = _window(spec)
+    survivors = set(range(len(pts))) - set(to_delete)
+    expected = {i for i in survivors if window.contains_point(pts[i])}
+    assert set(tree.search(window)) == expected

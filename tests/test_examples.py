@@ -1,0 +1,44 @@
+"""The example scripts must run end-to-end without errors."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "SGB-All" in output
+        assert "SGB-Any" in output
+        assert "Physical plan" in output
+
+    def test_manet_gateways(self):
+        output = run_example("manet_gateways.py")
+        assert "Query 1" in output
+        assert "gateway" in output.lower()
+
+    def test_location_privacy_groups(self):
+        output = run_example("location_privacy_groups.py")
+        assert "ON-OVERLAP JOIN-ANY" in output
+        assert "ELIMINATE" in output
+        assert "communities" in output
+
+    @pytest.mark.slow
+    def test_tpch_analytics(self):
+        output = run_example("tpch_analytics.py", "0.0005")
+        assert "GB1" in output and "SGB6" in output

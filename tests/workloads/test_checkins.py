@@ -1,0 +1,68 @@
+"""Tests for the synthetic social check-in generator."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.workloads.checkins import (
+    CheckinConfig,
+    checkin_points,
+    generate_checkins,
+)
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = CheckinConfig()
+        assert config.n_checkins > 0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CheckinConfig(n_users=0)
+        with pytest.raises(InvalidParameterError):
+            CheckinConfig(noise_fraction=2.0)
+
+
+class TestGeneration:
+    def test_record_count_and_fields(self):
+        config = CheckinConfig(n_checkins=500, n_users=50, seed=1)
+        records = generate_checkins(config)
+        assert len(records) == 500
+        lat_lo, lat_hi = config.lat_range
+        lon_lo, lon_hi = config.lon_range
+        for r in records[:50]:
+            assert 0 <= r.user_id < 50
+            assert lat_lo <= r.latitude <= lat_hi
+            assert lon_lo <= r.longitude <= lon_hi
+
+    def test_deterministic_given_seed(self):
+        a = generate_checkins(CheckinConfig(n_checkins=100, seed=5))
+        b = generate_checkins(CheckinConfig(n_checkins=100, seed=5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_checkins(CheckinConfig(n_checkins=100, seed=5))
+        b = generate_checkins(CheckinConfig(n_checkins=100, seed=6))
+        assert a != b
+
+    def test_timestamps_increase(self):
+        records = generate_checkins(CheckinConfig(n_checkins=50, seed=2))
+        times = [r.checkin_time for r in records]
+        assert times == sorted(times)
+
+    def test_checkin_points_extracts_coordinates(self):
+        records = generate_checkins(CheckinConfig(n_checkins=20, seed=3))
+        points = checkin_points(records)
+        assert len(points) == 20
+        assert points[0] == (records[0].latitude, records[0].longitude)
+
+    def test_hotspot_structure_is_clustered(self):
+        """Most check-ins should sit near one of the hotspot centres."""
+        config = CheckinConfig(n_checkins=2000, hotspots=5, noise_fraction=0.05, seed=7)
+        records = generate_checkins(config)
+        points = checkin_points(records)
+        # Compare the spread of the data with a uniform baseline: clustered
+        # check-ins concentrate into a small fraction of 1-degree cells.
+        cells = {(int(lat), int(lon)) for lat, lon in points}
+        lat_span = config.lat_range[1] - config.lat_range[0]
+        lon_span = config.lon_range[1] - config.lon_range[0]
+        assert len(cells) < 0.25 * lat_span * lon_span

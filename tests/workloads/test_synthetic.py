@@ -1,0 +1,106 @@
+"""Tests for the synthetic point-cloud generators."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.workloads.synthetic import (
+    clustered_points,
+    grid_points,
+    normalise_unit_square,
+    ring_points,
+    shuffled,
+    uniform_points,
+)
+
+
+class TestUniformPoints:
+    def test_count_and_dimensionality(self):
+        points = uniform_points(50, dims=3)
+        assert len(points) == 50
+        assert all(len(p) == 3 for p in points)
+
+    def test_range_respected(self):
+        points = uniform_points(200, low=-5, high=5, seed=1)
+        assert all(-5 <= c <= 5 for p in points for c in p)
+
+    def test_deterministic_given_seed(self):
+        assert uniform_points(20, seed=3) == uniform_points(20, seed=3)
+        assert uniform_points(20, seed=3) != uniform_points(20, seed=4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_points(-1)
+        with pytest.raises(InvalidParameterError):
+            uniform_points(10, dims=0)
+        with pytest.raises(InvalidParameterError):
+            uniform_points(10, low=1, high=0)
+
+
+class TestClusteredPoints:
+    def test_count_and_bounds(self):
+        points = clustered_points(300, clusters=5, seed=2)
+        assert len(points) == 300
+        assert all(0 <= c <= 1 for p in points for c in p)
+
+    def test_clustering_is_tighter_than_uniform(self):
+        """Clustered data has smaller mean nearest-neighbour distance."""
+        import math
+
+        def mean_nn(points):
+            total = 0.0
+            for i, p in enumerate(points):
+                total += min(
+                    math.dist(p, q) for j, q in enumerate(points) if i != j
+                )
+            return total / len(points)
+
+        clustered = clustered_points(150, clusters=5, spread=0.01, noise_fraction=0.0, seed=3)
+        uniform = uniform_points(150, seed=3)
+        assert mean_nn(clustered) < mean_nn(uniform)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            clustered_points(10, clusters=0)
+        with pytest.raises(InvalidParameterError):
+            clustered_points(10, noise_fraction=1.5)
+
+    def test_deterministic_given_seed(self):
+        assert clustered_points(30, seed=9) == clustered_points(30, seed=9)
+
+
+class TestGridAndHelpers:
+    def test_grid_points_2d(self):
+        points = grid_points(3, dims=2, step=2.0)
+        assert len(points) == 9
+        assert (0.0, 0.0) in points and (4.0, 4.0) in points
+
+    def test_grid_points_1d_and_3d(self):
+        assert len(grid_points(4, dims=1)) == 4
+        assert len(grid_points(3, dims=3)) == 27
+
+    def test_grid_points_invalid_dims(self):
+        with pytest.raises(InvalidParameterError):
+            grid_points(3, dims=4)
+
+    def test_shuffled_is_permutation(self):
+        points = uniform_points(40, seed=5)
+        mixed = shuffled(points, seed=1)
+        assert sorted(mixed) == sorted(points)
+        assert mixed != points
+
+    def test_normalise_unit_square(self):
+        points = [(10.0, -5.0), (20.0, 5.0), (15.0, 0.0)]
+        normalised = normalise_unit_square(points)
+        assert all(0 <= c <= 1 for p in normalised for c in p)
+        assert normalised[0] == (0.0, 0.0)
+        assert normalised[1] == (1.0, 1.0)
+
+    def test_normalise_empty(self):
+        assert normalise_unit_square([]) == []
+
+    def test_ring_points(self):
+        import math
+
+        points = ring_points(16, radius=2.0)
+        assert len(points) == 16
+        assert all(math.isclose(math.hypot(*p), 2.0, abs_tol=1e-9) for p in points)

@@ -1,0 +1,90 @@
+"""Tests for the synthetic TPC-H generator."""
+
+import datetime as dt
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.minidb import Database
+from repro.workloads.tpch import TPCH_SCHEMAS, TPCHGenerator, load_tpch
+
+
+class TestGenerator:
+    def test_invalid_scale_factor(self):
+        with pytest.raises(InvalidParameterError):
+            TPCHGenerator(scale_factor=0)
+
+    def test_cardinalities_scale_linearly(self):
+        small = TPCHGenerator(scale_factor=0.001)
+        large = TPCHGenerator(scale_factor=0.002)
+        assert large.cardinality("customer") == 2 * small.cardinality("customer")
+        assert small.cardinality("customer") == 150
+        assert small.cardinality("orders") == 1500
+
+    def test_fixed_tables_do_not_scale(self):
+        gen = TPCHGenerator(scale_factor=0.001)
+        assert gen.cardinality("nation") == 25
+        assert gen.cardinality("region") == 5
+
+    def test_generated_tables_match_schema_arity(self):
+        data = TPCHGenerator(scale_factor=0.0005, seed=3).generate()
+        for table, columns in TPCH_SCHEMAS.items():
+            assert table in data.tables
+            for row in data.tables[table][:20]:
+                assert len(row) == len(columns)
+
+    def test_deterministic_given_seed(self):
+        a = TPCHGenerator(scale_factor=0.0005, seed=9).generate()
+        b = TPCHGenerator(scale_factor=0.0005, seed=9).generate()
+        assert a.tables["orders"] == b.tables["orders"]
+
+    def test_orders_reference_existing_customers(self):
+        data = TPCHGenerator(scale_factor=0.0005, seed=4).generate()
+        customer_keys = {row[0] for row in data.tables["customer"]}
+        assert all(row[1] in customer_keys for row in data.tables["orders"])
+
+    def test_lineitems_reference_existing_orders(self):
+        data = TPCHGenerator(scale_factor=0.0005, seed=4).generate()
+        order_keys = {row[0] for row in data.tables["orders"]}
+        assert all(row[0] in order_keys for row in data.tables["lineitem"])
+
+    def test_dates_are_ordered_and_in_range(self):
+        data = TPCHGenerator(scale_factor=0.0005, seed=4).generate()
+        for row in data.tables["lineitem"][:200]:
+            shipdate, receiptdate = row[6], row[7]
+            assert isinstance(shipdate, dt.date)
+            assert shipdate < receiptdate
+            assert dt.date(1992, 1, 1) <= shipdate <= dt.date(1999, 6, 30)
+
+    def test_total_rows_accounting(self):
+        data = TPCHGenerator(scale_factor=0.0005, seed=4).generate()
+        assert data.total_rows() == sum(data.row_count(t) for t in data.tables)
+
+
+class TestLoadIntoDatabase:
+    def test_load_creates_all_tables(self):
+        db = Database()
+        data = load_tpch(db, scale_factor=0.0005, seed=2)
+        for table in TPCH_SCHEMAS:
+            assert db.has_table(table)
+            assert len(db.table(table)) == data.row_count(table)
+
+    def test_load_twice_replaces_tables(self):
+        db = Database()
+        load_tpch(db, scale_factor=0.0005, seed=2)
+        first = len(db.table("orders"))
+        load_tpch(db, scale_factor=0.001, seed=2)
+        assert len(db.table("orders")) == 2 * first
+
+    def test_loaded_data_queryable(self):
+        db = Database()
+        load_tpch(db, scale_factor=0.0005, seed=2)
+        count = db.execute("SELECT count(*) FROM customer").scalar()
+        assert count == len(db.table("customer"))
+        top = db.execute(
+            "SELECT o_custkey, sum(o_totalprice) AS total FROM orders "
+            "GROUP BY o_custkey ORDER BY total DESC LIMIT 5"
+        )
+        assert len(top.rows) <= 5
+        totals = [row[1] for row in top.rows]
+        assert totals == sorted(totals, reverse=True)
