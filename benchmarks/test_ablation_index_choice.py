@@ -47,7 +47,14 @@ class TestSgbAnyIndexChoice:
     def test_sgb_any_with_index(self, benchmark, bench_points, index_name):
         benchmark.group = "ablation-index-sgb-any"
         factory = SGB_ANY_INDEXES[index_name]
+        # batch=False: a single whole-input batch never probes Points_IX, so
+        # the scalar path is the one that exercises the index under test.
         result = benchmark(
-            sgb_any, bench_points, eps=EPS, strategy="index", index_factory=factory
+            sgb_any,
+            bench_points,
+            eps=EPS,
+            strategy="index",
+            index_factory=factory,
+            batch=False,
         )
         assert result.group_count >= 1

@@ -29,5 +29,7 @@ class TestFig10SgbAny:
     def test_sgb_any_scale(self, benchmark, sized_points, n, strategy):
         benchmark.group = f"fig10d-sgb-any-n{n}"
         points = sized_points[n]
-        result = benchmark(sgb_any, points, eps=0.2, strategy=strategy)
+        # batch=False: the figure compares the paper's per-tuple algorithms;
+        # the batched pipeline sidesteps both (see test_batch_vs_scalar.py).
+        result = benchmark(sgb_any, points, eps=0.2, strategy=strategy, batch=False)
         assert result.group_count >= 1

@@ -192,6 +192,32 @@ def main(path: str) -> None:
     add("differently in a pure-Python engine.")
     add("")
 
+    # ---------------- batch vs scalar ----------------
+    if "batch_vs_scalar" in data:
+        add("## Batch vs scalar execution path (beyond the paper)")
+        add("")
+        add("The batched columnar pipeline (`add_batch` over a `PointSet`) against")
+        add("the scalar per-tuple reference path of the same operator; identical")
+        add("groupings, execution strategy `index`.")
+        add("")
+        rows = data["batch_vs_scalar"]
+        add("```")
+        add(format_table(
+            [
+                {
+                    "operator": r["operator"],
+                    "path": r["path"],
+                    "n": r["n"],
+                    "backend": r["backend"],
+                    "seconds": round(r["seconds"], 3),
+                    "speedup vs scalar": r["speedup"],
+                }
+                for r in rows
+            ]
+        ))
+        add("```")
+        add("")
+
     # ---------------- fidelity notes ----------------
     add("## Fidelity notes (where the measured shape deviates from the paper)")
     add("")

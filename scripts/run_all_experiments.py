@@ -12,11 +12,11 @@ use sizes closer to the paper's (slower, sharper separation).
 
 from __future__ import annotations
 
-import json
 import sys
 import time
 
 from repro.bench import experiments as E
+from repro.bench.report import write_json
 
 
 def main(large: bool = False) -> None:
@@ -31,6 +31,7 @@ def main(large: bool = False) -> None:
         ("fig10_any", lambda: E.fig10_sgb_any_scale(sizes=(500 * k, 1000 * k, 2000 * k, 4000 * k))),
         ("fig11_brightkite", lambda: E.fig11_vs_clustering(sizes=(1000 * k, 2000 * k), dataset="brightkite")),
         ("fig11_gowalla", lambda: E.fig11_vs_clustering(sizes=(1000 * k, 2000 * k), dataset="gowalla")),
+        ("batch_vs_scalar", lambda: E.batch_vs_scalar(sizes=(10_000 * k, 25_000 * k))),
         ("table1", lambda: E.table1_scaling_exponents(sizes=(500 * k, 1000 * k, 2000 * k))),
         ("table2", lambda: E.table2_tpch_queries(scale_factor=0.002 * k)),
         ("fig12", lambda: E.fig12_overhead(scale_factors=(0.001 * k, 0.002 * k))),
@@ -39,8 +40,7 @@ def main(large: bool = False) -> None:
         start = time.perf_counter()
         out[name] = fn()
         print(f"{name:<18} done in {time.perf_counter() - start:6.1f}s", flush=True)
-    with open("experiment_results.json", "w") as f:
-        json.dump(out, f, indent=1)
+    write_json(out, "experiment_results.json")
     print("wrote experiment_results.json")
 
 

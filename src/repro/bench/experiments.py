@@ -12,17 +12,19 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.harness import measure
+from repro.bench.harness import compare, measure
 from repro.bench.queries import sgb_queries, standard_queries
 from repro.clustering import birch, dbscan, kmeans
 from repro.core.api import sgb_all, sgb_any
 from repro.core.distance import Metric
+from repro.core.pointset import HAVE_NUMPY
 from repro.minidb.database import Database
 from repro.workloads.checkins import CheckinConfig, checkin_points, generate_checkins
 from repro.workloads.synthetic import clustered_points
 from repro.workloads.tpch import load_tpch
 
 __all__ = [
+    "batch_vs_scalar",
     "fig9_sgb_all_epsilon",
     "fig9_sgb_any_epsilon",
     "fig10_sgb_all_scale",
@@ -32,6 +34,62 @@ __all__ = [
     "table1_scaling_exponents",
     "table2_tpch_queries",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Batched columnar pipeline vs the scalar point-at-a-time reference
+# ---------------------------------------------------------------------------
+
+
+def batch_vs_scalar(
+    sizes: Sequence[int] = (10_000, 25_000),
+    eps: float = 0.3,
+    strategy: str = "index",
+    metric: "Metric | str" = Metric.L2,
+    seed: int = 11,
+) -> List[Dict[str, object]]:
+    """Runtime of ``add_batch`` vs per-point ``add`` for both SGB operators.
+
+    Both paths produce identical groupings (enforced by the parity tests);
+    the rows carry a ``speedup`` column relative to the scalar path so the
+    benchmark JSON shows the batch win directly.
+    """
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        points = clustered_points(
+            n, clusters=max(20, n // 250), spread=0.005, low=0.0, high=100.0, seed=seed
+        )
+        operators = {
+            "SGB-Any": lambda batch: sgb_any(
+                points, eps=eps, metric=metric, strategy=strategy, batch=batch
+            ),
+            "SGB-All": lambda batch: sgb_all(
+                points, eps=eps, metric=metric, strategy=strategy, batch=batch
+            ),
+        }
+        for operator, run in operators.items():
+            for m in compare(
+                {
+                    "scalar": lambda run=run: run(False),
+                    "batch": lambda run=run: run(True),
+                },
+                baseline="scalar",
+            ):
+                rows.append(
+                    {
+                        "experiment": "batch-vs-scalar",
+                        "operator": operator,
+                        "path": m.label,
+                        "n": n,
+                        "eps": eps,
+                        "strategy": strategy,
+                        "backend": "numpy" if HAVE_NUMPY else "python",
+                        "groups": m.value.group_count,
+                        "seconds": m.seconds,
+                        "speedup": m.params.get("speedup"),
+                    }
+                )
+    return rows
 
 
 # ---------------------------------------------------------------------------
@@ -85,8 +143,12 @@ def fig9_sgb_any_epsilon(
     rows: List[Dict[str, object]] = []
     for eps in eps_values:
         for strategy in strategies:
+            # batch=False: this figure compares the paper's per-tuple
+            # algorithms; the batched pipeline bypasses both of them.
             m = measure(
-                lambda e=eps, s=strategy: sgb_any(points, eps=e, metric=metric, strategy=s),
+                lambda e=eps, s=strategy: sgb_any(
+                    points, eps=e, metric=metric, strategy=s, batch=False
+                ),
                 label="sgb-any",
             )
             rows.append(
@@ -154,8 +216,12 @@ def fig10_sgb_any_scale(
     for n in sizes:
         points = clustered_points(n, clusters=25, spread=0.005, low=0.0, high=100.0, seed=seed)
         for strategy in strategies:
+            # batch=False: the scaling comparison is between the paper's
+            # per-tuple algorithms (see fig9_sgb_any_epsilon).
             m = measure(
-                lambda p=points, s=strategy: sgb_any(p, eps=eps, metric=metric, strategy=s),
+                lambda p=points, s=strategy: sgb_any(
+                    p, eps=eps, metric=metric, strategy=s, batch=False
+                ),
                 label="sgb-any",
             )
             rows.append(
@@ -201,6 +267,9 @@ def fig11_vs_clustering(
         # distance in degrees, so the similarity threshold is selective.
         points = checkin_points(generate_checkins(config))
 
+        # batch=False on SGB-Any: like the other figure runners, this
+        # reproduces the paper's per-tuple operator; the batched pipeline has
+        # its own comparison (batch_vs_scalar).
         competitors = {
             "DBSCAN": lambda: dbscan(points, eps=eps, min_pts=4),
             "BIRCH": lambda: birch(points, threshold=eps / 2),
@@ -209,7 +278,7 @@ def fig11_vs_clustering(
             "SGB-All-Join-Any": lambda: sgb_all(points, eps=eps, on_overlap="JOIN-ANY"),
             "SGB-All-Eliminate": lambda: sgb_all(points, eps=eps, on_overlap="ELIMINATE"),
             "SGB-All-Form-New": lambda: sgb_all(points, eps=eps, on_overlap="FORM-NEW-GROUP"),
-            "SGB-Any": lambda: sgb_any(points, eps=eps),
+            "SGB-Any": lambda: sgb_any(points, eps=eps, batch=False),
         }
         for name, fn in competitors.items():
             m = measure(fn, label=name)

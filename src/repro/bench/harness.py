@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
-__all__ = ["Measurement", "measure", "sweep"]
+__all__ = ["Measurement", "measure", "sweep", "compare"]
 
 
 @dataclass
@@ -40,6 +40,33 @@ def measure(fn: Callable[[], Any], label: str = "", repeat: int = 1, **params: A
         if elapsed < best:
             best = elapsed
     return Measurement(seconds=best, value=value, label=label, params=dict(params))
+
+
+def compare(
+    fns: "Dict[str, Callable[[], Any]]",
+    baseline: Optional[str] = None,
+    repeat: int = 1,
+    **params: Any,
+) -> List[Measurement]:
+    """Time several implementations of the same computation side by side.
+
+    ``fns`` maps a label to a zero-argument callable (e.g. ``{"scalar": ...,
+    "batch": ...}``).  When ``baseline`` names one of the labels, every
+    measurement gains a ``speedup`` parameter relative to it, so the rows the
+    experiment runners emit carry the scalar-vs-batch ratio directly into the
+    benchmark JSONs.
+    """
+    if baseline is not None and baseline not in fns:
+        raise ValueError(f"unknown baseline label: {baseline!r}")
+    results = [
+        measure(fn, label=name, repeat=repeat, **params) for name, fn in fns.items()
+    ]
+    if baseline is not None:
+        base = next(m.seconds for m in results if m.label == baseline)
+        for m in results:
+            if m.seconds > 0:
+                m.params["speedup"] = round(base / m.seconds, 2)
+    return results
 
 
 def sweep(

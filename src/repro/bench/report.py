@@ -1,10 +1,11 @@
-"""Plain-text rendering of experiment results (tables and runtime series)."""
+"""Rendering of experiment results: text tables, runtime series, JSON dumps."""
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "speedup"]
+__all__ = ["format_table", "format_series", "speedup", "write_json"]
 
 
 def format_table(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
@@ -72,6 +73,18 @@ def speedup(rows: Sequence[Dict[str, Any]], baseline_label: str, key: str = "str
             new_row["speedup"] = round(base / row["seconds"], 2)
         out.append(new_row)
     return out
+
+
+def write_json(rows: "Sequence[Dict[str, Any]] | Dict[str, Any]", path: str) -> str:
+    """Dump experiment rows to ``path`` as indented JSON; return the path.
+
+    This is the same serialisation ``scripts/run_all_experiments.py`` uses for
+    ``experiment_results.json``, so ad-hoc benchmark runs and the full
+    experiment sweep produce interchangeable artifacts.
+    """
+    with open(path, "w") as f:
+        json.dump(rows, f, indent=1)
+    return path
 
 
 def _fmt(value: Any) -> str:

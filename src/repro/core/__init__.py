@@ -10,6 +10,7 @@ from repro.core.api import cluster_by, sgb_all, sgb_any
 from repro.core.distance import Metric, chebyshev, euclidean, manhattan, minkowski
 from repro.core.groups import Group
 from repro.core.overlap import OverlapAction
+from repro.core.pointset import PointSet
 from repro.core.predicates import SimilarityPredicate
 from repro.core.rectangle import EpsAllRectangle, Rect
 from repro.core.result import GroupingResult
@@ -19,6 +20,7 @@ from repro.core.sgb_any import SGBAnyGrouper, SGBAnyStrategy, sgb_any_grouping
 __all__ = [
     "Metric",
     "OverlapAction",
+    "PointSet",
     "SimilarityPredicate",
     "EpsAllRectangle",
     "Rect",

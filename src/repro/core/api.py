@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from repro.core.distance import Metric
 from repro.core.overlap import OverlapAction
+from repro.core.pointset import PointSet
 from repro.core.result import GroupingResult
 from repro.core.sgb_all import IndexFactory, SGBAllStrategy, sgb_all_grouping
 from repro.core.sgb_any import SGBAnyStrategy, sgb_any_grouping
@@ -22,21 +23,14 @@ from repro.exceptions import InvalidParameterError
 __all__ = ["sgb_all", "sgb_any", "cluster_by"]
 
 
-def _normalise_points(points: Sequence[Sequence[float]]) -> list[tuple[float, ...]]:
-    out: list[tuple[float, ...]] = []
-    dims: Optional[int] = None
-    for p in points:
-        pt = tuple(float(c) for c in p)
-        if dims is None:
-            dims = len(pt)
-            if dims == 0:
-                raise InvalidParameterError("points must have at least one dimension")
-        elif len(pt) != dims:
-            raise InvalidParameterError(
-                f"inconsistent point dimensionality: expected {dims}, got {len(pt)}"
-            )
-        out.append(pt)
-    return out
+def _normalise_points(points: Sequence[Sequence[float]]) -> PointSet:
+    """Normalise any point container into a :class:`PointSet`.
+
+    NumPy arrays are adopted zero-copy (no per-point Python tuple
+    materialisation); every input is checked once for consistent
+    dimensionality and finite (non-NaN, non-infinite) coordinates.
+    """
+    return PointSet.from_any(points)
 
 
 def sgb_all(
@@ -47,13 +41,15 @@ def sgb_all(
     strategy: "SGBAllStrategy | str" = SGBAllStrategy.INDEX,
     seed: int = 0,
     index_factory: Optional[IndexFactory] = None,
+    batch: bool = True,
 ) -> GroupingResult:
     """Run the SGB-All (distance-to-all / clique) operator over ``points``.
 
     Parameters
     ----------
     points:
-        Sequence of d-dimensional numeric points, processed in order.
+        Sequence of d-dimensional numeric points, processed in order.  A
+        NumPy ``(n, d)`` array is consumed zero-copy.
     eps:
         Similarity threshold (the SQL ``WITHIN`` value); must be positive.
     metric:
@@ -69,6 +65,10 @@ def sgb_all(
     index_factory:
         Optional callable returning an empty spatial index, used by the
         ``index`` strategy (defaults to an R-tree).
+    batch:
+        Route through the batched columnar pipeline (default).  ``False``
+        forces the scalar point-at-a-time reference path; both produce
+        identical results.
 
     Returns
     -------
@@ -83,6 +83,7 @@ def sgb_all(
         strategy=strategy,
         seed=seed,
         index_factory=index_factory,
+        batch=batch,
     )
 
 
@@ -92,12 +93,15 @@ def sgb_any(
     metric: "Metric | str" = Metric.L2,
     strategy: "SGBAnyStrategy | str" = SGBAnyStrategy.INDEX,
     index_factory: Optional[IndexFactory] = None,
+    batch: bool = True,
 ) -> GroupingResult:
     """Run the SGB-Any (distance-to-any / connectivity) operator over ``points``.
 
     Groups are the connected components of the graph linking points within
     ``eps`` of each other under the chosen metric.  There is no overlap
-    clause: overlapping groups merge by definition.
+    clause: overlapping groups merge by definition.  A NumPy ``(n, d)``
+    array is consumed zero-copy; ``batch=False`` forces the scalar
+    point-at-a-time reference path (identical results).
     """
     return sgb_any_grouping(
         _normalise_points(points),
@@ -105,6 +109,7 @@ def sgb_any(
         metric=metric,
         strategy=strategy,
         index_factory=index_factory,
+        batch=batch,
     )
 
 

@@ -7,18 +7,25 @@ two Minkowski distances:
 * ``LINF`` — the maximum (Chebyshev) distance ``max |x_i - y_i|``
 
 This module also provides the general ``Lp`` family as an extension (the
-paper leaves metrics beyond L2/L-infinity to future work).  All functions
-accept plain sequences of floats; no numpy arrays are required on the hot
-path because the SGB algorithms operate point-at-a-time.
+paper leaves metrics beyond L2/L-infinity to future work).  The scalar
+functions accept plain sequences of floats; :func:`pairwise_measures` is the
+NumPy kernel behind every vectorised eps decision in the batch path, and
+:func:`distances_many` is its one-against-many convenience wrapper for
+callers that want actual distances.
 """
 
 from __future__ import annotations
 
 import math
 from enum import Enum
-from typing import Callable, Sequence
+from typing import Callable, List, Sequence
 
 from repro.exceptions import DimensionalityError, InvalidParameterError
+
+try:  # optional dependency: the scalar loops below are the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
 
 Point = Sequence[float]
 DistanceFunction = Callable[[Point, Point], float]
@@ -31,6 +38,9 @@ __all__ = [
     "chebyshev",
     "manhattan",
     "minkowski",
+    "distances_many",
+    "pairwise_measures",
+    "within_eps",
     "get_distance_function",
     "resolve_metric",
 ]
@@ -152,3 +162,81 @@ def resolve_metric(metric: "Metric | str") -> Metric:
 def get_distance_function(metric: "Metric | str") -> DistanceFunction:
     """Return the distance callable for a metric name or enum member."""
     return resolve_metric(metric).function
+
+
+def pairwise_measures(probe: "object", block: "object", metric: Metric) -> "object":
+    """NumPy kernel: per-pair metric measure between two ``(_, d)`` blocks.
+
+    Returns the ``(a, b)`` array of *measures* — squared distance for L2
+    (the comparison form the predicates use), plain distance for LINF/L1 —
+    between every row of ``probe (a, d)`` and every row of ``block (b, d)``.
+
+    The coordinate terms accumulate left-to-right, one dimension at a time,
+    exactly like the scalar loops above, so comparisons against an epsilon
+    are bit-identical to the scalar path at any dimensionality (a plain
+    ``.sum(axis=-1)`` would switch to pairwise summation past 8 dimensions
+    and flip exact-boundary predicate decisions).
+    """
+    if probe.shape[1] != block.shape[1]:
+        raise DimensionalityError(
+            f"points have different dimensionality: "
+            f"{probe.shape[1]} vs {block.shape[1]}"
+        )
+    pa = probe[:, 0, None]
+    pb = block[None, :, 0]
+    if metric is Metric.L2:
+        diff = pa - pb
+        acc = diff * diff
+        for k in range(1, probe.shape[1]):
+            diff = probe[:, k, None] - block[None, :, k]
+            acc += diff * diff
+        return acc
+    if metric is Metric.LINF:
+        acc = _np.abs(pa - pb)
+        for k in range(1, probe.shape[1]):
+            _np.maximum(acc, _np.abs(probe[:, k, None] - block[None, :, k]), out=acc)
+        return acc
+    if metric is Metric.L1:
+        acc = _np.abs(pa - pb)
+        for k in range(1, probe.shape[1]):
+            acc += _np.abs(probe[:, k, None] - block[None, :, k])
+        return acc
+    raise InvalidParameterError(f"unsupported metric for bulk evaluation: {metric}")
+
+
+def within_eps(probe: "object", block: "object", metric: Metric, eps: float) -> "object":
+    """NumPy kernel: ``(a, b)`` boolean mask of pairs within ``eps``.
+
+    This is the single place that knows how :func:`pairwise_measures` maps to
+    the epsilon comparison (squared threshold for L2, plain for LINF/L1);
+    every vectorised predicate decision routes through it so the boundary
+    rule cannot drift between call sites.
+    """
+    measures = pairwise_measures(probe, block, metric)
+    return measures <= (eps * eps if metric is Metric.L2 else eps)
+
+
+def distances_many(
+    p: Point, candidates: "Sequence[Point]", metric: "Metric | str" = Metric.L2
+) -> List[float]:
+    """Return the distance from ``p`` to every candidate (vectorised).
+
+    With NumPy present the candidate block is evaluated in one shot through
+    :func:`pairwise_measures`, so the values are bit-identical to calling
+    ``metric.distance`` in a loop.  ``candidates`` may be a NumPy ``(n, d)``
+    array (zero-copy) or any sequence of point sequences.
+    """
+    m = resolve_metric(metric)
+    if _np is not None:
+        block = _np.asarray(candidates, dtype=_np.float64)
+        if block.shape[0] == 0:
+            return []
+        if block.ndim != 2:
+            raise DimensionalityError("candidates must form a 2-D (n, d) block")
+        probe = _np.asarray([tuple(float(c) for c in p)], dtype=_np.float64)
+        measures = pairwise_measures(probe, block, m)[0]
+        if m is Metric.L2:
+            return _np.sqrt(measures).tolist()
+        return measures.tolist()
+    fn = m.function
+    return [fn(p, q) for q in candidates]

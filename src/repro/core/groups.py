@@ -15,9 +15,18 @@ from repro.core.predicates import SimilarityPredicate
 from repro.core.rectangle import EpsAllRectangle, Rect
 from repro.geometry.convex_hull import convex_hull
 
+try:  # optional: membership checks fall back to scalar loops without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
+
 Point = Tuple[float, ...]
 
 __all__ = ["Group"]
+
+#: Below this member count the scalar loops beat the cost of staging the
+#: members into a NumPy block, so the vectorised path only kicks in past it.
+_VECTOR_MIN_MEMBERS = 32
 
 
 class Group:
@@ -31,6 +40,8 @@ class Group:
         "indexed_rect",
         "_hull",
         "_hull_dirty",
+        "_coords",
+        "_coords_dirty",
     )
 
     def __init__(self, gid: int, eps: float, index: int, point: Point) -> None:
@@ -42,6 +53,9 @@ class Group:
         self.indexed_rect: Optional[Rect] = None
         self._hull: Optional[List[Tuple[float, float]]] = None
         self._hull_dirty = True
+        #: Lazily maintained columnar copy of ``points`` for bulk verification.
+        self._coords = None
+        self._coords_dirty = True
 
     def __len__(self) -> int:
         return len(self.points)
@@ -57,6 +71,7 @@ class Group:
         self.indices.append(index)
         self.eps_rect.add(point)
         self._hull_dirty = True
+        self._coords_dirty = True
 
     def remove_indices(self, to_remove: Sequence[int]) -> List[Tuple[int, Point]]:
         """Remove the listed input indices; return the removed (index, point) pairs.
@@ -82,6 +97,7 @@ class Group:
                 rebuilt.add(pt)
             self.eps_rect = rebuilt
         self._hull_dirty = True
+        self._coords_dirty = True
         return removed
 
     # -- membership tests ---------------------------------------------------
@@ -90,21 +106,45 @@ class Group:
         """Constant-time epsilon-All rectangle filter."""
         return self.eps_rect.contains(point)
 
+    def _member_block(self):
+        """Return the cached ``(n, d)`` member array, or None for small groups.
+
+        The vectorised membership checks produce bit-identical decisions to
+        the scalar loops (see ``SimilarityPredicate.similar_many``), so both
+        the scalar and batched SGB paths share them transparently.
+        """
+        if _np is None or len(self.points) < _VECTOR_MIN_MEMBERS:
+            return None
+        if self._coords_dirty or self._coords is None:
+            self._coords = _np.asarray(self.points, dtype=_np.float64)
+            self._coords_dirty = False
+        return self._coords
+
     def all_within(self, point: Point, predicate: SimilarityPredicate) -> bool:
         """Exact distance-to-all test against every member."""
-        return predicate.similar_to_all(point, self.points)
+        block = self._member_block()
+        if block is None:
+            return predicate.similar_to_all(point, self.points)
+        return bool(predicate.similar_many(point, block).all())
 
     def any_within(self, point: Point, predicate: SimilarityPredicate) -> bool:
         """Exact distance-to-any test against the members."""
-        return predicate.similar_to_any(point, self.points)
+        block = self._member_block()
+        if block is None:
+            return predicate.similar_to_any(point, self.points)
+        return bool(predicate.similar_many(point, block).any())
 
     def members_within(self, point: Point, predicate: SimilarityPredicate) -> List[int]:
         """Return the input indices of members within ``eps`` of ``point``."""
-        return [
-            idx
-            for idx, member in zip(self.indices, self.points)
-            if predicate.similar(point, member)
-        ]
+        block = self._member_block()
+        if block is None:
+            return [
+                idx
+                for idx, member in zip(self.indices, self.points)
+                if predicate.similar(point, member)
+            ]
+        mask = predicate.similar_many(point, block)
+        return [idx for idx, ok in zip(self.indices, mask) if ok]
 
     def hull(self) -> List[Tuple[float, float]]:
         """Return the (cached) 2-d convex hull of the group's members."""

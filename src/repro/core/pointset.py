@@ -1,0 +1,462 @@
+"""Columnar point-set abstraction backing the batched SGB execution path.
+
+The SGB operators historically processed one ``Tuple[float, ...]`` at a time.
+A :class:`PointSet` holds a whole batch of d-dimensional points in columnar
+form and exposes batched primitives:
+
+* :meth:`PointSet.pairwise_within` — every index pair within ``eps`` under a
+  metric (the epsilon-neighbourhood edges), found with a uniform eps-grid so
+  neither backend ever materialises the full O(n^2) distance matrix.  This
+  is the kernel behind the SGB-Any batch path.
+* :meth:`PointSet.window_mask` — boolean membership mask for a window query.
+* :meth:`PointSet.verify_within` — bulk exact-distance verification of index
+  window hits against a probe point (the ``VerifyPoints`` step of Procedure
+  8; the groupers route the equivalent check through
+  ``SimilarityPredicate.similar_many``, which shares the same kernel).
+* :meth:`PointSet.bbox` — minimum bounding rectangle of the batch.
+
+``window_mask``/``verify_within``/``bbox`` are public building blocks for
+external batch consumers (sharding, streaming — see ROADMAP) and share the
+``pairwise_measures`` kernel with the predicate layer, so the eps decisions
+agree bit-for-bit everywhere.
+
+Two interchangeable backends exist: a NumPy array backend (used automatically
+when ``numpy`` is importable) and a pure-Python list-of-tuples fallback, so
+the library stays dependency-optional.  Both backends produce *bit-identical*
+predicate decisions: the vectorised kernels accumulate coordinate terms in the
+same order as the scalar loops in :mod:`repro.core.distance`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.distance import Metric, resolve_metric, within_eps
+from repro.core.predicates import SimilarityPredicate
+from repro.core.rectangle import Rect
+from repro.exceptions import DimensionalityError, InvalidParameterError
+
+try:  # NumPy is optional; the pure-Python backend covers its absence.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the python backend tests
+    _np = None
+
+Point = Tuple[float, ...]
+
+__all__ = [
+    "PointSet",
+    "PythonPointSet",
+    "NumpyPointSet",
+    "HAVE_NUMPY",
+    "ensure_finite",
+]
+
+
+def ensure_finite(pt: "Sequence[float]") -> None:
+    """Reject NaN/inf coordinates with a uniform, clear error."""
+    for c in pt:
+        if not math.isfinite(c):
+            raise InvalidParameterError(
+                f"point {tuple(pt)!r} has a non-finite coordinate; "
+                "NaN and infinity are not valid point coordinates"
+            )
+
+HAVE_NUMPY = _np is not None
+
+#: Row-block size bounding the memory of the vectorised pair search
+#: (``_BLOCK * bucket_size`` distances at a time).
+_BLOCK = 512
+
+#: Above this dimensionality ``pairwise_within`` switches from the eps-grid
+#: sweep to blocked brute force: the grid visits up to 3^d neighbour offsets
+#: per cell, which explodes combinatorially while the cells stop pruning
+#: anything (curse of dimensionality).
+_PAIRWISE_GRID_MAX_DIMS = 6
+
+
+def _validate_tuples(points: Iterable[Sequence[float]]) -> List[Point]:
+    """Normalise to a list of float tuples, checking dims and finiteness."""
+    out: List[Point] = []
+    dims: Optional[int] = None
+    for p in points:
+        pt = tuple(float(c) for c in p)
+        if dims is None:
+            dims = len(pt)
+            if dims == 0:
+                raise InvalidParameterError("points must have at least one dimension")
+        elif len(pt) != dims:
+            raise DimensionalityError(
+                f"inconsistent point dimensionality: expected {dims}, got {len(pt)}"
+            )
+        ensure_finite(pt)
+        out.append(pt)
+    return out
+
+
+class PointSet:
+    """A batch of d-dimensional points stored column-friendly.
+
+    Use the factories :meth:`from_any` / :meth:`from_columns` rather than the
+    backend constructors; they auto-select the NumPy backend when available
+    (``backend="python"`` forces the fallback, which the equivalence tests
+    use to cross-check the two implementations).
+    """
+
+    # -- factories ---------------------------------------------------------
+
+    @staticmethod
+    def from_any(
+        points: "PointSet | Sequence[Sequence[float]]",
+        backend: Optional[str] = None,
+    ) -> "PointSet":
+        """Build a :class:`PointSet` from any reasonable point container.
+
+        NumPy ``(n, d)`` arrays are adopted zero-copy when they are already
+        ``float64``; other inputs are normalised once.  Non-finite coordinates
+        (NaN / infinity) are rejected with :class:`InvalidParameterError`.
+        """
+        if isinstance(points, PointSet):
+            if backend is None or points.backend == backend:
+                return points
+            if backend == "python":
+                return PythonPointSet(points.to_tuples())
+            return NumpyPointSet._from_validated_tuples(points.to_tuples())
+        if backend is not None and backend not in ("python", "numpy"):
+            raise InvalidParameterError(f"unknown PointSet backend: {backend!r}")
+        use_numpy = HAVE_NUMPY if backend is None else backend == "numpy"
+        if backend == "numpy" and not HAVE_NUMPY:
+            raise InvalidParameterError("numpy backend requested but numpy is missing")
+        if HAVE_NUMPY and isinstance(points, _np.ndarray):
+            if points.ndim != 2:
+                raise DimensionalityError(
+                    f"point array must be 2-D (n, d), got shape {points.shape}"
+                )
+            if points.shape[0] > 0 and points.shape[1] == 0:
+                raise InvalidParameterError("points must have at least one dimension")
+            arr = _np.asarray(points, dtype=_np.float64)
+            if arr.size and not bool(_np.isfinite(arr).all()):
+                raise InvalidParameterError(
+                    "point array has non-finite coordinates; "
+                    "NaN and infinity are not valid point coordinates"
+                )
+            if use_numpy:
+                return NumpyPointSet(arr)
+            return PythonPointSet([tuple(row) for row in arr.tolist()])
+        tuples = _validate_tuples(points)
+        if use_numpy:
+            return NumpyPointSet._from_validated_tuples(tuples)
+        return PythonPointSet(tuples)
+
+    @staticmethod
+    def from_columns(
+        columns: Sequence[Sequence[float]], backend: Optional[str] = None
+    ) -> "PointSet":
+        """Build a :class:`PointSet` from per-dimension column vectors."""
+        if len(columns) == 0:
+            raise InvalidParameterError("at least one column is required")
+        n = len(columns[0])
+        for col in columns[1:]:
+            if len(col) != n:
+                raise InvalidParameterError("columns must all have the same length")
+        if HAVE_NUMPY and (backend is None or backend == "numpy"):
+            arr = _np.column_stack(
+                [_np.asarray(col, dtype=_np.float64) for col in columns]
+            ) if n else _np.empty((0, len(columns)), dtype=_np.float64)
+            if arr.size and not bool(_np.isfinite(arr).all()):
+                raise InvalidParameterError(
+                    "point columns have non-finite coordinates; "
+                    "NaN and infinity are not valid point coordinates"
+                )
+            return NumpyPointSet(arr)
+        return PointSet.from_any(list(zip(*columns)) if n else [], backend=backend)
+
+    # -- abstract protocol -------------------------------------------------
+
+    backend: str = ""
+
+    def __len__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def dims(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def point(self, i: int) -> Point:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def to_tuples(self) -> List[Point]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def window_mask(self, rect: Rect) -> List[bool]:  # pragma: no cover
+        raise NotImplementedError
+
+    def verify_within(
+        self,
+        point: Sequence[float],
+        eps: float,
+        metric: "Metric | str" = Metric.L2,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> List[int]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def pairwise_within(
+        self, eps: float, metric: "Metric | str" = Metric.L2
+    ) -> Iterator[Tuple[int, int]]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # -- shared conveniences ----------------------------------------------
+
+    def __iter__(self) -> Iterator[Point]:
+        for i in range(len(self)):
+            yield self.point(i)
+
+    def __getitem__(self, i: int) -> Point:
+        return self.point(i)
+
+    def bbox(self) -> Rect:
+        """Return the minimum bounding rectangle of the set (non-empty only)."""
+        if len(self) == 0:
+            raise InvalidParameterError("cannot build a bounding box of zero points")
+        return Rect.from_points(self.to_tuples())
+
+    @staticmethod
+    def _check_eps(eps: float) -> float:
+        eps = float(eps)
+        if eps <= 0:
+            raise InvalidParameterError(f"eps must be positive, got {eps}")
+        return eps
+
+
+class PythonPointSet(PointSet):
+    """Pure-Python fallback backend: a list of float tuples."""
+
+    backend = "python"
+
+    def __init__(self, points: Sequence[Sequence[float]]) -> None:
+        self._points: List[Point] = _validate_tuples(points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def dims(self) -> int:
+        return len(self._points[0]) if self._points else 0
+
+    def point(self, i: int) -> Point:
+        return self._points[i]
+
+    def to_tuples(self) -> List[Point]:
+        return list(self._points)
+
+    def bbox(self) -> Rect:
+        if not self._points:
+            raise InvalidParameterError("cannot build a bounding box of zero points")
+        return Rect.from_points(self._points)
+
+    def window_mask(self, rect: Rect) -> List[bool]:
+        return [rect.contains_point(p) for p in self._points]
+
+    def verify_within(
+        self,
+        point: Sequence[float],
+        eps: float,
+        metric: "Metric | str" = Metric.L2,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        predicate = SimilarityPredicate(resolve_metric(metric), self._check_eps(eps))
+        pt = tuple(float(c) for c in point)
+        idxs = range(len(self._points)) if candidates is None else candidates
+        return [i for i in idxs if predicate.similar(pt, self._points[i])]
+
+    def pairwise_within(
+        self, eps: float, metric: "Metric | str" = Metric.L2
+    ) -> Iterator[Tuple[int, int]]:
+        eps = self._check_eps(eps)
+        predicate = SimilarityPredicate(resolve_metric(metric), eps)
+        pts = self._points
+        if not pts:
+            return
+        d = len(pts[0])
+        if d > _PAIRWISE_GRID_MAX_DIMS:
+            for i in range(len(pts)):
+                pi = pts[i]
+                for j in range(i + 1, len(pts)):
+                    if predicate.similar(pi, pts[j]):
+                        yield i, j
+            return
+        buckets: Dict[Tuple[int, ...], List[int]] = {}
+        for i, p in enumerate(pts):
+            buckets.setdefault(tuple(math.floor(c / eps) for c in p), []).append(i)
+        offsets = _half_space_offsets(d)
+        for key, members in buckets.items():
+            # Same-cell pairs.
+            for a in range(len(members)):
+                i = members[a]
+                pi = pts[i]
+                for b in range(a + 1, len(members)):
+                    j = members[b]
+                    if predicate.similar(pi, pts[j]):
+                        yield i, j
+            # Pairs with the lexicographically-greater neighbour cells.
+            for off in offsets:
+                other = buckets.get(tuple(k + o for k, o in zip(key, off)))
+                if not other:
+                    continue
+                for i in members:
+                    pi = pts[i]
+                    for j in other:
+                        if predicate.similar(pi, pts[j]):
+                            yield i, j
+
+
+class NumpyPointSet(PointSet):
+    """NumPy-backed columnar backend (auto-selected when numpy imports)."""
+
+    backend = "numpy"
+
+    def __init__(self, array: "Any") -> None:
+        if _np is None:  # pragma: no cover - guarded by the factory
+            raise InvalidParameterError("numpy backend requested but numpy is missing")
+        arr = _np.asarray(array, dtype=_np.float64)
+        if arr.ndim != 2:
+            raise DimensionalityError(
+                f"point array must be 2-D (n, d), got shape {arr.shape}"
+            )
+        self._array = arr
+
+    @classmethod
+    def _from_validated_tuples(cls, tuples: List[Point]) -> "NumpyPointSet":
+        if not tuples:
+            return cls(_np.empty((0, 0), dtype=_np.float64))
+        return cls(_np.asarray(tuples, dtype=_np.float64))
+
+    @property
+    def array(self) -> "Any":
+        """The underlying ``(n, d)`` float64 array (shared, do not mutate)."""
+        return self._array
+
+    def __len__(self) -> int:
+        return self._array.shape[0]
+
+    @property
+    def dims(self) -> int:
+        return self._array.shape[1]
+
+    def point(self, i: int) -> Point:
+        return tuple(self._array[i].tolist())
+
+    def to_tuples(self) -> List[Point]:
+        return [tuple(row) for row in self._array.tolist()]
+
+    def bbox(self) -> Rect:
+        if self._array.shape[0] == 0:
+            raise InvalidParameterError("cannot build a bounding box of zero points")
+        return Rect(
+            tuple(self._array.min(axis=0).tolist()),
+            tuple(self._array.max(axis=0).tolist()),
+        )
+
+    def window_mask(self, rect: Rect) -> "Any":
+        if self._array.shape[0] == 0:
+            return _np.zeros(0, dtype=bool)
+        if len(rect.low) != self.dims:
+            raise DimensionalityError("window/point-set dimensionality mismatch")
+        low = _np.asarray(rect.low)
+        high = _np.asarray(rect.high)
+        return ((self._array >= low) & (self._array <= high)).all(axis=1)
+
+    def verify_within(
+        self,
+        point: Sequence[float],
+        eps: float,
+        metric: "Metric | str" = Metric.L2,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        eps = self._check_eps(eps)
+        metric = resolve_metric(metric)
+        if self._array.shape[0] == 0:
+            return []
+        probe = _np.asarray([tuple(float(c) for c in point)], dtype=_np.float64)
+        if candidates is None:
+            mask = within_eps(probe, self._array, metric, eps)[0]
+            return _np.nonzero(mask)[0].tolist()
+        cand = _np.asarray(list(candidates), dtype=_np.intp)
+        if cand.size == 0:
+            return []
+        mask = within_eps(probe, self._array[cand], metric, eps)[0]
+        return cand[mask].tolist()
+
+    def pairwise_within(
+        self, eps: float, metric: "Metric | str" = Metric.L2
+    ) -> Iterator[Tuple[int, int]]:
+        eps = self._check_eps(eps)
+        metric = resolve_metric(metric)
+        arr = self._array
+        n = arr.shape[0]
+        if n < 2:
+            return
+        if arr.shape[1] > _PAIRWISE_GRID_MAX_DIMS:
+            # Blocked brute force: rows [start, start+block) against every
+            # later row; still vectorised, no 3^d offset enumeration.
+            for start in range(0, n - 1, _BLOCK):
+                sub = _np.arange(start, min(start + _BLOCK, n))
+                mask = within_eps(arr[sub], arr, metric, eps)
+                gi, gj = _np.nonzero(mask)
+                gi = sub[gi]
+                keep = gi < gj
+                for i, j in zip(gi[keep].tolist(), gj[keep].tolist()):
+                    yield i, j
+            return
+        cells = _np.floor(arr / eps).astype(_np.int64)
+        uniq, inverse = _np.unique(cells, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        order = _np.argsort(inverse, kind="stable")
+        counts = _np.bincount(inverse, minlength=uniq.shape[0])
+        splits = _np.split(order, _np.cumsum(counts)[:-1])
+        bucket_of = {tuple(c): idx for c, idx in zip(uniq.tolist(), splits)}
+        offsets = _half_space_offsets(arr.shape[1])
+        for key, members in bucket_of.items():
+            yield from self._cell_pairs(members, members, eps, metric, same=True)
+            for off in offsets:
+                other = bucket_of.get(tuple(k + o for k, o in zip(key, off)))
+                if other is not None:
+                    yield from self._cell_pairs(members, other, eps, metric, same=False)
+
+    def _cell_pairs(self, a_idx, b_idx, eps: float, metric: Metric, same: bool):
+        """Yield the within-eps (i, j) pairs between two index buckets, blocked."""
+        arr = self._array
+        pb = arr[b_idx]
+        for start in range(0, a_idx.shape[0], _BLOCK):
+            sub = a_idx[start : start + _BLOCK]
+            mask = within_eps(arr[sub], pb, metric, eps)
+            ai, bi = _np.nonzero(mask)
+            gi = sub[ai]
+            gj = b_idx[bi]
+            if same:
+                keep = gi < gj
+                gi = gi[keep]
+                gj = gj[keep]
+            for i, j in zip(gi.tolist(), gj.tolist()):
+                yield i, j
+
+
+def _half_space_offsets(d: int) -> List[Tuple[int, ...]]:
+    """Neighbour-cell offsets in {-1,0,1}^d that are lexicographically positive.
+
+    Visiting only the positive half-space means every unordered cell pair is
+    scanned exactly once (the origin offset, handled separately, covers
+    same-cell pairs).
+    """
+    out: List[Tuple[int, ...]] = []
+
+    def recurse(prefix: Tuple[int, ...]) -> None:
+        if len(prefix) == d:
+            if any(prefix) and prefix > (0,) * d:
+                out.append(prefix)
+            return
+        for o in (-1, 0, 1):
+            recurse(prefix + (o,))
+
+    recurse(())
+    return out

@@ -16,8 +16,14 @@ from repro.core.distance import (
     Metric,
     resolve_metric,
     squared_euclidean,
+    within_eps,
 )
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import DimensionalityError, InvalidParameterError
+
+try:  # optional: similar_many falls back to a scalar loop without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
 
 Point = Sequence[float]
 
@@ -55,6 +61,24 @@ class SimilarityPredicate:
         if self.metric is Metric.L2:
             return squared_euclidean(p, q) <= self.eps * self.eps
         return self._distance(p, q) <= self.eps
+
+    def similar_many(self, p: Point, candidates: "Sequence[Point]") -> "Sequence[bool]":
+        """Return one boolean per candidate: is it within ``eps`` of ``p``?
+
+        The vectorised path accepts a NumPy ``(n, d)`` array zero-copy and
+        accumulates coordinate terms in the same order as :meth:`similar`,
+        so each decision is bit-identical to the scalar call.  Without NumPy
+        this is a plain loop over :meth:`similar`.
+        """
+        if _np is not None:
+            block = _np.asarray(candidates, dtype=_np.float64)
+            if block.shape[0] == 0:
+                return []
+            if block.ndim != 2:
+                raise DimensionalityError("candidates must form a 2-D (n, d) block")
+            probe = _np.asarray([tuple(float(c) for c in p)], dtype=_np.float64)
+            return within_eps(probe, block, self.metric, self.eps)[0]
+        return [self.similar(p, q) for q in candidates]
 
     def similar_to_all(self, p: Point, others: "Sequence[Point]") -> bool:
         """Return True if ``p`` is within ``eps`` of *every* point in ``others``."""

@@ -26,6 +26,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.distance import Metric, resolve_metric
 from repro.core.groups import Group
+from repro.core.pointset import PointSet, ensure_finite
 from repro.core.overlap import OverlapAction
 from repro.core.predicates import SimilarityPredicate
 from repro.core.rectangle import Rect
@@ -104,6 +105,7 @@ class SGBAllGrouper:
         )
         self._next_gid = 0
         self._points: List[Point] = []
+        self._seen_indices: set[int] = set()
         self._deferred: List[Tuple[int, Point]] = []
         self._eliminated: List[int] = []
         self._deferred_flags: set[int] = set()
@@ -120,15 +122,50 @@ class SGBAllGrouper:
         position and must be unique across the run.
         """
         pt: Point = tuple(float(c) for c in point)
+        ensure_finite(pt)
         if index is None:
             index = len(self._points)
+        if index in self._seen_indices:
+            raise InvalidParameterError(
+                f"input row index {index} was already added to this grouper"
+            )
+        self._seen_indices.add(index)
         self._points.append(pt)
         self._process_point(index, pt)
 
     def add_all(self, points: Iterable[Sequence[float]]) -> None:
-        """Process points in arrival order."""
+        """Process points one at a time in arrival order (scalar reference path)."""
         for point in points:
             self.add(point)
+
+    def add_batch(self, points: "PointSet | Sequence[Sequence[float]]") -> None:
+        """Process a whole batch of points through the columnar pipeline.
+
+        SGB-All's arbitration (JOIN-ANY randomness, group formation order)
+        is inherently sequential, so the batch path keeps the per-point
+        decision sequence of :meth:`add` — the results are bit-identical —
+        but normalises the batch exactly once into a :class:`PointSet`
+        (one dimensionality/type sweep instead of one per point) and relies
+        on the vectorised bulk membership verification inside
+        :class:`~repro.core.groups.Group` for the hot distance checks.
+        """
+        ps = PointSet.from_any(points)
+        if len(ps) == 0:
+            return
+        base = len(self._points)
+        tuples = ps.to_tuples()
+        # Check the whole index range up front so a collision cannot leave the
+        # grouper half-mutated.
+        for offset in range(len(tuples)):
+            if base + offset in self._seen_indices:
+                raise InvalidParameterError(
+                    f"input row index {base + offset} was already added to this grouper"
+                )
+        for offset, pt in enumerate(tuples):
+            index = base + offset
+            self._seen_indices.add(index)
+            self._points.append(pt)
+            self._process_point(index, pt)
 
     def finalize(self) -> GroupingResult:
         """Run the deferred FORM-NEW-GROUP rounds and return the grouping."""
@@ -341,20 +378,23 @@ class SGBAllGrouper:
 
 
 def sgb_all_grouping(
-    points: Sequence[Sequence[float]],
+    points: "PointSet | Sequence[Sequence[float]]",
     eps: float,
     metric: "Metric | str" = Metric.L2,
     on_overlap: "OverlapAction | str" = OverlapAction.JOIN_ANY,
     strategy: "SGBAllStrategy | str" = SGBAllStrategy.INDEX,
     seed: int = 0,
     index_factory: Optional[IndexFactory] = None,
+    batch: bool = True,
 ) -> GroupingResult:
     """Group ``points`` with the SGB-All operator and return the result.
 
     Parameters mirror the SQL clause: ``eps`` is the ``WITHIN`` threshold,
     ``metric`` the ``DISTANCE-TO-ALL`` metric (``L2``/``LINF``), ``on_overlap``
     the ``ON-OVERLAP`` action, and ``strategy`` selects the paper's All-Pairs,
-    Bounds-Checking, or on-the-fly Index algorithm.
+    Bounds-Checking, or on-the-fly Index algorithm.  ``batch=False`` forces
+    the scalar point-at-a-time reference path; the two paths produce
+    identical results (enforced by the parity test suite).
     """
     grouper = SGBAllGrouper(
         eps=eps,
@@ -364,5 +404,8 @@ def sgb_all_grouping(
         seed=seed,
         index_factory=index_factory,
     )
-    grouper.add_all(points)
+    if batch:
+        grouper.add_batch(points)
+    else:
+        grouper.add_all(points)
     return grouper.finalize()

@@ -77,6 +77,35 @@ class UnionFind:
         self._component_count -= 1
         return ra
 
+    def add_many(self, elements: Iterable[Hashable]) -> int:
+        """Add a batch of elements as singleton sets; return how many were new."""
+        parent = self._parent
+        rank = self._rank
+        size = self._size
+        added = 0
+        for element in elements:
+            if element in parent:
+                continue
+            parent[element] = element
+            rank[element] = 0
+            size[element] = 1
+            added += 1
+        self._component_count += added
+        return added
+
+    def union_pairs(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> int:
+        """Merge a batch of ``(a, b)`` edges; return the number of real merges.
+
+        This is the bulk MergeGroupsInsert step of the batched SGB-Any path:
+        the epsilon-neighbourhood edges of a whole point batch are applied in
+        one call instead of one :meth:`union` per edge.
+        """
+        before = self._component_count
+        union = self.union
+        for a, b in pairs:
+            union(a, b)
+        return before - self._component_count
+
     def union_many(self, elements: Iterable[Hashable]) -> Hashable | None:
         """Merge every element in ``elements`` into one set; return its root."""
         root: Hashable | None = None

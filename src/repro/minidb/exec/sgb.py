@@ -18,9 +18,10 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence
 
 from repro.core.overlap import OverlapAction
+from repro.core.pointset import PointSet
 from repro.core.sgb_all import SGBAllGrouper, SGBAllStrategy
 from repro.core.sgb_any import SGBAnyGrouper, SGBAnyStrategy
-from repro.exceptions import ExecutionError
+from repro.exceptions import ExecutionError, InvalidParameterError
 from repro.minidb.exec.aggregate import AggregateSpec, _AggregateEvaluator
 from repro.minidb.exec.operators import PhysicalOperator, Row
 from repro.minidb.expressions import Expression, compile_expression
@@ -89,10 +90,24 @@ class SGBAggregate(PhysicalOperator):
     def rows(self) -> Iterator[Row]:
         grouper = self._make_grouper()
         buffered: List[Row] = []
+        # Buffer the child's tuples and collect the grouping attributes into
+        # one column vector per key expression; the whole batch then flows
+        # through the grouper's columnar pipeline in a single add_batch call
+        # (the paper's operator likewise consumes the buffered input at once).
+        columns: List[List[float]] = [[] for _ in self._key_fns]
         for row in self.child.rows():
-            point = tuple(self._key_value(fn, row) for fn in self._key_fns)
-            grouper.add(point, index=len(buffered))
+            for column, fn in zip(columns, self._key_fns):
+                column.append(self._key_value(fn, row))
             buffered.append(row)
+        if buffered:
+            try:
+                grouper.add_batch(PointSet.from_columns(columns))
+            except InvalidParameterError as exc:
+                # Surface core-layer validation (e.g. NaN grouping values) as
+                # an executor error so engine callers see a DatabaseError.
+                raise ExecutionError(
+                    f"invalid similarity grouping attributes: {exc}"
+                ) from exc
         result = grouper.finalize()
 
         dims = len(self.key_exprs)

@@ -38,6 +38,24 @@ class SpatialIndex(ABC):
 
     # Convenience wrappers ------------------------------------------------
 
+    def load(self, rects: "Sequence[Rect]", items: "Sequence[Any]") -> None:
+        """Load a batch of ``(rect, item)`` entries into this index.
+
+        The default inserts entries one at a time; indexes with a cheaper
+        packing algorithm override it (the R-tree STR bulk load).
+        """
+        for rect, item in zip(rects, items):
+            self.insert(rect, item)
+
+    def search_many(self, windows: "Sequence[Rect]") -> "List[List[Any]]":
+        """Answer a batch of window queries; one result list per window.
+
+        The default runs the queries one by one; concrete indexes override
+        this where a shared traversal is cheaper (grid cells, kd-tree).
+        Result order within a window is unspecified.
+        """
+        return [self.search(window) for window in windows]
+
     def insert_point(self, point: Sequence[float], item: Any) -> None:
         """Insert a point entry (degenerate rectangle)."""
         self.insert(Rect.from_point(point), item)

@@ -68,6 +68,33 @@ class GridIndex(SpatialIndex):
                     results.append(item)
         return results
 
+    def search_many(self, windows: "List[Rect]") -> List[List[Any]]:
+        """Batched window queries sharing one sweep over the touched cells.
+
+        Every touched cell's bucket is scanned once no matter how many
+        windows overlap it — the win over repeated :meth:`search` when the
+        batch's probe windows cluster (the SGB batch path).  Result order
+        within a window may differ from :meth:`search`.
+        """
+        results: List[List[Any]] = [[] for _ in windows]
+        seen: List[Set[int]] = [set() for _ in windows]
+        cell_windows: Dict[_CellKey, List[int]] = {}
+        for wi, window in enumerate(windows):
+            for key in self._cell_range(window):
+                cell_windows.setdefault(key, []).append(wi)
+        for key, wis in cell_windows.items():
+            bucket = self._cells.get(key)
+            if not bucket:
+                continue
+            for rect, item in bucket:
+                for wi in wis:
+                    if id(item) in seen[wi]:
+                        continue
+                    if rect.intersects(windows[wi]):
+                        seen[wi].add(id(item))
+                        results[wi].append(item)
+        return results
+
     def delete(self, rect: Rect, item: Any) -> bool:
         """Remove ``item`` from every cell its rectangle was registered in."""
         removed = False

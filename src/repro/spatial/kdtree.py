@@ -98,6 +98,40 @@ class KDTree(SpatialIndex):
                 stack.append(node.right)
         return results
 
+    def search_many(self, windows: "List[Rect]") -> List[List[Any]]:
+        """Batched window queries with a single pruned traversal.
+
+        The tree is walked once against the union of the windows; each live
+        point found is then routed to the windows containing it.  This beats
+        per-window traversals when a handful of windows cluster; large
+        batches fall back to individually pruned searches, since routing
+        every in-union point through every window would cost
+        O(hits x windows).
+        """
+        if not windows:
+            return []
+        if len(windows) > 16:
+            return [self.search(window) for window in windows]
+        results: List[List[Any]] = [[] for _ in windows]
+        if self._root is None:
+            return results
+        union = windows[0]
+        for w in windows[1:]:
+            union = union.union(w)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            axis = node.axis
+            if not node.dead and union.contains_point(node.point):
+                for wi, window in enumerate(windows):
+                    if window.contains_point(node.point):
+                        results[wi].append(node.item)
+            if node.left is not None and union.low[axis] <= node.point[axis]:
+                stack.append(node.left)
+            if node.right is not None and union.high[axis] >= node.point[axis]:
+                stack.append(node.right)
+        return results
+
     def delete(self, rect: Rect, item: Any) -> bool:
         """Tombstone the entry matching ``item`` inside ``rect``; return True if found."""
         if self._root is None:

@@ -106,3 +106,20 @@ class TestFigureRunners:
         assert panels == {"a", "b"}
         gb_rows = [r for r in rows if r["query"].startswith("GB")]
         assert all(r["overhead_pct"] == 0.0 for r in gb_rows)
+
+
+class TestCompare:
+    def test_compare_attaches_speedup_relative_to_baseline(self):
+        from repro.bench.harness import compare
+
+        results = compare({"slow": lambda: sum(range(20000)), "fast": lambda: 1},
+                          baseline="slow")
+        by_label = {m.label: m for m in results}
+        assert by_label["slow"].params["speedup"] == 1.0
+        assert by_label["fast"].params["speedup"] >= 1.0
+
+    def test_compare_rejects_unknown_baseline(self):
+        from repro.bench.harness import compare
+
+        with pytest.raises(ValueError, match="unknown baseline"):
+            compare({"only": lambda: 1}, baseline="missing")

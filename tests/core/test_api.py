@@ -71,3 +71,32 @@ class TestClusterBy:
     def test_unknown_semantics_rejected(self):
         with pytest.raises(InvalidParameterError):
             cluster_by([(0, 0)], eps=1.0, semantics="sorta")
+
+
+class TestBatchRouting:
+    """The API routes through the batched pipeline; scalar stays available."""
+
+    def test_rejects_non_finite_coordinates(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_any([(0.0, 0.0), (float("nan"), 1.0)], eps=1.0)
+        with pytest.raises(InvalidParameterError):
+            sgb_all([(0.0, float("inf"))], eps=1.0)
+        with pytest.raises(InvalidParameterError):
+            sgb_any(np.array([[0.0, 0.0], [np.nan, 1.0]]), eps=1.0)
+
+    def test_batch_flag_gives_identical_results(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 10, size=(200, 2))
+        fast = sgb_any(pts, eps=0.8)
+        reference = sgb_any(pts, eps=0.8, batch=False)
+        assert fast.groups == reference.groups
+        fast_all = sgb_all(pts, eps=0.8, on_overlap="ELIMINATE", seed=5)
+        ref_all = sgb_all(pts, eps=0.8, on_overlap="ELIMINATE", seed=5, batch=False)
+        assert fast_all.groups == ref_all.groups
+        assert fast_all.eliminated == ref_all.eliminated
+
+    def test_numpy_input_round_trips_exactly(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 10, size=(50, 2))
+        result = sgb_any(pts, eps=0.5)
+        assert result.points == [tuple(row) for row in pts.tolist()]

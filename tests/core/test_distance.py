@@ -1,6 +1,7 @@
 """Tests for the metric layer (repro.core.distance)."""
 
 import math
+import random
 
 import pytest
 
@@ -113,3 +114,33 @@ class TestMetricResolution:
     def test_metric_distance_method(self):
         assert Metric.L2.distance((0, 0), (3, 4)) == pytest.approx(5.0)
         assert Metric.L1.distance((0, 0), (3, 4)) == pytest.approx(7.0)
+
+
+class TestDistancesMany:
+    """The vectorised one-against-many path must match the scalar loops exactly."""
+
+    @pytest.mark.parametrize("metric", [Metric.L2, Metric.LINF, Metric.L1])
+    @pytest.mark.parametrize("dims", [1, 2, 3, 8, 12, 32])
+    def test_matches_scalar_distance_bit_for_bit(self, metric, dims):
+        from repro.core.distance import distances_many
+
+        rng = random.Random(dims)
+        probe = tuple(rng.uniform(-5, 5) for _ in range(dims))
+        candidates = [
+            tuple(rng.uniform(-5, 5) for _ in range(dims)) for _ in range(40)
+        ]
+        got = distances_many(probe, candidates, metric)
+        expected = [metric.distance(probe, q) for q in candidates]
+        assert got == expected  # exact equality, not approx
+
+    def test_empty_candidates(self):
+        from repro.core.distance import distances_many
+
+        assert distances_many((1.0, 2.0), [], "L2") == []
+
+    def test_dimension_mismatch_raises(self):
+        from repro.core.distance import distances_many
+        from repro.exceptions import DimensionalityError
+
+        with pytest.raises(DimensionalityError):
+            distances_many((1.0,), [(1.0, 2.0)], "L2")

@@ -1,0 +1,199 @@
+"""Tests for the columnar :class:`~repro.core.pointset.PointSet` subsystem.
+
+Every batched primitive is checked against a brute-force reference on both
+backends, and the two backends are cross-checked against each other.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.distance import Metric, get_distance_function
+from repro.core.pointset import HAVE_NUMPY, PointSet
+from repro.core.rectangle import Rect
+from repro.exceptions import DimensionalityError, InvalidParameterError
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+def _random_points(n, dims=2, seed=0, low=0.0, high=10.0):
+    rng = random.Random(seed)
+    return [tuple(rng.uniform(low, high) for _ in range(dims)) for _ in range(n)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestConstruction:
+    def test_from_any_roundtrips_tuples(self, backend):
+        pts = _random_points(50, seed=1)
+        ps = PointSet.from_any(pts, backend=backend)
+        assert len(ps) == 50
+        assert ps.dims == 2
+        assert ps.to_tuples() == pts
+        assert ps.point(7) == pts[7]
+        assert ps[7] == pts[7]
+        assert list(ps) == pts
+        assert ps.backend == backend
+
+    def test_from_any_is_idempotent(self, backend):
+        ps = PointSet.from_any(_random_points(5), backend=backend)
+        assert PointSet.from_any(ps) is ps
+
+    def test_from_any_converts_between_backends(self, backend):
+        other = "numpy" if backend == "python" else "python"
+        if other == "numpy" and not HAVE_NUMPY:
+            pytest.skip("numpy unavailable")
+        pts = _random_points(10, seed=3)
+        ps = PointSet.from_any(pts, backend=backend)
+        converted = PointSet.from_any(ps, backend=other)
+        assert converted.backend == other
+        assert converted.to_tuples() == pts
+
+    def test_from_columns(self, backend):
+        cols = [[0.0, 1.0, 2.0], [5.0, 6.0, 7.0]]
+        ps = PointSet.from_columns(cols, backend=backend)
+        assert ps.to_tuples() == [(0.0, 5.0), (1.0, 6.0), (2.0, 7.0)]
+
+    def test_empty_set(self, backend):
+        ps = PointSet.from_any([], backend=backend)
+        assert len(ps) == 0
+        assert ps.to_tuples() == []
+        with pytest.raises(InvalidParameterError):
+            ps.bbox()
+        # Backend-equivalent empty behaviour for the batched primitives.
+        assert ps.verify_within((1.0, 2.0), 0.5) == []
+        assert list(ps.window_mask(Rect((0.0, 0.0), (1.0, 1.0)))) == []
+        assert list(ps.pairwise_within(0.5)) == []
+
+    def test_rejects_mixed_dimensionality(self, backend):
+        with pytest.raises(DimensionalityError):
+            PointSet.from_any([(1.0, 2.0), (1.0, 2.0, 3.0)], backend=backend)
+
+    def test_rejects_non_finite_coordinates(self, backend):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(InvalidParameterError):
+                PointSet.from_any([(0.0, 1.0), (bad, 2.0)], backend=backend)
+
+    def test_rejects_zero_dimensional_points(self, backend):
+        with pytest.raises(InvalidParameterError):
+            PointSet.from_any([()], backend=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestPrimitives:
+    def test_bbox_matches_from_points(self, backend):
+        pts = _random_points(40, seed=5)
+        ps = PointSet.from_any(pts, backend=backend)
+        assert ps.bbox() == Rect.from_points(pts)
+
+    def test_window_mask_matches_contains(self, backend):
+        pts = _random_points(60, seed=6)
+        ps = PointSet.from_any(pts, backend=backend)
+        window = Rect((2.0, 3.0), (7.0, 8.0))
+        mask = list(ps.window_mask(window))
+        assert mask == [window.contains_point(p) for p in pts]
+
+    @pytest.mark.parametrize("metric", [Metric.L2, Metric.LINF, Metric.L1])
+    def test_verify_within_matches_brute_force(self, backend, metric):
+        pts = _random_points(80, seed=7)
+        ps = PointSet.from_any(pts, backend=backend)
+        probe = (5.0, 5.0)
+        eps = 2.0
+        dist = get_distance_function(metric)
+        expected = [i for i, p in enumerate(pts) if dist(probe, p) <= eps]
+        assert sorted(ps.verify_within(probe, eps, metric)) == expected
+
+    @pytest.mark.parametrize("metric", [Metric.L2, Metric.LINF, Metric.L1])
+    def test_verify_within_respects_candidate_subset(self, backend, metric):
+        pts = _random_points(80, seed=8)
+        ps = PointSet.from_any(pts, backend=backend)
+        probe = (5.0, 5.0)
+        eps = 2.5
+        candidates = list(range(0, 80, 3))
+        dist = get_distance_function(metric)
+        expected = [i for i in candidates if dist(probe, pts[i]) <= eps]
+        assert sorted(ps.verify_within(probe, eps, metric, candidates)) == expected
+        assert ps.verify_within(probe, eps, metric, []) == []
+
+    @pytest.mark.parametrize("metric", [Metric.L2, Metric.LINF, Metric.L1])
+    # dims=10 exercises the high-dimensional brute-force fallback (the
+    # eps-grid sweep would enumerate 3^d neighbour offsets).
+    @pytest.mark.parametrize("dims", [1, 2, 3, 10])
+    def test_pairwise_within_matches_brute_force(self, backend, metric, dims):
+        pts = _random_points(120, dims=dims, seed=9)
+        ps = PointSet.from_any(pts, backend=backend)
+        eps = 1.2
+        dist = get_distance_function(metric)
+        expected = {
+            (i, j)
+            for i in range(len(pts))
+            for j in range(i + 1, len(pts))
+            if dist(pts[i], pts[j]) <= eps
+        }
+        got = {(min(i, j), max(i, j)) for i, j in ps.pairwise_within(eps, metric)}
+        assert got == expected
+
+    def test_pairwise_within_handles_negative_coordinates(self, backend):
+        pts = _random_points(60, seed=10, low=-8.0, high=8.0)
+        ps = PointSet.from_any(pts, backend=backend)
+        eps = 1.5
+        expected = {
+            (i, j)
+            for i in range(len(pts))
+            for j in range(i + 1, len(pts))
+            if math.dist(pts[i], pts[j]) <= eps
+        }
+        got = {(min(i, j), max(i, j)) for i, j in ps.pairwise_within(eps, "L2")}
+        assert got == expected
+
+    def test_pairwise_within_rejects_bad_eps(self, backend):
+        ps = PointSet.from_any(_random_points(4), backend=backend)
+        with pytest.raises(InvalidParameterError):
+            list(ps.pairwise_within(0.0))
+
+    def test_backends_agree_on_pairwise(self, backend):
+        if not HAVE_NUMPY:
+            pytest.skip("needs both backends")
+        pts = _random_points(100, seed=11)
+        sets = {
+            b: PointSet.from_any(pts, backend=b) for b in ("python", "numpy")
+        }
+        results = {
+            b: {(min(i, j), max(i, j)) for i, j in s.pairwise_within(0.9, "L2")}
+            for b, s in sets.items()
+        }
+        assert results["python"] == results["numpy"]
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+class TestNumpyZeroCopy:
+    def test_float64_array_is_adopted_zero_copy(self):
+        import numpy as np
+
+        arr = np.random.default_rng(0).uniform(0, 10, size=(30, 2))
+        ps = PointSet.from_any(arr)
+        assert ps.backend == "numpy"
+        assert ps.array is arr or ps.array.base is arr
+
+    def test_array_with_nan_is_rejected(self):
+        import numpy as np
+
+        arr = np.ones((4, 2))
+        arr[2, 1] = np.nan
+        with pytest.raises(InvalidParameterError):
+            PointSet.from_any(arr)
+
+    def test_one_dimensional_array_is_rejected(self):
+        import numpy as np
+
+        with pytest.raises(DimensionalityError):
+            PointSet.from_any(np.ones(5))
+
+    def test_float32_array_is_widened(self):
+        import numpy as np
+
+        arr = np.ones((3, 2), dtype=np.float32)
+        ps = PointSet.from_any(arr)
+        assert ps.to_tuples() == [(1.0, 1.0)] * 3

@@ -1,0 +1,38 @@
+"""Executor-level regressions for the batched SGB physical operator."""
+
+import pytest
+
+from repro.exceptions import DatabaseError, ExecutionError
+from repro.minidb import Database
+
+
+@pytest.fixture
+def pts_db():
+    db = Database()
+    db.execute("CREATE TABLE pts (id INT, x FLOAT, y FLOAT)")
+    db.insert_rows("pts", [(1, 0.0, 0.0), (2, 0.3, 0.2), (3, 9.0, 9.0)])
+    return db
+
+
+class TestBatchedExecutor:
+    def test_sgb_any_query_through_batch_path(self, pts_db):
+        result = pts_db.execute(
+            "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5"
+        )
+        assert sorted(row[0] for row in result.rows) == [1, 2]
+
+    def test_non_finite_grouping_value_raises_execution_error(self, pts_db):
+        pts_db.insert_rows("pts", [(4, float("nan"), 1.0)])
+        with pytest.raises(ExecutionError, match="similarity grouping"):
+            pts_db.execute(
+                "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5"
+            )
+
+    def test_non_finite_error_is_a_database_error(self, pts_db):
+        # Engine callers catch DatabaseError; validation must stay inside it.
+        pts_db.insert_rows("pts", [(4, float("inf"), 1.0)])
+        with pytest.raises(DatabaseError):
+            pts_db.execute(
+                "SELECT count(*) FROM pts GROUP BY x, y "
+                "DISTANCE-TO-ALL LINF WITHIN 0.5 ON-OVERLAP ELIMINATE"
+            )

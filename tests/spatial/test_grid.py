@@ -72,3 +72,32 @@ class TestInsertSearchDelete:
         grid.insert_point((2.0, 2.0), "p")
         assert grid.window_query((2.1, 2.1), 0.3) == ["p"]
         assert grid.window_query((5.0, 5.0), 0.3) == []
+
+
+class TestSearchMany:
+    def test_batched_queries_match_individual_searches(self):
+        rng = random.Random(31)
+        grid = GridIndex(cell_size=2.0)
+        for i in range(400):
+            grid.insert(Rect.from_point((rng.uniform(0, 50), rng.uniform(0, 50))), i)
+        windows = [
+            Rect((c - 3, c - 3), (c + 3, c + 3))
+            for c in (rng.uniform(0, 50) for _ in range(25))
+        ]
+        batched = grid.search_many(windows)
+        assert len(batched) == len(windows)
+        for window, hits in zip(windows, batched):
+            assert set(hits) == set(grid.search(window))
+
+    def test_search_many_with_overlapping_windows_deduplicates_per_window(self):
+        grid = GridIndex(cell_size=1.0)
+        big = Rect((0.0, 0.0), (3.0, 3.0))
+        grid.insert(big, "wide")
+        windows = [Rect((0.0, 0.0), (2.0, 2.0)), Rect((1.0, 1.0), (3.0, 3.0))]
+        results = grid.search_many(windows)
+        assert results == [["wide"], ["wide"]]
+
+    def test_search_many_empty_inputs(self):
+        grid = GridIndex(cell_size=1.0)
+        assert grid.search_many([]) == []
+        assert grid.search_many([Rect((0, 0), (1, 1))]) == [[]]

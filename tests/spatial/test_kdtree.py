@@ -75,3 +75,35 @@ class TestDelete:
         tree = KDTree()
         tree.insert_point((1, 1), "a")
         assert tree.delete(Rect((5, 5), (6, 6)), "a") is False
+
+
+class TestSearchMany:
+    # 10 windows exercises the shared union traversal; 25 the per-window
+    # fallback for large batches.
+    @pytest.mark.parametrize("n_windows", [10, 25])
+    def test_batched_queries_match_individual_searches(self, n_windows):
+        rng = random.Random(32)
+        tree = KDTree(dims=2)
+        for i in range(400):
+            tree.insert_point((rng.uniform(0, 50), rng.uniform(0, 50)), i)
+        windows = [
+            Rect((c - 3, c - 3), (c + 3, c + 3))
+            for c in (rng.uniform(0, 50) for _ in range(n_windows))
+        ]
+        batched = tree.search_many(windows)
+        assert len(batched) == len(windows)
+        for window, hits in zip(windows, batched):
+            assert set(hits) == set(tree.search(window))
+
+    def test_search_many_skips_dead_entries(self):
+        tree = KDTree(dims=2)
+        tree.insert_point((1.0, 1.0), "a")
+        tree.insert_point((2.0, 2.0), "b")
+        tree.delete(Rect.from_point((1.0, 1.0)), "a")
+        [hits] = tree.search_many([Rect((0.0, 0.0), (3.0, 3.0))])
+        assert hits == ["b"]
+
+    def test_search_many_empty_inputs(self):
+        tree = KDTree(dims=2)
+        assert tree.search_many([]) == []
+        assert tree.search_many([Rect((0, 0), (1, 1))]) == [[]]

@@ -176,3 +176,81 @@ class TestNearest:
             d_expected = (pts[expected][0] - q[0]) ** 2 + (pts[expected][1] - q[1]) ** 2
             d_got = (pts[got][0] - q[0]) ** 2 + (pts[got][1] - q[1]) ** 2
             assert d_got == pytest.approx(d_expected)
+
+
+class TestBulkLoad:
+    """STR bulk loading: same invariants and query answers as insert()."""
+
+    @pytest.mark.parametrize("n", [0, 1, 5, 8, 9, 17, 64, 65, 300])
+    def test_invariants_and_count_at_many_sizes(self, n):
+        rng = random.Random(n)
+        rects = [Rect.from_point((rng.uniform(0, 100), rng.uniform(0, 100))) for _ in range(n)]
+        tree = RTree.bulk_load(rects, range(n), max_entries=8)
+        assert len(tree) == n
+        tree.check_invariants()
+
+    def test_search_matches_brute_force_on_points(self):
+        rng = random.Random(21)
+        entries = []
+        for i in range(500):
+            rect = Rect.from_point((rng.uniform(0, 100), rng.uniform(0, 100)))
+            entries.append((rect, i))
+        tree = RTree.bulk_load([r for r, _ in entries], [i for _, i in entries])
+        tree.check_invariants()
+        for _ in range(40):
+            cx, cy = rng.uniform(0, 100), rng.uniform(0, 100)
+            size = rng.uniform(1, 15)
+            window = Rect((cx - size, cy - size), (cx + size, cy + size))
+            assert set(tree.search(window)) == brute_force_hits(entries, window)
+
+    def test_search_matches_brute_force_on_rectangles(self):
+        rng = random.Random(22)
+        entries = []
+        for i in range(300):
+            lo = (rng.uniform(0, 90), rng.uniform(0, 90))
+            hi = (lo[0] + rng.uniform(0, 8), lo[1] + rng.uniform(0, 8))
+            entries.append((Rect(lo, hi), i))
+        tree = RTree.bulk_load([r for r, _ in entries], [i for _, i in entries], max_entries=6)
+        tree.check_invariants()
+        for _ in range(30):
+            cx, cy = rng.uniform(0, 100), rng.uniform(0, 100)
+            window = Rect((cx - 6, cy - 6), (cx + 6, cy + 6))
+            assert set(tree.search(window)) == brute_force_hits(entries, window)
+
+    def test_three_dimensional_bulk_load(self):
+        rng = random.Random(23)
+        entries = []
+        for i in range(200):
+            p = tuple(rng.uniform(0, 10) for _ in range(3))
+            entries.append((Rect.from_point(p), i))
+        tree = RTree.bulk_load([r for r, _ in entries], [i for _, i in entries])
+        tree.check_invariants()
+        window = Rect((2.0,) * 3, (7.0,) * 3)
+        assert set(tree.search(window)) == brute_force_hits(entries, window)
+
+    def test_incremental_insert_and_delete_after_bulk_load(self):
+        rng = random.Random(24)
+        rects = [Rect.from_point((rng.uniform(0, 50), rng.uniform(0, 50))) for _ in range(120)]
+        tree = RTree.bulk_load(rects, range(120))
+        tree.insert(Rect.from_point((25.0, 25.0)), "new")
+        tree.check_invariants()
+        assert "new" in tree.search(Rect((24.5, 24.5), (25.5, 25.5)))
+        assert tree.delete(rects[3], 3)
+        tree.check_invariants()
+        assert 3 not in tree.search(rects[3])
+        assert len(tree) == 120  # 120 originals - 1 deleted + 1 inserted
+
+    def test_bulk_load_is_packed_lower_than_incremental(self):
+        rng = random.Random(25)
+        rects = [Rect.from_point((rng.uniform(0, 100), rng.uniform(0, 100))) for _ in range(600)]
+        packed = RTree.bulk_load(rects, range(600), max_entries=8)
+        incremental = RTree(max_entries=8)
+        for i, r in enumerate(rects):
+            incremental.insert(r, i)
+        assert packed.height() <= incremental.height()
+
+    def test_load_requires_empty_tree(self):
+        tree = RTree()
+        tree.insert(Rect.from_point((0.0, 0.0)), "x")
+        with pytest.raises(SpatialIndexError):
+            tree.load([Rect.from_point((1.0, 1.0))], ["y"])
