@@ -3,6 +3,12 @@
 The paper uses an in-memory R-tree for both ``Groups_IX`` (SGB-All) and
 ``Points_IX`` (SGB-Any).  This ablation swaps in a uniform grid (cell size =
 epsilon) and, for SGB-Any, a kd-tree, keeping everything else fixed.
+
+The batch-scale classes rerun the SGB-Any comparison through ``add_batch``,
+where an explicit ``index_factory`` routes batch-internal candidate discovery
+through a bulk-loaded instance of the chosen index (``search_many`` windows +
+exact verification); ``eps-grid`` is the default columnar grid sweep those
+indexes are measured against.
 """
 
 import pytest
@@ -11,6 +17,7 @@ from repro.core.api import sgb_all, sgb_any
 from repro.spatial.grid import GridIndex
 from repro.spatial.kdtree import KDTree
 from repro.spatial.rtree import RTree
+from repro.workloads.synthetic import clustered_points
 
 EPS = 0.15
 
@@ -24,6 +31,9 @@ SGB_ANY_INDEXES = {
     "grid": lambda: GridIndex(cell_size=EPS),
     "kdtree": lambda: KDTree(dims=2),
 }
+
+# The default batch pipeline (no explicit index): the eps-grid pair sweep.
+SGB_ANY_BATCH_INDEXES = {"eps-grid": None, **SGB_ANY_INDEXES}
 
 
 @pytest.mark.parametrize("index_name", list(SGB_ALL_INDEXES))
@@ -56,5 +66,35 @@ class TestSgbAnyIndexChoice:
             strategy="index",
             index_factory=factory,
             batch=False,
+        )
+        assert result.group_count >= 1
+
+
+@pytest.fixture(scope="module")
+def batch_bench_points(scale):
+    """A larger point cloud for the batch-scale index ablation."""
+    return clustered_points(
+        5_000 * scale, clusters=40, spread=0.005, low=0.0, high=100.0, seed=3
+    )
+
+
+@pytest.mark.parametrize("index_name", list(SGB_ANY_BATCH_INDEXES))
+class TestSgbAnyIndexChoiceBatch:
+    """SGB-Any index ablation at batch scale (add_batch honours the index)."""
+
+    def test_sgb_any_batch_with_index(self, benchmark, batch_bench_points, index_name):
+        benchmark.group = "ablation-index-sgb-any-batch"
+        factory = SGB_ANY_BATCH_INDEXES[index_name]
+        # workers=1 pins the in-process batch pipeline so the eps-grid
+        # baseline is not rerouted through the sharded engine when
+        # SGB_WORKERS is set (the access methods are what is compared here).
+        result = benchmark(
+            sgb_any,
+            batch_bench_points,
+            eps=EPS,
+            strategy="index",
+            index_factory=factory,
+            batch=True,
+            workers=1,
         )
         assert result.group_count >= 1

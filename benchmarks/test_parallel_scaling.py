@@ -1,0 +1,100 @@
+"""Scaling of the sharded parallel SGB engine against the serial batch path.
+
+Records the wall-clock of SGB-Any at 10k/50k/100k points for the serial
+batch pipeline (the pinned baseline — the paper-figure benchmarks stay
+per-tuple and are untouched by the engine) and for the worker-pool path at
+2 and 4 workers.  The group assignments are identical across every path
+(enforced here at the smallest size and exhaustively by the randomized
+equivalence suite); only the runtime differs.
+
+The ≥1.8x speedup acceptance check runs only where it is physically
+possible — machines with at least 4 CPU cores — and is skipped (not
+silently passed) elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.api import sgb_any
+from repro.workloads.synthetic import clustered_points
+
+EPS = 0.3
+SIZES = (10_000, 50_000, 100_000)
+WORKER_COUNTS = (2, 4)
+_CPUS = os.cpu_count() or 1
+
+
+def _scaling_points(n: int):
+    return clustered_points(
+        n, clusters=max(20, n // 250), spread=0.005, low=0.0, high=100.0, seed=17
+    )
+
+
+@pytest.fixture(scope="module")
+def points_by_size():
+    return {n: _scaling_points(n) for n in SIZES}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_worker_pools(points_by_size):
+    """Pay the one-time process spawn outside the timed regions."""
+    for w in WORKER_COUNTS:
+        sgb_any(points_by_size[SIZES[0]], eps=EPS, workers=w)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("path", ["serial"] + [f"workers={w}" for w in WORKER_COUNTS])
+class TestParallelScaling:
+    def test_sgb_any_scaling(self, benchmark, points_by_size, n, path):
+        benchmark.group = f"parallel-scaling-{n}"
+        benchmark.extra_info["cpu_count"] = _CPUS
+        workers = 1 if path == "serial" else int(path.split("=")[1])
+        points = points_by_size[n]
+        # One round per path: the interesting signal is the serial/parallel
+        # ratio at each size, not microsecond-stable medians.
+        result = benchmark.pedantic(
+            sgb_any, args=(points,), kwargs={"eps": EPS, "workers": workers},
+            rounds=1, iterations=1,
+        )
+        assert result.group_count >= 1
+        if n == SIZES[0]:
+            assert result.groups == sgb_any(points, eps=EPS, workers=1).groups
+
+
+def test_parallel_speedup_at_100k(points_by_size):
+    """Acceptance: ≥1.8x over serial batch at 100k points with 4 workers.
+
+    Runs only where the speedup is physically demonstrable (>= 4 logical
+    cores); elsewhere it *skips*, never silently passes.  Shared CI tenancy
+    makes single timings noisy, so each path takes the best of two runs and
+    a sub-threshold first attempt gets one fresh re-measurement before the
+    test fails.
+    """
+    if _CPUS < 4:
+        pytest.skip(f"needs >= 4 CPU cores to demonstrate speedup (have {_CPUS})")
+    points = points_by_size[100_000]
+
+    def best_of(fn, repeats=2):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    sgb_any(points[:10_000], eps=EPS, workers=4)  # pool + cache warmup
+    speedup, detail = 0.0, ""
+    for _ in range(2):
+        serial = best_of(lambda: sgb_any(points, eps=EPS, workers=1))
+        parallel = best_of(lambda: sgb_any(points, eps=EPS, workers=4))
+        speedup = max(speedup, serial / parallel)
+        detail = f"serial {serial:.2f}s, 4 workers {parallel:.2f}s, {_CPUS} cores"
+        if speedup >= 1.8:
+            break
+    assert speedup >= 1.8, (
+        f"parallel speedup {speedup:.2f}x below 1.8x ({detail})"
+    )

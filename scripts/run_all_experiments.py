@@ -7,7 +7,9 @@ EXPERIMENTS.md from scratch:
     python scripts/generate_experiments_md.py experiment_results.json
 
 The default sizes finish in a few minutes on a laptop.  Pass ``--large`` to
-use sizes closer to the paper's (slower, sharper separation).
+use sizes closer to the paper's (slower, sharper separation), and
+``--workers N`` to set the worker-process count the ``parallel_vs_serial``
+stage compares against the serial baseline (default: 2 and 4 workers).
 """
 
 from __future__ import annotations
@@ -19,7 +21,18 @@ from repro.bench import experiments as E
 from repro.bench.report import write_json
 
 
-def main(large: bool = False) -> None:
+def _parse_workers(argv: "list[str]") -> "tuple[int, ...]":
+    """Return the worker counts for the parallel stage (``--workers N``)."""
+    if "--workers" in argv:
+        position = argv.index("--workers")
+        try:
+            return (int(argv[position + 1]),)
+        except (IndexError, ValueError):
+            raise SystemExit("--workers expects an integer argument")
+    return (2, 4)
+
+
+def main(large: bool = False, worker_counts: "tuple[int, ...]" = (2, 4)) -> None:
     k = 2 if large else 1
     out = {}
     stages = [
@@ -32,6 +45,8 @@ def main(large: bool = False) -> None:
         ("fig11_brightkite", lambda: E.fig11_vs_clustering(sizes=(1000 * k, 2000 * k), dataset="brightkite")),
         ("fig11_gowalla", lambda: E.fig11_vs_clustering(sizes=(1000 * k, 2000 * k), dataset="gowalla")),
         ("batch_vs_scalar", lambda: E.batch_vs_scalar(sizes=(10_000 * k, 25_000 * k))),
+        ("parallel_vs_serial", lambda: E.parallel_vs_serial(
+            sizes=(10_000 * k, 50_000 * k), worker_counts=worker_counts)),
         ("table1", lambda: E.table1_scaling_exponents(sizes=(500 * k, 1000 * k, 2000 * k))),
         ("table2", lambda: E.table2_tpch_queries(scale_factor=0.002 * k)),
         ("fig12", lambda: E.fig12_overhead(scale_factors=(0.001 * k, 0.002 * k))),
@@ -45,4 +60,4 @@ def main(large: bool = False) -> None:
 
 
 if __name__ == "__main__":
-    main(large="--large" in sys.argv)
+    main(large="--large" in sys.argv, worker_counts=_parse_workers(sys.argv))

@@ -25,6 +25,7 @@ from repro.workloads.tpch import load_tpch
 
 __all__ = [
     "batch_vs_scalar",
+    "parallel_vs_serial",
     "fig9_sgb_all_epsilon",
     "fig9_sgb_any_epsilon",
     "fig10_sgb_all_scale",
@@ -60,8 +61,12 @@ def batch_vs_scalar(
             n, clusters=max(20, n // 250), spread=0.005, low=0.0, high=100.0, seed=seed
         )
         operators = {
+            # workers=1 pins the in-process batch pipeline: this experiment
+            # measures batch-vs-scalar, so an SGB_WORKERS environment default
+            # must not reroute the "batch" measurement through the sharded
+            # engine (parallel_vs_serial owns that comparison).
             "SGB-Any": lambda batch: sgb_any(
-                points, eps=eps, metric=metric, strategy=strategy, batch=batch
+                points, eps=eps, metric=metric, strategy=strategy, batch=batch, workers=1
             ),
             "SGB-All": lambda batch: sgb_all(
                 points, eps=eps, metric=metric, strategy=strategy, batch=batch
@@ -89,6 +94,57 @@ def batch_vs_scalar(
                         "speedup": m.params.get("speedup"),
                     }
                 )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Sharded parallel engine vs the serial batch pipeline
+# ---------------------------------------------------------------------------
+
+
+def parallel_vs_serial(
+    sizes: Sequence[int] = (10_000, 50_000),
+    eps: float = 0.3,
+    worker_counts: Sequence[int] = (2, 4),
+    metric: "Metric | str" = Metric.L2,
+    seed: int = 17,
+) -> List[Dict[str, object]]:
+    """Runtime of sharded parallel SGB-Any vs the serial batch path.
+
+    Both paths return identical group assignments (enforced by the
+    equivalence suite); the serial batch run is the pinned baseline, so the
+    ``speedup`` column reports the worker-pool win directly.  On boxes with
+    fewer cores than workers the "speedup" degrades towards (or below) 1.0 —
+    the rows carry ``cpu_count`` so the report can say why.
+    """
+    import os
+
+    rows: List[Dict[str, object]] = []
+    cpu_count = os.cpu_count() or 1
+    for n in sizes:
+        points = clustered_points(
+            n, clusters=max(20, n // 250), spread=0.005, low=0.0, high=100.0, seed=seed
+        )
+        runs = {"serial": lambda: sgb_any(points, eps=eps, metric=metric, workers=1)}
+        for w in worker_counts:
+            runs[f"workers={w}"] = lambda w=w: sgb_any(
+                points, eps=eps, metric=metric, workers=w
+            )
+        for m in compare(runs, baseline="serial"):
+            rows.append(
+                {
+                    "experiment": "parallel-vs-serial",
+                    "operator": "SGB-Any",
+                    "path": m.label,
+                    "n": n,
+                    "eps": eps,
+                    "cpu_count": cpu_count,
+                    "backend": "numpy" if HAVE_NUMPY else "python",
+                    "groups": m.value.group_count,
+                    "seconds": m.seconds,
+                    "speedup": m.params.get("speedup"),
+                }
+            )
     return rows
 
 
@@ -300,7 +356,10 @@ def fig11_vs_clustering(
 
 
 def _tpch_database(scale_factor: float, strategy: str = "index") -> Database:
-    db = Database(sgb_strategy=strategy)
+    # sgb_workers=1: the Table 2 / Figure 12 runners reproduce the paper's
+    # serial operator costs, so an SGB_WORKERS environment default must not
+    # switch their SGB-Any plans onto the sharded engine.
+    db = Database(sgb_strategy=strategy, sgb_workers=1)
     load_tpch(db, scale_factor=scale_factor)
     return db
 

@@ -94,6 +94,7 @@ def sgb_any(
     strategy: "SGBAnyStrategy | str" = SGBAnyStrategy.INDEX,
     index_factory: Optional[IndexFactory] = None,
     batch: bool = True,
+    workers: "Optional[int | str]" = None,
 ) -> GroupingResult:
     """Run the SGB-Any (distance-to-any / connectivity) operator over ``points``.
 
@@ -102,6 +103,12 @@ def sgb_any(
     clause: overlapping groups merge by definition.  A NumPy ``(n, d)``
     array is consumed zero-copy; ``batch=False`` forces the scalar
     point-at-a-time reference path (identical results).
+
+    ``workers`` enables the sharded parallel engine on the batch path:
+    ``workers=N`` uses up to N worker processes, ``0``/``"auto"`` uses every
+    core, and ``None`` (default) defers to the ``SGB_WORKERS`` environment
+    variable, staying serial when it is unset.  Parallel runs return group
+    assignments identical to the serial and scalar paths.
     """
     return sgb_any_grouping(
         _normalise_points(points),
@@ -110,6 +117,7 @@ def sgb_any(
         strategy=strategy,
         index_factory=index_factory,
         batch=batch,
+        workers=workers,
     )
 
 

@@ -9,15 +9,29 @@ groups into aggregate functions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.geometry.polygon import Polygon
 
 Point = Tuple[float, ...]
 
-__all__ = ["GroupingResult"]
+__all__ = ["GroupingResult", "canonicalize_groups"]
 
 ELIMINATED = -1
+
+
+def canonicalize_groups(member_lists: "Iterable[Iterable[int]]") -> List[List[int]]:
+    """Normalise raw component member lists into the canonical SGB-Any order.
+
+    Members ascend within a group and groups are ordered by their smallest
+    member.  This is *the* labelling that makes results comparable across
+    execution paths — the serial grouper and the sharded parallel engine both
+    route through this helper, so the parallel == serial equivalence can
+    never drift between two copies of the normalisation.
+    """
+    groups = [sorted(members) for members in member_lists]
+    groups.sort(key=lambda members: members[0])
+    return groups
 
 
 @dataclass

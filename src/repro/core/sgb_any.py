@@ -26,7 +26,7 @@ from repro.core.distance import Metric, resolve_metric
 from repro.core.pointset import PointSet, ensure_finite
 from repro.core.predicates import SimilarityPredicate
 from repro.core.rectangle import Rect
-from repro.core.result import GroupingResult
+from repro.core.result import GroupingResult, canonicalize_groups
 from repro.dstruct.union_find import UnionFind
 from repro.exceptions import InvalidParameterError
 from repro.spatial.base import SpatialIndex
@@ -83,6 +83,9 @@ class SGBAnyGrouper:
         self.predicate = SimilarityPredicate(resolve_metric(metric), eps)
         self.eps = float(eps)
         self.strategy = SGBAnyStrategy.parse(strategy)
+        #: True when the caller picked the access method (index ablations);
+        #: add_batch then routes batch-internal discovery through it as well.
+        self._explicit_index = index_factory is not None
         self._index_factory = index_factory or (lambda: RTree(max_entries=8))
         self._points: List[Point] = []
         self._indices: List[int] = []
@@ -143,6 +146,13 @@ class SGBAnyGrouper:
         point index is not updated eagerly; the unindexed tail is flushed
         (STR bulk-loaded, or incrementally inserted once the index exists)
         on the next probe that needs it.
+
+        When the grouper was built with an explicit ``index_factory`` under
+        the ``INDEX`` strategy, batch-internal edges are instead discovered
+        through a bulk-loaded instance of that index (window query per point
+        + exact verification) so index ablations measure their access method
+        at batch scale too; the edge set — and hence the grouping — is the
+        same either way.
         """
         ps = PointSet.from_any(points)
         n = len(ps)
@@ -165,22 +175,61 @@ class SGBAnyGrouper:
                 for index, neighbours in zip(indices, neighbour_lists)
                 for other in neighbours
             )
-        # Batch-internal epsilon edges via the columnar grid sweep.
-        self._uf.union_pairs(
-            (base + i, base + j)
-            for i, j in ps.pairwise_within(self.eps, self.predicate.metric)
-        )
+        # Batch-internal epsilon edges: columnar grid sweep by default, or the
+        # caller's spatial index when one was explicitly chosen (ablations).
+        if self._explicit_index and self.strategy is SGBAnyStrategy.INDEX:
+            self._uf.union_pairs(self._batch_edges_indexed(tuples, base))
+        else:
+            self._uf.union_pairs(
+                (base + i, base + j)
+                for i, j in ps.pairwise_within(self.eps, self.predicate.metric)
+            )
         self._points.extend(tuples)
         self._indices.extend(indices)
         for index, pt in zip(indices, tuples):
             self._point_by_index[index] = pt
         # The new tail stays unindexed until a probe calls _ensure_point_index.
 
+    def _batch_edges_indexed(
+        self, tuples: Sequence[Point], base: int
+    ) -> Iterable[Tuple[int, int]]:
+        """Batch-internal eps-edges via a bulk-loaded throwaway index.
+
+        Exactly the edge set ``pairwise_within`` yields: the window query is a
+        conservative filter and L2 hits are verified with the exact distance
+        (LINF windows are exact already).  Used when the caller explicitly
+        selected the access method, so the index-choice ablation exercises
+        grid / kd-tree / R-tree on whole batches.
+        """
+        index = self._index_factory()
+        index.load([Rect.from_point(pt) for pt in tuples], range(len(tuples)))
+        windows = [Rect.from_point(pt, self.eps) for pt in tuples]
+        linf = self.predicate.metric is Metric.LINF
+        for i, hits in enumerate(index.search_many(windows)):
+            later = [j for j in hits if j > i]
+            if not later:
+                continue
+            if linf:
+                verified = later
+            else:
+                mask = self.predicate.similar_many(
+                    tuples[i], [tuples[j] for j in later]
+                )
+                verified = [j for j, ok in zip(later, mask) if ok]
+            for j in verified:
+                yield base + i, base + j
+
+    def forest(self) -> "dict[int, int]":
+        """Export the Union-Find forest built so far (element -> root).
+
+        This is the shard result the parallel engine ships back from worker
+        processes; see :meth:`repro.dstruct.union_find.UnionFind.export_forest`.
+        """
+        return self._uf.export_forest()
+
     def finalize(self) -> GroupingResult:
         """Return the grouping (connected components of the epsilon graph)."""
-        components = self._uf.components()
-        groups = [sorted(members) for members in components.values()]
-        groups.sort(key=lambda members: members[0])
+        groups = canonicalize_groups(self._uf.components().values())
         return GroupingResult(groups=groups, eliminated=[], points=list(self._points))
 
     @property
@@ -274,13 +323,36 @@ def sgb_any_grouping(
     strategy: "SGBAnyStrategy | str" = SGBAnyStrategy.INDEX,
     index_factory: Optional[IndexFactory] = None,
     batch: bool = True,
+    workers: "Optional[int | str]" = None,
 ) -> GroupingResult:
     """Group ``points`` with the SGB-Any operator and return the result.
 
     Mirrors the SQL clause ``GROUP BY ... DISTANCE-TO-ANY <metric> WITHIN eps``.
     ``batch=False`` forces the scalar point-at-a-time reference path; the two
     paths produce identical results (enforced by the parity test suite).
+
+    ``workers`` routes the batch path through the sharded parallel engine
+    (``repro.engine``): ``N > 1`` uses up to N worker processes, ``0`` or
+    ``"auto"`` uses every core, and ``None`` defers to the ``SGB_WORKERS``
+    environment variable (serial by default).  The parallel result is
+    identical to the serial one after canonical relabelling.  An explicit
+    ``index_factory`` pins the run to the in-process path so index ablations
+    measure the access method they name.
     """
+    from repro.engine.planner import resolve_workers
+
+    if (
+        batch
+        and index_factory is None
+        # An explicit non-default strategy pins the in-process path: the
+        # engine's shard-local grouping is the INDEX/grid pipeline, and a
+        # caller comparing strategies must measure the one they named.
+        and SGBAnyStrategy.parse(strategy) is SGBAnyStrategy.INDEX
+        and resolve_workers(workers) > 1
+    ):
+        from repro.engine.workers import sgb_any_sharded
+
+        return sgb_any_sharded(points, eps=eps, metric=metric, workers=workers)
     grouper = SGBAnyGrouper(
         eps=eps, metric=metric, strategy=strategy, index_factory=index_factory
     )

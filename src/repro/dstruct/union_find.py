@@ -9,7 +9,7 @@ complexity analysis (Appendix .2) relies on for the O(n log n) bound.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Mapping, Union
 
 from repro.exceptions import UnionFindError
 
@@ -140,3 +140,72 @@ class UnionFind:
 
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._parent)
+
+    # -- forest exchange (sharded execution) --------------------------------
+
+    def export_forest(self) -> Dict[Hashable, Hashable]:
+        """Return a flat ``{element -> root}`` snapshot of the forest.
+
+        The mapping is fully path-compressed (every element points directly at
+        its set representative), so it round-trips through pickling compactly
+        and can be replayed into another forest with :meth:`merge_from`.  This
+        is the wire format the sharded SGB engine uses to ship per-shard
+        grouping state back from worker processes.
+        """
+        return {element: self.find(element) for element in self._parent}
+
+    def relabel(
+        self, mapping: "Union[Mapping[Hashable, Hashable], Callable[[Hashable], Hashable]]"
+    ) -> "UnionFind":
+        """Return a new forest with every element renamed through ``mapping``.
+
+        ``mapping`` is either a dict-like (``mapping[element]``) or a callable
+        (``mapping(element)``); it must be injective over the tracked elements.
+        The sharded engine uses this to lift shard-local point positions
+        (``0..k``) into global input row indices before merging forests.
+        """
+        translate = mapping if callable(mapping) else mapping.__getitem__
+        forest = self.export_forest()
+        renamed = {element: translate(element) for element in forest}
+        out = UnionFind()
+        for new_element in renamed.values():
+            if not out.add(new_element):
+                raise UnionFindError(
+                    f"relabel mapping is not injective: {new_element!r} appears twice"
+                )
+        for element, root in forest.items():
+            if element != root:
+                out.union(renamed[element], renamed[root])
+        return out
+
+    def merge_from(
+        self,
+        other: "UnionFind | Mapping[Hashable, Hashable]",
+        translate: "Union[Mapping[Hashable, Hashable], Callable[[Hashable], Hashable], None]" = None,
+    ) -> int:
+        """Absorb another forest (or an exported ``{element -> root}`` mapping).
+
+        Elements missing from this forest are added; every element is then
+        unioned with its root, so all of ``other``'s groupings hold here too
+        (existing groupings are preserved — merging is monotone).  ``translate``
+        optionally renames ``other``'s elements on the way in, which is how
+        shard-local forests land in the global index space without building an
+        intermediate relabelled copy.  Returns the number of set merges that
+        actually happened.
+        """
+        forest = other.export_forest() if isinstance(other, UnionFind) else other
+        if translate is not None and not callable(translate):
+            translate = translate.__getitem__
+        before = self._component_count
+        added = 0
+        for element, root in forest.items():
+            if translate is not None:
+                element = translate(element)
+                root = translate(root)
+            added += self.add(element)
+            if element != root:
+                added += self.add(root)
+                self.union(element, root)
+        # Fresh elements arrive as singletons, so subtract them out: what is
+        # left is the number of pre-existing set boundaries that collapsed.
+        return before + added - self._component_count

@@ -1,0 +1,43 @@
+"""Sharded parallel execution engine for the SGB operators.
+
+The eps-grid that :meth:`repro.core.pointset.PointSet.pairwise_within` sweeps
+is a spatial decomposition in which only points in neighbouring cells can be
+within ``eps`` of each other.  That makes SGB-Any embarrassingly partitionable:
+
+1. :mod:`repro.engine.partition` cuts the input into grid-aligned shards
+   along its widest axis, plus one *halo band* (the points in the two
+   eps-cells flanking each cut) per internal shard boundary;
+2. :mod:`repro.engine.workers` runs per-shard SGB-Any grouping — each worker
+   is an ordinary :class:`~repro.core.sgb_any.SGBAnyGrouper` fed with
+   ``add_batch`` — in a shared ``ProcessPoolExecutor``, or serially in
+   process when only one worker is available;
+3. :mod:`repro.engine.merge` relabels the shard-local Union-Find forests into
+   the global row-index space, merges them, and applies the halo-band edges,
+   yielding exactly the connected components the serial pass computes;
+4. :mod:`repro.engine.planner` picks the worker and shard counts from the
+   point count, ``eps``, and ``os.cpu_count()``, and resolves the
+   ``SGB_WORKERS`` environment default.
+
+The result is *bit-identical* to the serial batch path after canonical
+relabelling (groups ordered by smallest member, members ascending), which the
+randomized equivalence suite enforces.
+"""
+
+from repro.engine.merge import canonical_groups, merge_shard_forests
+from repro.engine.partition import GridPartition, HaloBand, Shard, partition_pointset
+from repro.engine.planner import ShardPlan, plan_shards, resolve_workers
+from repro.engine.workers import shutdown_worker_pools, sgb_any_sharded
+
+__all__ = [
+    "GridPartition",
+    "HaloBand",
+    "Shard",
+    "ShardPlan",
+    "canonical_groups",
+    "merge_shard_forests",
+    "partition_pointset",
+    "plan_shards",
+    "resolve_workers",
+    "shutdown_worker_pools",
+    "sgb_any_sharded",
+]

@@ -1,0 +1,135 @@
+"""Shard/worker planning for the sharded SGB engine.
+
+The planner answers two questions: *how many worker processes* (explicit
+argument, else the ``SGB_WORKERS`` environment default, else serial) and *how
+many shards to cut* (one per worker — the partitioner balances the slab
+populations, so more shards than workers only adds merge overhead).
+
+Parallel execution is opt-in: with no explicit ``workers`` and no
+``SGB_WORKERS`` in the environment, every plan is serial and the engine stays
+out of the way of the paper's per-tuple benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "ENV_WORKERS",
+    "ENV_MIN_POINTS",
+    "ShardPlan",
+    "plan_shards",
+    "resolve_workers",
+]
+
+#: Environment default for the worker count (used when ``workers`` is None).
+ENV_WORKERS = "SGB_WORKERS"
+
+#: Environment override for the minimum parallel payload size.
+ENV_MIN_POINTS = "SGB_PARALLEL_MIN_POINTS"
+
+#: Below this many points the per-process overhead (pickling the shard
+#: payloads plus shipping the forests back) outweighs the grouping work, so
+#: plans degrade to serial even when workers were requested.
+DEFAULT_MIN_POINTS = 64
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The execution shape chosen for one SGB batch."""
+
+    workers: int
+    shards: int
+    parallel: bool
+    reason: str
+
+
+def _parse_positive_int(value: object, what: str) -> int:
+    try:
+        number = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise InvalidParameterError(f"{what} must be an integer, got {value!r}")
+    if number < 0:
+        raise InvalidParameterError(f"{what} must not be negative, got {number}")
+    return number
+
+
+def resolve_workers(workers: "Optional[int | str]" = None) -> int:
+    """Resolve a worker count: explicit argument > ``SGB_WORKERS`` env > 1.
+
+    ``0`` or ``"auto"`` means "use every available core"
+    (``os.cpu_count()``); ``None`` defers to the environment and defaults to
+    serial.  Invalid values raise :class:`InvalidParameterError` so
+    misconfiguration is loud rather than silently serial.
+    """
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS)
+        if env is None or not env.strip():
+            return 1
+        workers = env.strip()
+    if isinstance(workers, str) and workers.strip().lower() == "auto":
+        workers = 0
+    count = _parse_positive_int(workers, "workers")
+    if count == 0:
+        count = os.cpu_count() or 1
+    return count
+
+
+def _min_points() -> int:
+    env = os.environ.get(ENV_MIN_POINTS)
+    if env is None or not env.strip():
+        return DEFAULT_MIN_POINTS
+    return _parse_positive_int(env.strip(), ENV_MIN_POINTS)
+
+
+def plan_shards(
+    n_points: int,
+    eps: float,
+    workers: "Optional[int | str]" = None,
+    cpu_count: Optional[int] = None,
+) -> ShardPlan:
+    """Pick worker and shard counts for a batch of ``n_points`` points.
+
+    The worker count is capped by ``os.cpu_count()`` (more processes than
+    cores only adds scheduling churn) and by the number of minimum-size
+    shards the batch can sustain; ``eps`` is accepted for signature stability
+    (slab feasibility is geometric and re-checked by the partitioner, which
+    may still cut fewer shards than planned on degenerate extents).
+    """
+    env = os.environ.get(ENV_WORKERS, "").strip().lower() if workers is None else ""
+    if (
+        workers == 0
+        or (isinstance(workers, str) and workers.strip().lower() == "auto")
+        or (workers is None and env in ("0", "auto"))
+    ):
+        # "auto" sizes the pool from the machine.
+        requested = resolve_workers(workers)
+        cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+        usable = max(1, min(requested, cores))
+    else:
+        # A numeric request — argument or SGB_WORKERS alike — is honoured
+        # verbatim: oversubscribing cores is the caller's call (the forced-on
+        # CI job and single-core test boxes rely on the pool really running).
+        usable = resolve_workers(workers)
+    if usable <= 1:
+        return ShardPlan(workers=1, shards=1, parallel=False, reason="workers<=1")
+    floor = _min_points()
+    if n_points < floor:
+        return ShardPlan(
+            workers=1,
+            shards=1,
+            parallel=False,
+            reason=f"payload below {floor} points",
+        )
+    # Never plan shards so small that the merge dominates the grouping.
+    usable = max(2, min(usable, n_points // max(1, floor // 2)))
+    return ShardPlan(
+        workers=usable,
+        shards=usable,
+        parallel=True,
+        reason=f"{usable} workers over {n_points} points",
+    )

@@ -1,0 +1,158 @@
+"""Worker-pool layer: run per-shard SGB-Any grouping in processes.
+
+Shard tasks are ordinary :class:`~repro.core.sgb_any.SGBAnyGrouper` runs fed
+with ``add_batch``; what crosses the process boundary is only the picklable
+shard payload (a float64 array or tuple list) outbound and the exported
+Union-Find forest inbound.  Pools are cached per worker count and reused
+across calls — the executor services many small batches in a query workload,
+and respawning processes per batch would dominate the runtime.
+
+While the pool works on the shards, the parent process extracts the
+halo-band edges (:meth:`PointSet.pairwise_within` over each band) so the
+boundary stitching overlaps with the shard grouping instead of following it.
+
+When only one worker is available (or the pool cannot be created — e.g. a
+sandbox forbids ``fork``) the same shard/merge pipeline runs serially in
+process, and tiny payloads skip sharding entirely; both fallbacks produce
+results identical to the parallel path.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.distance import Metric, resolve_metric
+from repro.core.pointset import PointSet
+from repro.core.result import GroupingResult
+from repro.engine.merge import canonical_groups, merge_shard_forests
+from repro.engine.partition import GridPartition, partition_pointset
+from repro.engine.planner import plan_shards
+
+__all__ = ["sgb_any_sharded", "shutdown_worker_pools"]
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """Return the cached pool for ``workers`` processes, creating it lazily."""
+    pool = _POOLS.get(workers)
+    if pool is None:
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError):  # no fork/spawn available: serial fallback
+            return None
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every cached worker pool (registered via ``atexit``)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_worker_pools)
+
+
+def _group_shard(points: Any, eps: float, metric_value: str) -> Dict[int, int]:
+    """Worker body: SGB-Any over one shard, returning the exported forest.
+
+    Module-level (not a closure) so it pickles by reference under every
+    multiprocessing start method.
+    """
+    from repro.core.sgb_any import SGBAnyGrouper
+
+    grouper = SGBAnyGrouper(eps=eps, metric=metric_value)
+    grouper.add_batch(points)
+    return grouper.forest()
+
+
+def _band_edges(
+    partition: GridPartition, eps: float, metric: Metric
+) -> Iterator[Tuple[int, int]]:
+    """Global-index eps-edges inside every halo band (computed in-process)."""
+    for band in partition.bands:
+        if len(band.indices) < 2:
+            continue
+        band_ps = PointSet.from_any(band.points)
+        indices = band.indices
+        for i, j in band_ps.pairwise_within(eps, metric):
+            yield indices[i], indices[j]
+
+
+def _serial_grouping(ps: PointSet, eps: float, metric: Metric) -> GroupingResult:
+    # Drive the grouper directly: going back through sgb_any_grouping would
+    # re-resolve the SGB_WORKERS environment default and recurse into the
+    # engine when the plan degraded to serial.
+    from repro.core.sgb_any import SGBAnyGrouper
+
+    grouper = SGBAnyGrouper(eps=eps, metric=metric)
+    grouper.add_batch(ps)
+    return grouper.finalize()
+
+
+def sgb_any_sharded(
+    points: "PointSet | Sequence[Sequence[float]]",
+    eps: float,
+    metric: "Metric | str" = Metric.L2,
+    workers: "Optional[int | str]" = None,
+    shards: Optional[int] = None,
+) -> GroupingResult:
+    """Run SGB-Any over grid shards, in worker processes when available.
+
+    Result-identical to ``sgb_any_grouping(..., batch=True)`` — and to the
+    scalar reference path — after the canonical relabelling both apply.
+    ``shards`` overrides the planned shard count (used by tests to force the
+    partition/merge pipeline regardless of worker availability).
+    """
+    ps = PointSet.from_any(points)
+    metric = resolve_metric(metric)
+    eps = PointSet._check_eps(eps)
+    plan = plan_shards(len(ps), eps, workers)
+    n_shards = shards if shards is not None else plan.shards
+    if n_shards < 2:
+        return _serial_grouping(ps, eps, metric)
+    partition = partition_pointset(ps, eps, n_shards)
+    if partition is None or len(partition.shards) < 2:
+        return _serial_grouping(ps, eps, metric)
+
+    pool = _get_pool(plan.workers) if plan.parallel and plan.workers > 1 else None
+    forests: List[Dict[int, int]]
+    if pool is not None:
+        try:
+            futures = [
+                pool.submit(_group_shard, shard.points, eps, metric.value)
+                for shard in partition.shards
+            ]
+            # Overlap: stitch the halo bands while the pool grinds the shards.
+            edges = list(_band_edges(partition, eps, metric))
+            forests = [future.result() for future in futures]
+        except (BrokenProcessPool, OSError, RuntimeError):
+            # Worker processes spawn lazily at submit(), so "no fork allowed"
+            # surfaces here as an OSError (and a shutting-down interpreter as
+            # RuntimeError), not at pool construction; a killed worker raises
+            # BrokenProcessPool.  Drop the pool and recover serially rather
+            # than failing the query.
+            _POOLS.pop(plan.workers, None)
+            pool.shutdown(wait=False, cancel_futures=True)
+            return _serial_grouping(ps, eps, metric)
+    else:
+        edges = list(_band_edges(partition, eps, metric))
+        forests = [
+            _group_shard(shard.points, eps, metric.value)
+            for shard in partition.shards
+        ]
+
+    uf = merge_shard_forests(
+        len(ps),
+        [shard.indices for shard in partition.shards],
+        forests,
+        edges,
+    )
+    return GroupingResult(
+        groups=canonical_groups(uf), eliminated=[], points=ps.to_tuples()
+    )

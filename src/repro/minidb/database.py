@@ -70,11 +70,22 @@ class Database:
         (default), ``"bounds-checking"``, or ``"all-pairs"``.
     sgb_seed:
         Seed for the JOIN-ANY arbitration, making query results reproducible.
+    sgb_workers:
+        Session default for the SGB clause's ``WORKERS`` option (worker
+        processes for sharded SGB-Any execution); ``None`` defers to the
+        ``SGB_WORKERS`` environment variable and otherwise stays serial.
     """
 
-    def __init__(self, sgb_strategy: str = "index", sgb_seed: int = 0) -> None:
+    def __init__(
+        self,
+        sgb_strategy: str = "index",
+        sgb_seed: int = 0,
+        sgb_workers: "Optional[int | str]" = None,
+    ) -> None:
         self.catalog = Catalog()
-        self.settings = PlannerSettings(sgb_strategy=sgb_strategy, sgb_seed=sgb_seed)
+        self.settings = PlannerSettings(
+            sgb_strategy=sgb_strategy, sgb_seed=sgb_seed, sgb_workers=sgb_workers
+        )
 
     # ------------------------------------------------------------------
     # programmatic DDL / DML (used by the data generators)
@@ -136,7 +147,9 @@ class Database:
         settings = self.settings
         if sgb_strategy is not None:
             settings = PlannerSettings(
-                sgb_strategy=sgb_strategy, sgb_seed=self.settings.sgb_seed
+                sgb_strategy=sgb_strategy,
+                sgb_seed=self.settings.sgb_seed,
+                sgb_workers=self.settings.sgb_workers,
             )
         return Planner(self.catalog, settings)
 

@@ -75,6 +75,45 @@ class _AggregateEvaluator:
         """Return the final value of every accumulator."""
         return [acc.final() for acc in accumulators]
 
+    # -- columnar replay (SGB group materialisation) ------------------------
+
+    def value_columns(self, rows: Sequence[Row]) -> List[Optional[List[Any]]]:
+        """Evaluate every spec's per-row step value once, as column vectors.
+
+        ``None`` marks specs that do not consume a value (``count(*)`` and
+        zero-argument aggregates, which step a constant per row).  Feeding
+        group slices of these columns to :meth:`step_slice` replays the same
+        values :meth:`step` would pass — in the same order — without
+        re-dispatching the compiled argument expressions per group member.
+        """
+        columns: List[Optional[List[Any]]] = []
+        for spec, fns in zip(self.specs, self._arg_fns):
+            if spec.star or not fns:
+                columns.append(None)
+            elif spec.func.lower() in MULTI_ARG_AGGREGATES:
+                columns.append([tuple(fn(row) for fn in fns) for row in rows])
+            elif len(fns) == 1:
+                fn = fns[0]
+                columns.append([fn(row) for row in rows])
+            else:
+                raise PlanningError(
+                    f"aggregate {spec.func!r} takes one argument, got {len(fns)}"
+                )
+        return columns
+
+    def step_slice(
+        self,
+        accumulators: List[Any],
+        columns: Sequence[Optional[List[Any]]],
+        indices: Sequence[int],
+    ) -> None:
+        """Feed the rows selected by ``indices`` into every accumulator in bulk."""
+        for col, acc in zip(columns, accumulators):
+            if col is None:
+                acc.step_count(len(indices))
+            else:
+                acc.step_many([col[i] for i in indices])
+
 
 class HashAggregate(PhysicalOperator):
     """Hash-based GROUP BY aggregation.

@@ -19,8 +19,11 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.core.overlap import OverlapAction
 from repro.core.pointset import PointSet
+from repro.core.result import GroupingResult
 from repro.core.sgb_all import SGBAllGrouper, SGBAllStrategy
 from repro.core.sgb_any import SGBAnyGrouper, SGBAnyStrategy
+from repro.engine.planner import resolve_workers
+from repro.engine.workers import sgb_any_sharded
 from repro.exceptions import ExecutionError, InvalidParameterError
 from repro.minidb.exec.aggregate import AggregateSpec, _AggregateEvaluator
 from repro.minidb.exec.operators import PhysicalOperator, Row
@@ -46,6 +49,7 @@ class SGBAggregate(PhysicalOperator):
         on_overlap: Optional[str] = None,
         strategy: str = "index",
         seed: int = 0,
+        workers: "Optional[int | str]" = None,
     ) -> None:
         if kind not in ("all", "any"):
             raise ExecutionError(f"unknown SGB kind {kind!r}")
@@ -58,6 +62,7 @@ class SGBAggregate(PhysicalOperator):
         self.on_overlap = on_overlap
         self.strategy = strategy
         self.seed = seed
+        self.workers = workers
         self.key_exprs = list(key_exprs)
         self.aggregates = list(aggregates)
         self._key_fns = [compile_expression(e, child.schema) for e in key_exprs]
@@ -88,7 +93,6 @@ class SGBAggregate(PhysicalOperator):
         return SGBAnyGrouper(eps=self.eps, metric=self.metric, strategy=strategy)
 
     def rows(self) -> Iterator[Row]:
-        grouper = self._make_grouper()
         buffered: List[Row] = []
         # Buffer the child's tuples and collect the grouping attributes into
         # one column vector per key expression; the whole batch then flows
@@ -99,26 +103,68 @@ class SGBAggregate(PhysicalOperator):
             for column, fn in zip(columns, self._key_fns):
                 column.append(self._key_value(fn, row))
             buffered.append(row)
-        if buffered:
-            try:
-                grouper.add_batch(PointSet.from_columns(columns))
-            except InvalidParameterError as exc:
-                # Surface core-layer validation (e.g. NaN grouping values) as
-                # an executor error so engine callers see a DatabaseError.
-                raise ExecutionError(
-                    f"invalid similarity grouping attributes: {exc}"
-                ) from exc
-        result = grouper.finalize()
+        result = self._group(buffered, columns)
 
         dims = len(self.key_exprs)
-        for gid, members in enumerate(result.groups):
+        # The aggregate replay runs over column slices: every aggregate
+        # argument is evaluated once per buffered row into a column vector,
+        # and each group feeds its members' slice to the accumulators in one
+        # bulk step instead of re-dispatching row by row.  With ELIMINATE
+        # semantics some buffered rows belong to no group, and aggregate
+        # arguments must never be evaluated on them (e.g. 1/v with v=0 on a
+        # dropped row), so the eliminating case replays row-at-a-time.
+        agg_columns = (
+            self._evaluator.value_columns(buffered) if not result.eliminated else None
+        )
+        for members in result.groups:
             if not members:
                 continue
             accumulators = self._evaluator.new_accumulators()
-            for idx in members:
-                self._evaluator.step(accumulators, buffered[idx])
-            centroid = self._centroid(result, gid, dims)
+            if agg_columns is not None:
+                self._evaluator.step_slice(accumulators, agg_columns, members)
+            else:
+                for idx in members:
+                    self._evaluator.step(accumulators, buffered[idx])
+            centroid = [
+                sum(columns[d][idx] for idx in members) / len(members)
+                for d in range(dims)
+            ]
             yield tuple(centroid) + tuple(self._evaluator.finalize(accumulators))
+
+    def _group(self, buffered: List[Row], columns: List[List[float]]) -> GroupingResult:
+        """Group the buffered batch, in parallel shards when workers allow.
+
+        SGB-Any with ``WORKERS > 1`` (clause option, session default, or the
+        ``SGB_WORKERS`` environment variable) goes through the sharded engine;
+        SGB-All's arbitration is order-dependent, so it always runs serially.
+        """
+        if not buffered:
+            return GroupingResult.empty()
+        # Resolve outside the try below: a bad SGB_WORKERS value is a
+        # configuration error and must not be re-labelled as a data error.
+        # The strategy gate mirrors _make_grouper: everything except
+        # ALL_PAIRS maps onto the INDEX pipeline, which is exactly what the
+        # sharded engine runs per shard.
+        parallel = (
+            self.kind == "any"
+            and SGBAllStrategy.parse(self.strategy) is not SGBAllStrategy.ALL_PAIRS
+            and resolve_workers(self.workers) > 1
+        )
+        try:
+            points = PointSet.from_columns(columns)
+            if parallel:
+                return sgb_any_sharded(
+                    points, eps=self.eps, metric=self.metric, workers=self.workers
+                )
+            grouper = self._make_grouper()
+            grouper.add_batch(points)
+        except InvalidParameterError as exc:
+            # Surface core-layer validation (e.g. NaN grouping values) as
+            # an executor error so engine callers see a DatabaseError.
+            raise ExecutionError(
+                f"invalid similarity grouping attributes: {exc}"
+            ) from exc
+        return grouper.finalize()
 
     @staticmethod
     def _key_value(fn, row: Row) -> float:
@@ -132,19 +178,15 @@ class SGBAggregate(PhysicalOperator):
                 f"similarity grouping attribute value {value!r} is not numeric"
             ) from exc
 
-    @staticmethod
-    def _centroid(result, gid: int, dims: int) -> List[float]:
-        members = result.group_points(gid)
-        return [sum(p[d] for p in members) / len(members) for d in range(dims)]
-
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
     def describe(self) -> str:
         clause = "DISTANCE-TO-ALL" if self.kind == "all" else "DISTANCE-TO-ANY"
         overlap = f" ON-OVERLAP {self.on_overlap}" if self.kind == "all" else ""
+        workers = f" WORKERS {self.workers}" if self.workers is not None else ""
         keys = ", ".join(str(e) for e in self.key_exprs)
         return (
-            f"SGBAggregate({clause} {self.metric} WITHIN {self.eps}{overlap}; "
+            f"SGBAggregate({clause} {self.metric} WITHIN {self.eps}{overlap}{workers}; "
             f"keys=[{keys}]; strategy={self.strategy})"
         )

@@ -65,12 +65,28 @@ SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
 
 
 class Aggregate:
-    """Accumulator protocol: ``step`` consumes values, ``final`` returns the result."""
+    """Accumulator protocol: ``step`` consumes values, ``final`` returns the result.
+
+    ``step_many`` / ``step_count`` are the bulk entry points the columnar SGB
+    replay uses; the defaults delegate to ``step`` so custom aggregates stay
+    correct, and the built-ins override them where a tighter loop (or an O(1)
+    count bump) gives the same result.
+    """
 
     name = "aggregate"
 
     def step(self, value: Any) -> None:
         raise NotImplementedError
+
+    def step_many(self, values: Any) -> None:
+        """Consume a whole column slice, preserving ``step``'s per-value order."""
+        for value in values:
+            self.step(value)
+
+    def step_count(self, n: int) -> None:
+        """Consume ``n`` constant steps (the ``count(*)`` replay path)."""
+        for _ in range(n):
+            self.step(1)
 
     def final(self) -> Any:
         raise NotImplementedError
@@ -84,6 +100,12 @@ class _CountStar(Aggregate):
 
     def step(self, value: Any) -> None:
         self.count += 1
+
+    def step_many(self, values: Any) -> None:
+        self.count += len(values)
+
+    def step_count(self, n: int) -> None:
+        self.count += n
 
     def final(self) -> int:
         return self.count
@@ -99,6 +121,12 @@ class _Count(Aggregate):
         if value is not None:
             self.count += 1
 
+    def step_many(self, values: Any) -> None:
+        self.count += sum(1 for value in values if value is not None)
+
+    def step_count(self, n: int) -> None:
+        self.count += n
+
     def final(self) -> int:
         return self.count
 
@@ -113,6 +141,13 @@ class _Sum(Aggregate):
         if value is None:
             return
         self.total = value if self.total is None else self.total + value
+
+    def step_many(self, values: Any) -> None:
+        total = self.total
+        for value in values:
+            if value is not None:
+                total = value if total is None else total + value
+        self.total = total
 
     def final(self) -> Any:
         return self.total
@@ -130,6 +165,16 @@ class _Avg(Aggregate):
             return
         self.total += value
         self.count += 1
+
+    def step_many(self, values: Any) -> None:
+        total = self.total
+        count = self.count
+        for value in values:
+            if value is not None:
+                total += value
+                count += 1
+        self.total = total
+        self.count = count
 
     def final(self) -> Optional[float]:
         if self.count == 0:
@@ -149,6 +194,13 @@ class _Min(Aggregate):
         if self.value is None or value < self.value:
             self.value = value
 
+    def step_many(self, values: Any) -> None:
+        best = self.value
+        for value in values:
+            if value is not None and (best is None or value < best):
+                best = value
+        self.value = best
+
     def final(self) -> Any:
         return self.value
 
@@ -165,6 +217,13 @@ class _Max(Aggregate):
         if self.value is None or value > self.value:
             self.value = value
 
+    def step_many(self, values: Any) -> None:
+        best = self.value
+        for value in values:
+            if value is not None and (best is None or value > best):
+                best = value
+        self.value = best
+
     def final(self) -> Any:
         return self.value
 
@@ -177,6 +236,9 @@ class _ArrayAgg(Aggregate):
 
     def step(self, value: Any) -> None:
         self.values.append(value)
+
+    def step_many(self, values: Any) -> None:
+        self.values.extend(values)
 
     def final(self) -> List[Any]:
         return list(self.values)

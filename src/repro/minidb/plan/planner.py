@@ -81,11 +81,14 @@ class PlannerSettings:
 
     ``sgb_strategy`` selects the algorithm used by similarity group-by nodes
     (``"all-pairs"``, ``"bounds-checking"``, or ``"index"``); ``sgb_seed``
-    seeds the JOIN-ANY arbitration so plans are reproducible.
+    seeds the JOIN-ANY arbitration so plans are reproducible; ``sgb_workers``
+    is the session default for the SGB clause's ``WORKERS`` option (``None``
+    defers to the ``SGB_WORKERS`` environment variable, then serial).
     """
 
     sgb_strategy: str = "index"
     sgb_seed: int = 0
+    sgb_workers: "Optional[int | str]" = None
     extra: Dict[str, object] = field(default_factory=dict)
 
 
@@ -369,6 +372,14 @@ class Planner:
         on_overlap = (
             OverlapAction.parse(sgb.on_overlap).value if sgb.on_overlap else None
         )
+        workers: "Optional[int | str]" = self.settings.sgb_workers
+        if sgb.workers is not None:
+            workers_value = self._constant_value(sgb.workers)
+            if not isinstance(workers_value, int) or isinstance(workers_value, bool) or workers_value < 0:
+                raise PlanningError(
+                    f"WORKERS must be a non-negative integer constant, got {workers_value!r}"
+                )
+            workers = workers_value
         return SGBAggregate(
             plan,
             key_exprs,
@@ -380,6 +391,7 @@ class Planner:
             on_overlap=on_overlap,
             strategy=self.settings.sgb_strategy,
             seed=self.settings.sgb_seed,
+            workers=workers,
         )
 
     @staticmethod

@@ -64,13 +64,15 @@ class SGBSpec:
     ``kind`` is ``"all"`` (DISTANCE-TO-ALL) or ``"any"`` (DISTANCE-TO-ANY);
     ``metric`` is the SQL metric keyword (``L2``/``LINF``/...); ``eps`` is the
     WITHIN threshold expression; ``on_overlap`` carries the ON-OVERLAP action
-    keyword for SGB-All.
+    keyword for SGB-All; ``workers`` is the optional WORKERS count expression
+    routing SGB-Any through the sharded parallel engine.
     """
 
     kind: str
     metric: str
     eps: Expression
     on_overlap: Optional[str] = None
+    workers: Optional[Expression] = None
 
 
 @dataclass(frozen=True)

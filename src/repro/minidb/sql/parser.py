@@ -393,7 +393,12 @@ class Parser:
                 on_overlap = self._parse_overlap_action()
             else:
                 on_overlap = "JOIN-ANY"
-        return SGBSpec(kind=kind, metric=metric, eps=eps, on_overlap=on_overlap)
+        workers: Optional[Expression] = None
+        if self._accept_keyword("WORKERS"):
+            workers = self.parse_expression()
+        return SGBSpec(
+            kind=kind, metric=metric, eps=eps, on_overlap=on_overlap, workers=workers
+        )
 
     def _parse_optional_metric(self) -> Optional[str]:
         token = self._peek()

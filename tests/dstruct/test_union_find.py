@@ -111,3 +111,81 @@ class TestComponents:
             uf.union(i, i + 1)
             count -= 1
             assert uf.component_count == count
+
+
+class TestForestExchange:
+    """export_forest / relabel / merge_from — the sharded-engine wire format."""
+
+    def _sample(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        return uf
+
+    def test_export_forest_is_flat(self):
+        uf = self._sample()
+        forest = uf.export_forest()
+        assert set(forest) == set(range(6))
+        for element, root in forest.items():
+            assert forest[root] == root  # roots point at themselves
+            assert uf.connected(element, root)
+        roots = {forest[0], forest[3], forest[4]}
+        assert len(roots) == 3
+
+    def test_relabel_with_mapping_and_callable(self):
+        uf = self._sample()
+        shifted = uf.relabel({i: i + 100 for i in range(6)})
+        assert shifted.connected(100, 102)
+        assert shifted.connected(104, 105)
+        assert not shifted.connected(100, 103)
+        assert shifted.component_count == uf.component_count
+        named = uf.relabel(lambda i: f"row-{i}")
+        assert named.connected("row-0", "row-2")
+
+    def test_relabel_rejects_non_injective_mapping(self):
+        uf = self._sample()
+        with pytest.raises(UnionFindError):
+            uf.relabel(lambda i: i // 2)
+
+    def test_merge_from_preserves_both_groupings(self):
+        left = UnionFind(range(4))
+        left.union(0, 1)
+        right = UnionFind([2, 3, 4])
+        right.union(2, 3)
+        merges = left.merge_from(right)
+        assert merges == 1
+        assert left.connected(0, 1)
+        assert left.connected(2, 3)
+        assert 4 in left and left.component_size(4) == 1
+        assert len(left) == 5
+
+    def test_merge_from_exported_mapping_with_translate(self):
+        # A shard-local forest over positions 0..3 lifted into global rows.
+        local = UnionFind(range(4))
+        local.union(0, 1)
+        local.union(2, 3)
+        global_rows = [10, 11, 12, 13]
+        merged = UnionFind(range(10, 14))
+        merged.merge_from(local.export_forest(), translate=global_rows.__getitem__)
+        assert merged.connected(10, 11)
+        assert merged.connected(12, 13)
+        assert not merged.connected(10, 12)
+
+    def test_merge_from_is_monotone(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 3)
+        other = UnionFind(range(4))
+        other.union(1, 2)
+        uf.merge_from(other)
+        assert uf.connected(0, 3) and uf.connected(1, 2)
+        assert uf.component_count == 2
+
+    def test_round_trip_relabel_then_merge(self):
+        local = UnionFind(range(3))
+        local.union(0, 2)
+        lifted = local.relabel({0: 7, 1: 8, 2: 9})
+        target = UnionFind()
+        target.merge_from(lifted)
+        assert target.connected(7, 9)
+        assert not target.connected(7, 8)

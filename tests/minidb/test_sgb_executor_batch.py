@@ -36,3 +36,17 @@ class TestBatchedExecutor:
                 "SELECT count(*) FROM pts GROUP BY x, y "
                 "DISTANCE-TO-ALL LINF WITHIN 0.5 ON-OVERLAP ELIMINATE"
             )
+
+    def test_eliminated_rows_are_not_fed_to_aggregate_arguments(self):
+        # The columnar aggregate replay must never evaluate aggregate
+        # arguments on rows dropped by ON-OVERLAP ELIMINATE: here the
+        # eliminated middle point has v=0, so 1/v on it would blow up even
+        # though no surviving group contains it.
+        db = Database()
+        db.execute("CREATE TABLE m (x FLOAT, y FLOAT, v FLOAT)")
+        db.insert_rows("m", [(0.0, 0.0, 1.0), (2.0, 0.0, 2.0), (1.0, 0.0, 0.0)])
+        result = db.execute(
+            "SELECT x, y, sum(1.0 / v) FROM m GROUP BY x, y "
+            "DISTANCE-TO-ALL LINF WITHIN 1.2 ON-OVERLAP ELIMINATE ORDER BY x"
+        )
+        assert [row[2] for row in result.rows] == [1.0, 0.5]
