@@ -1,0 +1,86 @@
+"""Streaming incremental window flushes vs full re-grouping per window.
+
+Records the wall-clock of grouping a 10k–100k point stream through sliding
+count windows two ways: the ``repro.stream`` incremental session (each
+eps-edge discovered once, evictions repaired from the retained epoch
+forests) and the naive baseline that re-runs the batch ``sgb_any`` over the
+window's live points at every slide.  Both paths emit bit-identical window
+groupings (asserted here at the smallest size and exhaustively by
+``tests/stream``); the incremental advantage grows with the window/slide
+ratio because the baseline re-processes every point ``window / slide``
+times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import sgb_any
+from repro.stream.session import StreamingSGB
+from repro.workloads.synthetic import clustered_points
+
+EPS = 0.3
+#: (stream size, window, slide) — window/slide ratio 8 throughout.
+SHAPES = [
+    (10_000, 5_000, 625),
+    (50_000, 10_000, 1_250),
+    (100_000, 10_000, 1_250),
+]
+
+
+def _stream_points(n: int):
+    return clustered_points(
+        n, clusters=max(20, n // 250), spread=0.005, low=0.0, high=100.0, seed=31
+    )
+
+
+@pytest.fixture(scope="module")
+def points_by_size():
+    return {n: _stream_points(n) for n, _, _ in SHAPES}
+
+
+def _run_incremental(points, window, slide):
+    session = StreamingSGB(EPS, window=window, slide=slide, workers=1)
+    flushes = session.ingest(points)
+    flushes.extend(session.close())
+    return flushes
+
+
+def _run_full_regroup(points, window, slide):
+    # Same flush boundaries as the session: every full epoch plus the
+    # trailing partial one the incremental path flushes on close().
+    ends = list(range(slide, len(points) + 1, slide))
+    if len(points) % slide:
+        ends.append(len(points))
+    return [
+        sgb_any(points[max(0, end - window) : end], eps=EPS, workers=1)
+        for end in ends
+    ]
+
+
+@pytest.mark.parametrize("path", ["full-regroup", "incremental"])
+@pytest.mark.parametrize("n,window,slide", SHAPES)
+class TestStreamingWindowScaling:
+    def test_windowed_grouping(self, benchmark, points_by_size, n, window, slide, path):
+        benchmark.group = f"streaming-window-{n}"
+        benchmark.extra_info["window"] = window
+        benchmark.extra_info["slide"] = slide
+        points = points_by_size[n]
+        run = _run_incremental if path == "incremental" else _run_full_regroup
+        # One round per path: the signal is the incremental/full ratio at each
+        # size, not microsecond-stable medians.
+        flushes = benchmark.pedantic(
+            run, args=(points, window, slide), rounds=1, iterations=1
+        )
+        assert len(flushes) == n // slide
+
+
+def test_incremental_matches_full_regroup_at_10k(points_by_size):
+    """Every window's grouping is identical across the two paths."""
+    n, window, slide = SHAPES[0]
+    points = points_by_size[n]
+    incremental = _run_incremental(points, window, slide)
+    full = _run_full_regroup(points, window, slide)
+    assert len(incremental) == len(full)
+    for window_result, reference in zip(incremental, full):
+        assert window_result.result.groups == reference.groups

@@ -5,6 +5,10 @@ Multi-dimensional Relational Data" (ICDE 2016).  The package provides:
 
 * ``repro.core``       — the SGB-All and SGB-Any operators and their All-Pairs,
                           Bounds-Checking, and on-the-fly Index algorithms;
+* ``repro.engine``     — the sharded parallel execution engine (grid
+                          partitioning, worker pools, forest merging);
+* ``repro.stream``     — windowed incremental SGB over continuous point
+                          streams (tumbling/sliding windows, delta events);
 * ``repro.minidb``     — an in-memory SQL engine with the extended
                           ``GROUP BY ... DISTANCE-TO-ALL/ANY`` syntax;
 * ``repro.spatial``    — R-tree / grid / kd-tree spatial indexes;
@@ -23,6 +27,7 @@ from repro.core import (
     cluster_by,
     sgb_all,
     sgb_any,
+    sgb_any_stream,
 )
 
 __version__ = "1.0.0"
@@ -35,6 +40,7 @@ __all__ = [
     "GroupingResult",
     "sgb_all",
     "sgb_any",
+    "sgb_any_stream",
     "cluster_by",
     "__version__",
 ]

@@ -10,7 +10,7 @@ with joins, filters, and aggregates) use :class:`repro.minidb.Database`.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 from repro.core.distance import Metric
 from repro.core.overlap import OverlapAction
@@ -20,7 +20,11 @@ from repro.core.sgb_all import IndexFactory, SGBAllStrategy, sgb_all_grouping
 from repro.core.sgb_any import SGBAnyStrategy, sgb_any_grouping
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["sgb_all", "sgb_any", "cluster_by"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.stream.session import WindowResult
+    from repro.stream.window import WindowPolicy
+
+__all__ = ["sgb_all", "sgb_any", "sgb_any_stream", "cluster_by"]
 
 
 def _normalise_points(points: Sequence[Sequence[float]]) -> PointSet:
@@ -118,6 +122,55 @@ def sgb_any(
         index_factory=index_factory,
         batch=batch,
         workers=workers,
+    )
+
+
+def sgb_any_stream(
+    batches: "Iterable[Sequence[Sequence[float]] | tuple]",
+    eps: float,
+    metric: "Metric | str" = Metric.L2,
+    window: "WindowPolicy | int" = None,  # type: ignore[assignment]
+    slide: Optional[int] = None,
+    workers: "Optional[int | str]" = None,
+    backend: Optional[str] = None,
+) -> "Iterator[WindowResult]":
+    """Group a continuous point stream over sliding or tumbling windows.
+
+    ``batches`` is any iterable of micro-batches; each batch is a point
+    container :func:`sgb_any` would accept (with a tick-based
+    :class:`~repro.stream.window.WindowPolicy`, a ``(points, ticks)`` pair
+    instead).  Yields one :class:`~repro.stream.session.WindowResult` per
+    closed window: the grouping of the window's live points — bit-identical
+    (after canonical relabelling) to a from-scratch :func:`sgb_any` over
+    those points — plus the delta events since the previous window.
+
+    Parameters
+    ----------
+    window:
+        Count-window size (an int), or a
+        :class:`~repro.stream.window.WindowPolicy` for tick-based / explicit
+        policies.
+    slide:
+        Count-window slide; omitted means tumbling.  The size must be a
+        multiple of the slide so eviction always drops whole epochs.
+    workers:
+        Per-flush sharding through ``repro.engine``, resolved exactly like
+        :func:`sgb_any`'s ``workers``; with one worker (the default) flushes
+        read the incrementally maintained forest instead of regrouping.
+    backend:
+        Optional ``PointSet`` backend override (``"python"`` forces the
+        pure-Python columnar kernels).
+    """
+    from repro.stream.session import stream_groups
+
+    return stream_groups(
+        batches,
+        eps,
+        metric=metric,
+        window=window,
+        slide=slide,
+        workers=workers,
+        backend=backend,
     )
 
 

@@ -50,6 +50,7 @@ __all__ = [
     "NumpyPointSet",
     "HAVE_NUMPY",
     "ensure_finite",
+    "is_empty_batch",
 ]
 
 
@@ -61,6 +62,19 @@ def ensure_finite(pt: "Sequence[float]") -> None:
                 f"point {tuple(pt)!r} has a non-finite coordinate; "
                 "NaN and infinity are not valid point coordinates"
             )
+
+
+def is_empty_batch(points: object) -> bool:
+    """True when ``points`` is a sized container holding zero points.
+
+    Both groupers use this to make a degenerate ``add_batch`` a strict no-op
+    — no :class:`PointSet` normalisation, no index bookkeeping — before any
+    backend dispatch happens.
+    """
+    try:
+        return len(points) == 0  # type: ignore[arg-type]
+    except TypeError:
+        return False
 
 HAVE_NUMPY = _np is not None
 
@@ -149,6 +163,65 @@ class PointSet:
         return PythonPointSet(tuples)
 
     @staticmethod
+    def adopt_validated(
+        tuples: "List[Point]", backend: Optional[str] = None
+    ) -> "PointSet":
+        """Adopt a list of already-validated float tuples without re-checking.
+
+        For callers that hold tuples a previous :meth:`from_any` produced
+        (the streaming window ring re-presents admitted points many times);
+        skips the dimensionality/finiteness sweep that validation already
+        performed.  Never hand this unvalidated data.
+        """
+        use_numpy = HAVE_NUMPY if backend is None else backend == "numpy"
+        if use_numpy:
+            if not HAVE_NUMPY:
+                raise InvalidParameterError(
+                    "numpy backend requested but numpy is missing"
+                )
+            return NumpyPointSet._from_validated_tuples(tuples)
+        return PythonPointSet._from_validated(tuples)
+
+    @staticmethod
+    def concat(
+        sets: "Sequence[PointSet]", backend: Optional[str] = None
+    ) -> "PointSet":
+        """Concatenate already-validated point sets without revalidation.
+
+        The streaming window ring uses this to present several columnar
+        epochs as one probe target; the members were validated when first
+        admitted, so the concatenation is a pure structural merge (a single
+        ``np.concatenate`` on the NumPy backend).
+        """
+        parts = [s for s in sets if len(s) > 0]
+        if not parts:
+            return PointSet.from_any([], backend=backend)
+        dims = parts[0].dims
+        for part in parts[1:]:
+            if part.dims != dims:
+                raise DimensionalityError(
+                    f"cannot concat point sets of {dims} and {part.dims} dimensions"
+                )
+        if backend is None:
+            backend = parts[0].backend
+        if backend == "numpy":
+            if not HAVE_NUMPY:
+                raise InvalidParameterError(
+                    "numpy backend requested but numpy is missing"
+                )
+            arrays = [
+                part.array
+                if isinstance(part, NumpyPointSet)
+                else _np.asarray(part.to_tuples(), dtype=_np.float64)
+                for part in parts
+            ]
+            return NumpyPointSet(arrays[0] if len(arrays) == 1 else _np.concatenate(arrays))
+        out: List[Point] = []
+        for part in parts:
+            out.extend(part.to_tuples())
+        return PythonPointSet._from_validated(out)
+
+    @staticmethod
     def from_columns(
         columns: Sequence[Sequence[float]], backend: Optional[str] = None
     ) -> "PointSet":
@@ -205,6 +278,25 @@ class PointSet:
     ) -> Iterator[Tuple[int, int]]:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    def cross_within(
+        self,
+        other: "PointSet | Sequence[Sequence[float]]",
+        eps: float,
+        metric: "Metric | str" = Metric.L2,
+    ) -> Iterator[Tuple[int, int]]:  # pragma: no cover - overridden
+        """Yield every ``(i, j)`` with ``self[i]`` within ``eps`` of ``other[j]``.
+
+        The cross-set companion of :meth:`pairwise_within`: the same uniform
+        eps-grid prunes the candidate pairs (falling back to blocked brute
+        force past :data:`_PAIRWISE_GRID_MAX_DIMS` dimensions), and the same
+        ``within_eps`` kernel makes the decisions, so the edge set agrees
+        bit-for-bit with the scalar predicate.  This is the kernel behind the
+        streaming subsystem's cross-epoch edge discovery: an arriving
+        micro-batch (``other``) is joined against each older live epoch
+        (``self``) without any per-tuple index probing.
+        """
+        raise NotImplementedError
+
     # -- shared conveniences ----------------------------------------------
 
     def __iter__(self) -> Iterator[Point]:
@@ -235,6 +327,13 @@ class PythonPointSet(PointSet):
 
     def __init__(self, points: Sequence[Sequence[float]]) -> None:
         self._points: List[Point] = _validate_tuples(points)
+
+    @classmethod
+    def _from_validated(cls, tuples: List[Point]) -> "PythonPointSet":
+        """Adopt already-validated tuples without re-checking them."""
+        out = cls.__new__(cls)
+        out._points = tuples
+        return out
 
     def __len__(self) -> int:
         return len(self._points)
@@ -308,6 +407,44 @@ class PythonPointSet(PointSet):
                     for j in other:
                         if predicate.similar(pi, pts[j]):
                             yield i, j
+
+    def cross_within(
+        self,
+        other: "PointSet | Sequence[Sequence[float]]",
+        eps: float,
+        metric: "Metric | str" = Metric.L2,
+    ) -> Iterator[Tuple[int, int]]:
+        eps = self._check_eps(eps)
+        predicate = SimilarityPredicate(resolve_metric(metric), eps)
+        probes = PointSet.from_any(other, backend="python").to_tuples()
+        pts = self._points
+        if not pts or not probes:
+            return
+        if len(probes[0]) != len(pts[0]):
+            raise DimensionalityError(
+                f"cross_within dimensionality mismatch: {len(pts[0])} vs "
+                f"{len(probes[0])}"
+            )
+        d = len(pts[0])
+        if d > _PAIRWISE_GRID_MAX_DIMS:
+            for j, pj in enumerate(probes):
+                for i, pi in enumerate(pts):
+                    if predicate.similar(pi, pj):
+                        yield i, j
+            return
+        buckets: Dict[Tuple[int, ...], List[int]] = {}
+        for i, p in enumerate(pts):
+            buckets.setdefault(tuple(math.floor(c / eps) for c in p), []).append(i)
+        offsets = _neighbourhood_offsets(d)
+        for j, pj in enumerate(probes):
+            key = tuple(math.floor(c / eps) for c in pj)
+            for off in offsets:
+                members = buckets.get(tuple(k + o for k, o in zip(key, off)))
+                if not members:
+                    continue
+                for i in members:
+                    if predicate.similar(pts[i], pj):
+                        yield i, j
 
 
 class NumpyPointSet(PointSet):
@@ -423,6 +560,74 @@ class NumpyPointSet(PointSet):
                 if other is not None:
                     yield from self._cell_pairs(members, other, eps, metric, same=False)
 
+    def cross_within(
+        self,
+        other: "PointSet | Sequence[Sequence[float]]",
+        eps: float,
+        metric: "Metric | str" = Metric.L2,
+    ) -> Iterator[Tuple[int, int]]:
+        eps = self._check_eps(eps)
+        metric = resolve_metric(metric)
+        probes_ps = PointSet.from_any(other, backend="numpy")
+        assert isinstance(probes_ps, NumpyPointSet)
+        arr = self._array
+        parr = probes_ps._array
+        if arr.shape[0] == 0 or parr.shape[0] == 0:
+            return
+        if arr.shape[1] != parr.shape[1]:
+            raise DimensionalityError(
+                f"cross_within dimensionality mismatch: {arr.shape[1]} vs "
+                f"{parr.shape[1]}"
+            )
+        if arr.shape[1] > _PAIRWISE_GRID_MAX_DIMS:
+            # Blocked brute force over the probe rows.
+            for start in range(0, parr.shape[0], _BLOCK):
+                block = parr[start : start + _BLOCK]
+                mask = within_eps(block, arr, metric, eps)
+                pj, si = _np.nonzero(mask)
+                for i, j in zip(si.tolist(), (pj + start).tolist()):
+                    yield i, j
+            return
+        # Bucket this set on the eps-grid, group the probes by their cell, and
+        # verify each probe cell against the 3^d neighbouring buckets.
+        cells = _np.floor(arr / eps).astype(_np.int64)
+        uniq, inverse = _np.unique(cells, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        order = _np.argsort(inverse, kind="stable")
+        counts = _np.bincount(inverse, minlength=uniq.shape[0])
+        splits = _np.split(order, _np.cumsum(counts)[:-1])
+        bucket_of = {tuple(c): idx for c, idx in zip(uniq.tolist(), splits)}
+        pcells = _np.floor(parr / eps).astype(_np.int64)
+        puniq, pinverse = _np.unique(pcells, axis=0, return_inverse=True)
+        pinverse = pinverse.ravel()
+        porder = _np.argsort(pinverse, kind="stable")
+        pcounts = _np.bincount(pinverse, minlength=puniq.shape[0])
+        psplits = _np.split(porder, _np.cumsum(pcounts)[:-1])
+        offsets = _neighbourhood_offsets(arr.shape[1])
+        for key, probe_idx in zip(puniq.tolist(), psplits):
+            # One verification call per probe cell: concatenate the Moore
+            # neighbourhood's buckets instead of checking them one by one.
+            neighbours = [
+                bucket
+                for off in offsets
+                if (bucket := bucket_of.get(tuple(k + o for k, o in zip(key, off))))
+                is not None
+            ]
+            if not neighbours:
+                continue
+            members = (
+                neighbours[0] if len(neighbours) == 1 else _np.concatenate(neighbours)
+            )
+            candidates = arr[members]
+            for start in range(0, probe_idx.shape[0], _BLOCK):
+                sub = probe_idx[start : start + _BLOCK]
+                mask = within_eps(parr[sub], candidates, metric, eps)
+                pj, si = _np.nonzero(mask)
+                gi = members[si]
+                gj = sub[pj]
+                for i, j in zip(gi.tolist(), gj.tolist()):
+                    yield i, j
+
     def _cell_pairs(self, a_idx, b_idx, eps: float, metric: Metric, same: bool):
         """Yield the within-eps (i, j) pairs between two index buckets, blocked."""
         arr = self._array
@@ -439,6 +644,19 @@ class NumpyPointSet(PointSet):
                 gj = gj[keep]
             for i, j in zip(gi.tolist(), gj.tolist()):
                 yield i, j
+
+
+def _neighbourhood_offsets(d: int) -> List[Tuple[int, ...]]:
+    """All cell offsets in {-1,0,1}^d, origin included.
+
+    ``cross_within`` joins two *distinct* point sets, so there is no pair
+    symmetry to exploit: every probe cell must look at its full Moore
+    neighbourhood in the other set's grid.
+    """
+    out: List[Tuple[int, ...]] = [()]
+    for _ in range(d):
+        out = [prefix + (o,) for prefix in out for o in (-1, 0, 1)]
+    return out
 
 
 def _half_space_offsets(d: int) -> List[Tuple[int, ...]]:

@@ -26,7 +26,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.distance import Metric, resolve_metric
 from repro.core.groups import Group
-from repro.core.pointset import PointSet, ensure_finite
+from repro.core.pointset import PointSet, ensure_finite, is_empty_batch
 from repro.core.overlap import OverlapAction
 from repro.core.predicates import SimilarityPredicate
 from repro.core.rectangle import Rect
@@ -149,6 +149,10 @@ class SGBAllGrouper:
         on the vectorised bulk membership verification inside
         :class:`~repro.core.groups.Group` for the hot distance checks.
         """
+        if is_empty_batch(points):
+            # Degenerate batch: a strict no-op — no PointSet normalisation
+            # and no grouper state change (mirrors SGBAnyGrouper.add_batch).
+            return
         ps = PointSet.from_any(points)
         if len(ps) == 0:
             return

@@ -23,7 +23,7 @@ from enum import Enum
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.distance import Metric, resolve_metric
-from repro.core.pointset import PointSet, ensure_finite
+from repro.core.pointset import PointSet, ensure_finite, is_empty_batch
 from repro.core.predicates import SimilarityPredicate
 from repro.core.rectangle import Rect
 from repro.core.result import GroupingResult, canonicalize_groups
@@ -154,6 +154,11 @@ class SGBAnyGrouper:
         at batch scale too; the edge set — and hence the grouping — is the
         same either way.
         """
+        if is_empty_batch(points):
+            # Degenerate batch: a strict no-op — no PointSet normalisation,
+            # no index bookkeeping, no Union-Find dispatch.  Streaming flushes
+            # routinely produce empty micro-batches at epoch boundaries.
+            return
         ps = PointSet.from_any(points)
         n = len(ps)
         if n == 0:
@@ -218,6 +223,26 @@ class SGBAnyGrouper:
                 verified = [j for j, ok in zip(later, mask) if ok]
             for j in verified:
                 yield base + i, base + j
+
+    def neighbours_many(
+        self, points: "PointSet | Sequence[Sequence[float]]"
+    ) -> List[List[int]]:
+        """Return, per probe point, the added input-row indices within eps.
+
+        This is the batched FindCandidateGroups probe (Procedure 8) exposed
+        publicly: probes are answered with the grouper's access method (window
+        query + exact verification for L2) *without* adding the probe points.
+        External batch consumers use it to join incoming points against an
+        already-grouped set through whatever index the grouper maintains
+        (the columnar alternative is :meth:`PointSet.cross_within`, which the
+        streaming subsystem's cross-epoch discovery is built on).
+        """
+        ps = PointSet.from_any(points)
+        if len(ps) == 0:
+            return []
+        if not self._points:
+            return [[] for _ in range(len(ps))]
+        return self._find_neighbours_many(ps.to_tuples())
 
     def forest(self) -> "dict[int, int]":
         """Export the Union-Find forest built so far (element -> root).

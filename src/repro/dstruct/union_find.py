@@ -154,6 +154,30 @@ class UnionFind:
         """
         return {element: self.find(element) for element in self._parent}
 
+    def split_forest(
+        self, elements: Iterable[Hashable]
+    ) -> "tuple[Dict[Hashable, Hashable], Dict[Hashable, Hashable]]":
+        """Split the exported forest around the components touching ``elements``.
+
+        Returns ``(touched, untouched)``: two ``{element -> root}`` mappings
+        covering every tracked element, where ``touched`` holds exactly the
+        members of components containing at least one of ``elements``.  This
+        is the eviction primitive of the streaming window subsystem: when an
+        epoch of points expires, only the *touched* components need re-linking
+        from the retained per-epoch forests and cross-epoch edges, while the
+        *untouched* mapping can be replayed verbatim into the rebuilt forest.
+        """
+        touched_roots = {self.find(element) for element in elements}
+        touched: Dict[Hashable, Hashable] = {}
+        untouched: Dict[Hashable, Hashable] = {}
+        for element in self._parent:
+            root = self.find(element)
+            if root in touched_roots:
+                touched[element] = root
+            else:
+                untouched[element] = root
+        return touched, untouched
+
     def relabel(
         self, mapping: "Union[Mapping[Hashable, Hashable], Callable[[Hashable], Hashable]]"
     ) -> "UnionFind":

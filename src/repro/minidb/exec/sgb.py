@@ -50,11 +50,15 @@ class SGBAggregate(PhysicalOperator):
         strategy: str = "index",
         seed: int = 0,
         workers: "Optional[int | str]" = None,
+        window: Optional[int] = None,
+        slide: Optional[int] = None,
     ) -> None:
         if kind not in ("all", "any"):
             raise ExecutionError(f"unknown SGB kind {kind!r}")
         if len(key_exprs) < 1:
             raise ExecutionError("similarity group-by requires at least one grouping attribute")
+        if window is not None and kind != "any":
+            raise ExecutionError("WINDOW is only supported for DISTANCE-TO-ANY")
         self.child = child
         self.kind = kind
         self.metric = metric
@@ -63,11 +67,16 @@ class SGBAggregate(PhysicalOperator):
         self.strategy = strategy
         self.seed = seed
         self.workers = workers
+        self.window = window
+        self.slide = slide
         self.key_exprs = list(key_exprs)
         self.aggregates = list(aggregates)
         self._key_fns = [compile_expression(e, child.schema) for e in key_exprs]
         self._evaluator = _AggregateEvaluator(aggregates, child.schema)
-        columns = [Column(name.lower(), DataType.FLOAT, None) for name in key_names]
+        columns = (
+            [Column("window_id", DataType.INT, None)] if window is not None else []
+        )
+        columns += [Column(name.lower(), DataType.FLOAT, None) for name in key_names]
         columns += [
             Column(spec.output_name.lower(), spec.output_type(), None)
             for spec in self.aggregates
@@ -103,6 +112,9 @@ class SGBAggregate(PhysicalOperator):
             for column, fn in zip(columns, self._key_fns):
                 column.append(self._key_value(fn, row))
             buffered.append(row)
+        if self.window is not None:
+            yield from self._windowed_rows(buffered, columns)
+            return
         result = self._group(buffered, columns)
 
         dims = len(self.key_exprs)
@@ -130,6 +142,54 @@ class SGBAggregate(PhysicalOperator):
                 for d in range(dims)
             ]
             yield tuple(centroid) + tuple(self._evaluator.finalize(accumulators))
+
+    def _windowed_rows(
+        self, buffered: List[Row], columns: List[List[float]]
+    ) -> Iterator[Row]:
+        """Stream the buffered input through the windowed SGB-Any subsystem.
+
+        The child's tuples are replayed in arrival order as a count-based
+        stream (``WINDOW n [SLIDE m]``); each closed window contributes one
+        output row per group, tagged with a leading ``window_id`` column.
+        Aggregates replay over the buffered rows of the window's live
+        members — always through the column-slice fast path, since SGB-Any
+        never eliminates rows.
+        """
+        if not buffered:
+            return
+        from repro.stream.session import StreamingSGB
+
+        try:
+            points = PointSet.from_columns(columns)
+            session = StreamingSGB(
+                self.eps,
+                metric=self.metric,
+                window=self.window,
+                slide=self.slide,
+                workers=self.workers,
+            )
+            windows = session.ingest(points)
+            windows.extend(session.close())
+        except InvalidParameterError as exc:
+            raise ExecutionError(
+                f"invalid similarity grouping attributes: {exc}"
+            ) from exc
+        dims = len(self.key_exprs)
+        agg_columns = self._evaluator.value_columns(buffered)
+        for window in windows:
+            for local_members in window.result.groups:
+                members = [window.indices[i] for i in local_members]
+                accumulators = self._evaluator.new_accumulators()
+                self._evaluator.step_slice(accumulators, agg_columns, members)
+                centroid = [
+                    sum(columns[d][idx] for idx in members) / len(members)
+                    for d in range(dims)
+                ]
+                yield (
+                    (window.window_id,)
+                    + tuple(centroid)
+                    + tuple(self._evaluator.finalize(accumulators))
+                )
 
     def _group(self, buffered: List[Row], columns: List[List[float]]) -> GroupingResult:
         """Group the buffered batch, in parallel shards when workers allow.
@@ -185,8 +245,13 @@ class SGBAggregate(PhysicalOperator):
         clause = "DISTANCE-TO-ALL" if self.kind == "all" else "DISTANCE-TO-ANY"
         overlap = f" ON-OVERLAP {self.on_overlap}" if self.kind == "all" else ""
         workers = f" WORKERS {self.workers}" if self.workers is not None else ""
+        window = ""
+        if self.window is not None:
+            window = f" WINDOW {self.window}"
+            if self.slide is not None:
+                window += f" SLIDE {self.slide}"
         keys = ", ".join(str(e) for e in self.key_exprs)
         return (
-            f"SGBAggregate({clause} {self.metric} WITHIN {self.eps}{overlap}{workers}; "
-            f"keys=[{keys}]; strategy={self.strategy})"
+            f"SGBAggregate({clause} {self.metric} WITHIN {self.eps}{overlap}{workers}"
+            f"{window}; keys=[{keys}]; strategy={self.strategy})"
         )

@@ -65,6 +65,7 @@ from repro.minidb.plan.optimizer import (
 from repro.minidb.schema import Schema
 from repro.minidb.sql.ast import (
     GroupBySpec,
+    SGBSpec,
     SelectItem,
     SelectStatement,
     SubquerySource,
@@ -380,6 +381,7 @@ class Planner:
                     f"WORKERS must be a non-negative integer constant, got {workers_value!r}"
                 )
             workers = workers_value
+        window, slide = self._window_spec(sgb)
         return SGBAggregate(
             plan,
             key_exprs,
@@ -392,7 +394,53 @@ class Planner:
             strategy=self.settings.sgb_strategy,
             seed=self.settings.sgb_seed,
             workers=workers,
+            window=window,
+            slide=slide,
         )
+
+    def _window_spec(self, sgb: "SGBSpec") -> "tuple[Optional[int], Optional[int]]":
+        """Validate the ``WINDOW n [SLIDE m]`` option of a similarity clause."""
+        if sgb.window is None:
+            if sgb.slide is not None:  # unreachable via the parser; belt-and-braces
+                raise PlanningError("SLIDE requires a WINDOW clause")
+            return None, None
+        if sgb.kind != "any":
+            raise PlanningError(
+                "WINDOW requires DISTANCE-TO-ANY: the streaming subsystem has no "
+                "order-dependent overlap arbitration to replay"
+            )
+        from repro.core.sgb_all import SGBAllStrategy
+
+        if SGBAllStrategy.parse(self.settings.sgb_strategy) is SGBAllStrategy.ALL_PAIRS:
+            # The streaming session always runs the grid/index pipeline;
+            # silently substituting it for a requested all-pairs ablation
+            # would make strategy measurements through WINDOW meaningless.
+            raise PlanningError(
+                "WINDOW cannot run under the all-pairs strategy: the streaming "
+                "subsystem groups through the grid/index pipeline only"
+            )
+        window = self._positive_int(sgb.window, "WINDOW")
+        slide: Optional[int] = None
+        if sgb.slide is not None:
+            slide = self._positive_int(sgb.slide, "SLIDE")
+            if slide > window:
+                raise PlanningError(
+                    f"SLIDE ({slide}) must not exceed the WINDOW size ({window})"
+                )
+            if window % slide != 0:
+                raise PlanningError(
+                    f"WINDOW size ({window}) must be a multiple of SLIDE ({slide}) "
+                    "so expiry always drops whole epochs"
+                )
+        return window, slide
+
+    def _positive_int(self, expr: Expression, what: str) -> int:
+        value = self._constant_value(expr)
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            raise PlanningError(
+                f"{what} must be a positive integer constant, got {value!r}"
+            )
+        return value
 
     @staticmethod
     def _constant_value(expr: Expression) -> object:

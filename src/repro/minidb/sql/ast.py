@@ -65,7 +65,9 @@ class SGBSpec:
     ``metric`` is the SQL metric keyword (``L2``/``LINF``/...); ``eps`` is the
     WITHIN threshold expression; ``on_overlap`` carries the ON-OVERLAP action
     keyword for SGB-All; ``workers`` is the optional WORKERS count expression
-    routing SGB-Any through the sharded parallel engine.
+    routing SGB-Any through the sharded parallel engine; ``window`` and
+    ``slide`` carry the ``WINDOW n [SLIDE m]`` option that streams the input
+    through the windowed incremental subsystem (SGB-Any only).
     """
 
     kind: str
@@ -73,6 +75,8 @@ class SGBSpec:
     eps: Expression
     on_overlap: Optional[str] = None
     workers: Optional[Expression] = None
+    window: Optional[Expression] = None
+    slide: Optional[Expression] = None
 
 
 @dataclass(frozen=True)

@@ -53,7 +53,7 @@ _KEYWORDS = {
     "DISTINCT", "ASC", "DESC", "DATE", "INTERVAL", "CASE", "WHEN", "THEN",
     "ELSE", "END", "WITHIN", "OVERLAP", "ELIMINATE", "LIKE", "EXISTS",
     # Similarity group-by keywords (single-word forms).
-    "L2", "LINF", "LONE", "LTWO", "WORKERS",
+    "L2", "LINF", "LONE", "LTWO", "WORKERS", "WINDOW", "SLIDE",
 }
 
 #: Hyphenated compound keywords of the SGB grammar, longest first.

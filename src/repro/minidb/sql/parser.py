@@ -394,10 +394,25 @@ class Parser:
             else:
                 on_overlap = "JOIN-ANY"
         workers: Optional[Expression] = None
-        if self._accept_keyword("WORKERS"):
-            workers = self.parse_expression()
+        window: Optional[Expression] = None
+        slide: Optional[Expression] = None
+        while True:
+            if workers is None and self._accept_keyword("WORKERS"):
+                workers = self.parse_expression()
+            elif window is None and self._accept_keyword("WINDOW"):
+                window = self.parse_expression()
+                if self._accept_keyword("SLIDE"):
+                    slide = self.parse_expression()
+            else:
+                break
         return SGBSpec(
-            kind=kind, metric=metric, eps=eps, on_overlap=on_overlap, workers=workers
+            kind=kind,
+            metric=metric,
+            eps=eps,
+            on_overlap=on_overlap,
+            workers=workers,
+            window=window,
+            slide=slide,
         )
 
     def _parse_optional_metric(self) -> Optional[str]:

@@ -1,0 +1,43 @@
+"""repro.stream — windowed incremental SGB over continuous point streams.
+
+The subsystem turns the batch SGB-Any operator into a continuous one:
+
+* :mod:`repro.stream.window` — tumbling and sliding window policies, count-
+  or tick-based, partitioning the stream into whole-epoch units of admission
+  and eviction;
+* :mod:`repro.stream.session` — :class:`StreamingSGB`, the incremental
+  session maintaining the live window as a ring of columnar epochs with a
+  global Union-Find forest (evictions re-link only the touched groups, never
+  rescanning the window), plus per-flush sharding through ``repro.engine``;
+* :mod:`repro.stream.deltas` — change events (``GROUP_CREATED`` /
+  ``GROUP_EXTENDED`` / ``GROUPS_MERGED`` / ``GROUP_EXPIRED``) diffed between
+  consecutive flushes.
+
+Entry points: :func:`repro.core.api.sgb_any_stream` for arrays of
+micro-batches, or the ``WINDOW n [SLIDE m]`` option of the SQL similarity
+clause for streamed relational queries.
+"""
+
+from repro.stream.deltas import DeltaEvent, DeltaKind, diff_flushes
+from repro.stream.session import StreamingSGB, WindowResult, stream_groups
+from repro.stream.window import (
+    CountWindow,
+    TickWindow,
+    WindowPolicy,
+    sliding,
+    tumbling,
+)
+
+__all__ = [
+    "CountWindow",
+    "TickWindow",
+    "WindowPolicy",
+    "sliding",
+    "tumbling",
+    "StreamingSGB",
+    "WindowResult",
+    "stream_groups",
+    "DeltaEvent",
+    "DeltaKind",
+    "diff_flushes",
+]

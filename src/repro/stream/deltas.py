@@ -1,0 +1,144 @@
+"""Change events emitted between consecutive window flushes.
+
+A streaming consumer usually cares about *what changed* — a new cluster of
+check-ins appearing, two clusters fusing, a stale cluster timing out — not
+about re-reading the full grouping every flush.  :func:`diff_flushes`
+compares two consecutive flush results (both canonicalised with
+:func:`repro.core.result.canonicalize_groups` over **global stream indices**)
+and emits:
+
+* ``GROUP_CREATED``   — a group with no surviving predecessor (all-new
+  members, or a fragment split off an old group by eviction).
+* ``GROUP_EXTENDED``  — a group that gained new points while descending from
+  exactly one predecessor.
+* ``GROUPS_MERGED``   — a group covering the survivors of two or more
+  predecessor groups.
+* ``GROUP_EXPIRED``   — a predecessor group none of whose members survived
+  the slide.
+
+Group identity across flushes is the *anchor*: the smallest global stream
+index among the group's members.  A group that merely shrinks (lost members
+to eviction but kept its surviving-member continuity) emits no event; a
+predecessor that splits keeps its identity on the fragment containing its
+smallest surviving member, and the other fragments are reported as created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Sequence, Set, Tuple
+
+__all__ = ["DeltaKind", "DeltaEvent", "diff_flushes"]
+
+
+class DeltaKind(Enum):
+    """The kind of change a :class:`DeltaEvent` reports."""
+
+    GROUP_CREATED = "GROUP_CREATED"
+    GROUP_EXTENDED = "GROUP_EXTENDED"
+    GROUPS_MERGED = "GROUPS_MERGED"
+    GROUP_EXPIRED = "GROUP_EXPIRED"
+
+
+@dataclass(frozen=True)
+class DeltaEvent:
+    """One change event between two consecutive flushes.
+
+    Attributes
+    ----------
+    kind:
+        What happened to the group.
+    group:
+        The group's anchor — its smallest global stream index.  For
+        ``GROUP_EXPIRED`` this is the anchor the group had in the previous
+        flush.
+    members:
+        The group's members (global stream indices, ascending) *after* the
+        flush; for ``GROUP_EXPIRED`` the members it had before expiring.
+    added:
+        Members that were not part of any group in the previous flush
+        (``GROUP_EXTENDED`` / ``GROUPS_MERGED``; for ``GROUP_CREATED`` every
+        member is new so ``added == members`` only when no predecessor split).
+    sources:
+        For ``GROUPS_MERGED``: the anchors of the predecessor groups that
+        fused, ascending.
+    """
+
+    kind: DeltaKind
+    group: int
+    members: Tuple[int, ...]
+    added: Tuple[int, ...] = ()
+    sources: Tuple[int, ...] = field(default=())
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        extra = ""
+        if self.kind is DeltaKind.GROUPS_MERGED:
+            extra = f" sources={list(self.sources)}"
+        elif self.kind is DeltaKind.GROUP_EXTENDED:
+            extra = f" added={list(self.added)}"
+        return f"{self.kind.value}(group={self.group}, |members|={len(self.members)}{extra})"
+
+
+def diff_flushes(
+    previous: Sequence[Sequence[int]], current: Sequence[Sequence[int]]
+) -> List[DeltaEvent]:
+    """Diff two consecutive flushes given in canonical global-index form.
+
+    Both arguments are group lists over **global stream indices** in the
+    canonical order of :func:`~repro.core.result.canonicalize_groups`
+    (members ascending, groups ordered by smallest member).  Events are
+    emitted in that canonical order for the current flush, followed by the
+    expirations ordered by anchor, so the event stream is deterministic.
+    """
+    prev_members: Dict[int, Set[int]] = {g[0]: set(g) for g in previous if g}
+    member_to_anchor: Dict[int, int] = {
+        m: anchor for anchor, ms in prev_members.items() for m in ms
+    }
+    alive: Set[int] = {m for g in current for m in g}
+
+    events: List[DeltaEvent] = []
+    for group in current:
+        if not group:
+            continue
+        members = tuple(group)
+        anchor = members[0]
+        predecessors = sorted({member_to_anchor[m] for m in members if m in member_to_anchor})
+        added = tuple(m for m in members if m not in member_to_anchor)
+        if not predecessors:
+            events.append(
+                DeltaEvent(DeltaKind.GROUP_CREATED, anchor, members, added=members)
+            )
+        elif len(predecessors) >= 2:
+            events.append(
+                DeltaEvent(
+                    DeltaKind.GROUPS_MERGED,
+                    anchor,
+                    members,
+                    added=added,
+                    sources=tuple(predecessors),
+                )
+            )
+        else:
+            parent = predecessors[0]
+            survivors = sorted(m for m in prev_members[parent] if m in alive)
+            if survivors and survivors[0] not in members:
+                # The predecessor split on eviction; this fragment does not
+                # carry its identity forward, so it counts as a new group.
+                events.append(
+                    DeltaEvent(DeltaKind.GROUP_CREATED, anchor, members, added=added)
+                )
+            elif added:
+                events.append(
+                    DeltaEvent(DeltaKind.GROUP_EXTENDED, anchor, members, added=added)
+                )
+            # Unchanged or shrunk-but-continuous groups emit nothing.
+    for anchor in sorted(prev_members):
+        members = prev_members[anchor]
+        if not (members & alive):
+            events.append(
+                DeltaEvent(
+                    DeltaKind.GROUP_EXPIRED, anchor, tuple(sorted(members))
+                )
+            )
+    return events

@@ -1,0 +1,130 @@
+"""Window policies for the streaming SGB subsystem.
+
+A window policy decides how a continuous point stream is cut into *epochs*
+(the unit of admission and eviction) and how many epochs are live in each
+emitted window.  Two families are provided:
+
+* **count-based** — epochs close every ``slide`` arriving points; a window
+  holds the last ``size`` points.  This is the classic row-based window of
+  streaming SQL.
+* **tick-based**  — every point carries a logical tick (e.g. the check-in
+  timestamp); epochs close every ``slide`` ticks and a window covers the
+  last ``size`` ticks.
+
+``slide == size`` gives a tumbling window (disjoint windows, full state
+reset between flushes); ``slide < size`` gives a sliding window (each flush
+evicts exactly one epoch and admits one).  ``size`` must be a multiple of
+``slide`` so an epoch is always evicted whole — that alignment is what lets
+the session drop an expired epoch's columns in one step and re-link only the
+groups that touched it, instead of rescanning the window (Union-Find cannot
+delete elements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "WindowPolicy",
+    "CountWindow",
+    "TickWindow",
+    "tumbling",
+    "sliding",
+]
+
+
+@dataclass(frozen=True)
+class WindowPolicy:
+    """Base window policy: ``size`` and ``slide`` in the policy's unit.
+
+    ``epochs_per_window`` is the number of live epochs a full window spans;
+    the session keeps exactly that many epochs in its ring.
+    """
+
+    size: int
+    slide: int
+
+    #: Unit of ``size``/``slide``: "count" (arriving points) or "tick"
+    #: (logical timestamps supplied alongside the points).
+    kind = "count"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.size, int) or isinstance(self.size, bool):
+            raise InvalidParameterError(
+                f"window size must be an integer, got {self.size!r}"
+            )
+        if not isinstance(self.slide, int) or isinstance(self.slide, bool):
+            raise InvalidParameterError(
+                f"window slide must be an integer, got {self.slide!r}"
+            )
+        if self.size <= 0 or self.slide <= 0:
+            raise InvalidParameterError(
+                f"window size and slide must be positive, got "
+                f"size={self.size}, slide={self.slide}"
+            )
+        if self.slide > self.size:
+            raise InvalidParameterError(
+                f"window slide ({self.slide}) must not exceed the window size "
+                f"({self.size}); points would expire before ever being grouped"
+            )
+        if self.size % self.slide != 0:
+            raise InvalidParameterError(
+                f"window size ({self.size}) must be a multiple of the slide "
+                f"({self.slide}) so expiry always drops whole epochs"
+            )
+
+    @property
+    def epochs_per_window(self) -> int:
+        """Number of epochs a full window spans."""
+        return self.size // self.slide
+
+    @property
+    def tumbling(self) -> bool:
+        """True when consecutive windows are disjoint (``slide == size``)."""
+        return self.slide == self.size
+
+
+@dataclass(frozen=True)
+class CountWindow(WindowPolicy):
+    """Row-based window: the last ``size`` points, emitted every ``slide``."""
+
+    kind = "count"
+
+
+@dataclass(frozen=True)
+class TickWindow(WindowPolicy):
+    """Time-based window over logical ticks carried by the points.
+
+    Epoch ``e`` covers ticks ``[e * slide, (e + 1) * slide)``; the window
+    flushed when epoch ``e`` closes covers ticks
+    ``[(e + 1) * slide - size, (e + 1) * slide)``.  Ticks must arrive
+    monotonically non-decreasing (the session enforces this); gaps in the
+    stream simply advance the window, expiring idle groups.
+    """
+
+    kind = "tick"
+
+    def epoch_of(self, tick: int) -> int:
+        """Return the epoch id a tick falls into."""
+        return int(tick) // self.slide
+
+
+def tumbling(size: int, by: str = "count") -> WindowPolicy:
+    """Build a tumbling window policy (disjoint windows of ``size`` units)."""
+    return _make(size, size, by)
+
+
+def sliding(size: int, slide: int, by: str = "count") -> WindowPolicy:
+    """Build a sliding window policy (``size`` units, advancing by ``slide``)."""
+    return _make(size, slide, by)
+
+
+def _make(size: int, slide: int, by: str) -> WindowPolicy:
+    unit = by.strip().lower()
+    if unit == "count":
+        return CountWindow(size=size, slide=slide)
+    if unit == "tick":
+        return TickWindow(size=size, slide=slide)
+    raise InvalidParameterError(f"unknown window unit: {by!r} (use 'count' or 'tick')")

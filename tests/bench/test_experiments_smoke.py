@@ -9,6 +9,7 @@ from repro.bench.experiments import (
     fig10_sgb_any_scale,
     fig11_vs_clustering,
     fig12_overhead,
+    streaming_window,
     table1_scaling_exponents,
     table2_tpch_queries,
 )
@@ -99,6 +100,26 @@ class TestFigureRunners:
         assert {r["query"] for r in rows} == {
             "GB1", "GB2", "GB3", "SGB1", "SGB2", "SGB3", "SGB4", "SGB5", "SGB6",
         }
+
+    def test_streaming_window_compares_both_paths(self):
+        rows = streaming_window(sizes=(600,), window=200, slide=50)
+        assert len(rows) == 2
+        by_path = {r["path"]: r for r in rows}
+        assert set(by_path) == {"full-regroup", "incremental"}
+        assert all(r["flushes"] == 600 // 50 for r in rows)
+        assert all(r["seconds"] > 0 for r in rows)
+        assert by_path["incremental"]["speedup"] is not None
+
+    def test_streaming_window_counts_the_trailing_partial_flush(self):
+        # 630 points, slide 50: 12 full epochs plus one 30-point partial on
+        # close() — both paths must time the same 13 windows.
+        rows = streaming_window(sizes=(630,), window=200, slide=50)
+        assert all(r["flushes"] == 13 for r in rows)
+
+    def test_streaming_window_clamps_oversized_windows(self):
+        rows = streaming_window(sizes=(80,), window=200, slide=50)
+        # Clamped to the stream size and rounded to a whole number of epochs.
+        assert all(r["window"] == 50 and r["slide"] == 50 for r in rows)
 
     def test_fig12_reports_overhead_per_panel(self):
         rows = fig12_overhead(scale_factors=(0.0005,))

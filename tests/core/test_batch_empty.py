@@ -1,0 +1,83 @@
+"""Regression: a zero-point ``add_batch`` is a strict no-op on both groupers.
+
+Streaming flushes routinely produce empty micro-batches at epoch boundaries,
+so the degenerate batch must not dirty the lazy-index bookkeeping, dispatch
+into the PointSet backends, or touch the Union-Find / group state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pointset import HAVE_NUMPY, PointSet
+from repro.core.sgb_all import SGBAllGrouper
+from repro.core.sgb_any import SGBAnyGrouper
+
+EMPTY_BATCHES = [[], ()]
+if HAVE_NUMPY:
+    import numpy as np
+
+    EMPTY_BATCHES.append(np.empty((0, 2)))
+
+
+@pytest.mark.parametrize("empty", EMPTY_BATCHES, ids=lambda b: type(b).__name__)
+class TestEmptyBatchIsANoop:
+    def test_sgb_any_state_untouched(self, empty):
+        grouper = SGBAnyGrouper(eps=1.0)
+        grouper.add_batch([(0.0, 0.0), (0.2, 0.1), (5.0, 5.0)])
+        before = (
+            list(grouper._points),
+            list(grouper._indices),
+            grouper._indexed_upto,
+            grouper.group_count,
+        )
+        grouper.add_batch(empty)
+        after = (
+            list(grouper._points),
+            list(grouper._indices),
+            grouper._indexed_upto,
+            grouper.group_count,
+        )
+        assert after == before
+        assert grouper.finalize().groups == [[0, 1], [2]]
+
+    def test_sgb_any_empty_batch_on_fresh_grouper(self, empty):
+        grouper = SGBAnyGrouper(eps=1.0)
+        grouper.add_batch(empty)
+        assert grouper.group_count == 0
+        assert grouper.finalize().groups == []
+
+    def test_sgb_all_state_untouched(self, empty):
+        grouper = SGBAllGrouper(eps=1.0)
+        grouper.add_batch([(0.0, 0.0), (0.2, 0.1), (5.0, 5.0)])
+        before = (list(grouper._points), grouper.group_count, grouper._next_gid)
+        grouper.add_batch(empty)
+        assert (list(grouper._points), grouper.group_count, grouper._next_gid) == before
+
+    def test_sgb_all_empty_batch_on_fresh_grouper(self, empty):
+        grouper = SGBAllGrouper(eps=1.0)
+        grouper.add_batch(empty)
+        assert grouper.finalize().groups == []
+
+    def test_no_backend_dispatch_happens(self, empty, monkeypatch):
+        """The degenerate batch must return before any PointSet normalisation."""
+
+        def boom(*args, **kwargs):  # pragma: no cover - should never run
+            raise AssertionError("PointSet.from_any dispatched on an empty batch")
+
+        monkeypatch.setattr(PointSet, "from_any", staticmethod(boom))
+        SGBAnyGrouper(eps=1.0).add_batch(empty)
+        SGBAllGrouper(eps=1.0).add_batch(empty)
+
+
+class TestEmptyBatchInterleaving:
+    def test_empty_batches_between_real_ones_do_not_change_results(self):
+        reference = SGBAnyGrouper(eps=1.0)
+        reference.add_batch([(0.0, 0.0), (0.3, 0.2), (4.0, 4.0), (4.2, 4.1)])
+        mixed = SGBAnyGrouper(eps=1.0)
+        mixed.add_batch([])
+        mixed.add_batch([(0.0, 0.0), (0.3, 0.2)])
+        mixed.add_batch(())
+        mixed.add_batch([(4.0, 4.0), (4.2, 4.1)])
+        mixed.add_batch([])
+        assert mixed.finalize().groups == reference.finalize().groups

@@ -162,3 +162,39 @@ class TestIncrementalInterface:
     def test_invalid_eps_rejected(self):
         with pytest.raises(InvalidParameterError):
             SGBAnyGrouper(eps=-1.0)
+
+
+class TestNeighboursMany:
+    """The public batched probe: neighbours among added points, without adding."""
+
+    def test_returns_input_row_indices_within_eps(self):
+        grouper = SGBAnyGrouper(eps=1.0)
+        grouper.add_batch([(0.0, 0.0), (0.5, 0.0), (5.0, 5.0)])
+        hits = grouper.neighbours_many([(0.2, 0.1), (5.1, 5.1), (20.0, 20.0)])
+        assert [sorted(h) for h in hits] == [[0, 1], [2], []]
+        # Probing must not admit the probe points.
+        assert grouper.group_count == 2
+        assert grouper.finalize().groups == [[0, 1], [2]]
+
+    def test_matches_scalar_predicate_on_both_strategies(self):
+        import random
+
+        rng = random.Random(23)
+        points = [(rng.uniform(0, 6), rng.uniform(0, 6)) for _ in range(80)]
+        probes = [(rng.uniform(0, 6), rng.uniform(0, 6)) for _ in range(25)]
+        expected = [
+            [i for i, p in enumerate(points)
+             if max(abs(a - b) for a, b in zip(p, q)) <= 0.8
+             and sum((a - b) ** 2 for a, b in zip(p, q)) <= 0.8 ** 2]
+            for q in probes
+        ]
+        for strategy in ("index", "all-pairs"):
+            grouper = SGBAnyGrouper(eps=0.8, strategy=strategy)
+            grouper.add_batch(points)
+            hits = grouper.neighbours_many(probes)
+            assert [sorted(h) for h in hits] == expected
+
+    def test_empty_probe_and_empty_grouper(self):
+        grouper = SGBAnyGrouper(eps=1.0)
+        assert grouper.neighbours_many([]) == []
+        assert grouper.neighbours_many([(1.0, 2.0)]) == [[]]

@@ -189,3 +189,45 @@ class TestForestExchange:
         target.merge_from(lifted)
         assert target.connected(7, 9)
         assert not target.connected(7, 8)
+
+
+class TestSplitForest:
+    def test_partitions_by_touched_components(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        touched, untouched = uf.split_forest([0, 4])
+        assert set(touched) == {0, 1, 4}
+        assert set(untouched) == {2, 3, 5}
+        # Each side maps members to one root per component.
+        assert touched[0] == touched[1]
+        assert untouched[2] == untouched[3]
+
+    def test_any_member_marks_the_whole_component(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        touched, untouched = uf.split_forest([2])
+        assert set(touched) == {0, 1, 2}
+        assert set(untouched) == {3}
+
+    def test_untouched_side_replays_into_a_rebuilt_forest(self):
+        # The eviction pattern: copy untouched components verbatim.
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(3, 4)
+        _, untouched = uf.split_forest([0])
+        rebuilt = UnionFind(e for e in range(6) if e not in (0, 1))
+        for element, root in untouched.items():
+            if element != root:
+                rebuilt.union(element, root)
+        assert rebuilt.connected(3, 4)
+        assert not rebuilt.connected(2, 5)
+        assert rebuilt.component_count == 3
+
+    def test_empty_touch_set_leaves_everything_untouched(self):
+        uf = UnionFind(range(3))
+        uf.union(0, 2)
+        touched, untouched = uf.split_forest([])
+        assert touched == {}
+        assert set(untouched) == {0, 1, 2}

@@ -1,0 +1,172 @@
+"""SQL-level tests for the ``WINDOW n [SLIDE m]`` streaming SGB clause."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import sgb_any
+from repro.exceptions import DatabaseError
+from repro.minidb.database import Database
+from repro.minidb.sql.lexer import tokenize
+from repro.minidb.sql.parser import parse_sql
+
+
+@pytest.fixture
+def stream_db():
+    db = Database()
+    db.execute("CREATE TABLE moves (id INT, x FLOAT, y FLOAT, v FLOAT)")
+    rng = random.Random(19)
+    rows = []
+    for i in range(90):
+        if rng.random() < 0.8:
+            cx, cy = rng.choice([(1.0, 1.0), (6.0, 6.0), (3.0, 8.0)])
+            x, y = cx + rng.uniform(-0.5, 0.5), cy + rng.uniform(-0.5, 0.5)
+        else:
+            x, y = rng.uniform(0, 10), rng.uniform(0, 10)
+        rows.append(f"({i}, {x:.4f}, {y:.4f}, {rng.uniform(0, 5):.4f})")
+    db.execute(f"INSERT INTO moves VALUES {', '.join(rows)}")
+    return db
+
+
+class TestParsing:
+    def test_window_and_slide_parse(self):
+        stmt = parse_sql(
+            "SELECT count(*) FROM t GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1.0 WINDOW 100 SLIDE 25"
+        )
+        sgb = stmt.group_by.sgb
+        assert sgb.window is not None and sgb.slide is not None
+
+    def test_window_without_slide_parses(self):
+        stmt = parse_sql(
+            "SELECT count(*) FROM t GROUP BY x, y DISTANCE-TO-ANY WITHIN 1.0 WINDOW 50"
+        )
+        sgb = stmt.group_by.sgb
+        assert sgb.window is not None and sgb.slide is None
+
+    def test_window_and_workers_in_either_order(self):
+        for clause in ("WINDOW 40 WORKERS 2", "WORKERS 2 WINDOW 40"):
+            stmt = parse_sql(
+                f"SELECT count(*) FROM t GROUP BY x, y "
+                f"DISTANCE-TO-ANY WITHIN 1.0 {clause}"
+            )
+            sgb = stmt.group_by.sgb
+            assert sgb.window is not None and sgb.workers is not None
+
+    def test_window_and_slide_are_keywords(self):
+        kinds = {t.value.upper() for t in tokenize("WINDOW SLIDE") if t.value}
+        assert {"WINDOW", "SLIDE"} <= kinds
+
+
+class TestPlanning:
+    def test_window_shows_in_explain(self, stream_db):
+        plan = stream_db.explain(
+            "SELECT count(*) FROM moves GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1.2 WINDOW 30 SLIDE 10"
+        )
+        assert "WINDOW 30 SLIDE 10" in plan
+
+    @pytest.mark.parametrize(
+        "clause,fragment",
+        [
+            ("DISTANCE-TO-ALL L2 WITHIN 1.0 WINDOW 10", "requires DISTANCE-TO-ANY"),
+            ("DISTANCE-TO-ANY L2 WITHIN 1.0 WINDOW 0", "positive integer"),
+            ("DISTANCE-TO-ANY L2 WITHIN 1.0 WINDOW 10 SLIDE 0", "positive integer"),
+            ("DISTANCE-TO-ANY L2 WITHIN 1.0 WINDOW 10 SLIDE 20", "must not exceed"),
+            ("DISTANCE-TO-ANY L2 WITHIN 1.0 WINDOW 10 SLIDE 4", "multiple of"),
+            ("DISTANCE-TO-ANY L2 WITHIN 1.0 WINDOW 2.5", "positive integer"),
+        ],
+    )
+    def test_invalid_window_specs_rejected(self, stream_db, clause, fragment):
+        with pytest.raises(DatabaseError, match=fragment):
+            stream_db.execute(f"SELECT count(*) FROM moves GROUP BY x, y {clause}")
+
+    def test_window_rejects_all_pairs_strategy(self, stream_db):
+        # The streaming pipeline is grid/index only; an all-pairs ablation
+        # through WINDOW must fail loudly instead of measuring the wrong path.
+        sql = (
+            "SELECT count(*) FROM moves GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1.2 WINDOW 30"
+        )
+        with pytest.raises(DatabaseError, match="all-pairs"):
+            stream_db.execute(sql, sgb_strategy="all-pairs")
+        assert stream_db.execute(sql, sgb_strategy="index").rows
+
+
+class TestExecution:
+    def test_window_id_column_leads_the_schema(self, stream_db):
+        result = stream_db.execute(
+            "SELECT window_id, x, count(*) FROM moves GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1.2 WINDOW 30 SLIDE 15"
+        )
+        assert result.columns[0] == "window_id"
+        assert all(isinstance(row[0], int) for row in result.rows)
+
+    def test_tumbling_window_groups_match_api_streaming(self, stream_db):
+        eps, size = 1.2, 30
+        result = stream_db.execute(
+            "SELECT window_id, count(*) FROM moves GROUP BY x, y "
+            f"DISTANCE-TO-ANY L2 WITHIN {eps} WINDOW {size}"
+        )
+        points = [
+            (row[0], row[1])
+            for row in stream_db.execute("SELECT x, y FROM moves").rows
+        ]
+        expected = {}
+        for window_id in range(3):
+            live = points[window_id * size : (window_id + 1) * size]
+            grouping = sgb_any(live, eps=eps, workers=1)
+            expected[window_id] = sorted(len(g) for g in grouping.groups)
+        got = {}
+        for row in result.rows:
+            got.setdefault(row[0], []).append(row[1])
+        assert {k: sorted(v) for k, v in got.items()} == expected
+
+    def test_sliding_window_row_counts_track_live_points(self, stream_db):
+        result = stream_db.execute(
+            "SELECT window_id, count(*) FROM moves GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1.2 WINDOW 30 SLIDE 10"
+        )
+        per_window = {}
+        for row in result.rows:
+            per_window[row[0]] = per_window.get(row[0], 0) + row[1]
+        # 90 points, slide 10 -> 9 flushes; each covers min(30, seen) points.
+        assert len(per_window) == 9
+        assert per_window[0] == 10 and per_window[1] == 20
+        assert all(per_window[w] == 30 for w in range(2, 9))
+
+    def test_workers_option_matches_serial_window_run(self, stream_db):
+        base = (
+            "SELECT window_id, count(*) FROM moves GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1.2 WINDOW 30 SLIDE 15"
+        )
+        serial = stream_db.execute(base + " WORKERS 1")
+        parallel = stream_db.execute(base + " WORKERS 2")
+        assert sorted(map(tuple, serial.rows)) == sorted(map(tuple, parallel.rows))
+
+    def test_aggregates_replay_over_window_members(self, stream_db):
+        result = stream_db.execute(
+            "SELECT window_id, count(*), avg(v), min(id) FROM moves GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1.2 WINDOW 45"
+        )
+        # Window 1 members are rows 45..89: every min(id) there must be >= 45.
+        for row in result.rows:
+            if row[0] == 1:
+                assert row[3] >= 45
+
+    def test_empty_input_produces_no_windows(self):
+        db = Database()
+        db.execute("CREATE TABLE empty_t (x FLOAT, y FLOAT)")
+        result = db.execute(
+            "SELECT window_id, count(*) FROM empty_t GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1.0 WINDOW 10"
+        )
+        assert result.rows == []
+
+    def test_non_windowed_clause_has_no_window_id(self, stream_db):
+        result = stream_db.execute(
+            "SELECT count(*) FROM moves GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.2"
+        )
+        assert "window_id" not in result.columns

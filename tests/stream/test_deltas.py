@@ -1,0 +1,93 @@
+"""Unit tests for the flush-to-flush delta events."""
+
+from __future__ import annotations
+
+from repro.stream.deltas import DeltaKind, diff_flushes
+
+
+def kinds(events):
+    return [e.kind for e in events]
+
+
+class TestDiffFlushes:
+    def test_first_flush_creates_every_group(self):
+        events = diff_flushes([], [[0, 1], [2]])
+        assert kinds(events) == [DeltaKind.GROUP_CREATED, DeltaKind.GROUP_CREATED]
+        assert events[0].group == 0 and events[0].members == (0, 1)
+        assert events[0].added == (0, 1)
+        assert events[1].group == 2
+
+    def test_unchanged_groups_emit_nothing(self):
+        assert diff_flushes([[0, 1], [2]], [[0, 1], [2]]) == []
+
+    def test_extension_reports_added_members(self):
+        events = diff_flushes([[0, 1]], [[0, 1, 5]])
+        assert kinds(events) == [DeltaKind.GROUP_EXTENDED]
+        assert events[0].group == 0
+        assert events[0].added == (5,)
+        assert events[0].members == (0, 1, 5)
+
+    def test_merge_reports_sources_in_order(self):
+        events = diff_flushes([[0, 1], [4, 5]], [[0, 1, 3, 4, 5]])
+        assert kinds(events) == [DeltaKind.GROUPS_MERGED]
+        assert events[0].sources == (0, 4)
+        assert events[0].group == 0
+        assert events[0].added == (3,)
+
+    def test_expiry_when_no_member_survives(self):
+        events = diff_flushes([[0, 1], [4, 5]], [[4, 5]])
+        assert kinds(events) == [DeltaKind.GROUP_EXPIRED]
+        assert events[0].group == 0
+        assert events[0].members == (0, 1)
+
+    def test_shrunk_group_keeps_identity_silently(self):
+        # Member 0 expired but member 1 survives: the group continues.
+        assert diff_flushes([[0, 1]], [[1]]) == []
+
+    def test_split_keeps_identity_on_smallest_surviving_fragment(self):
+        # The bridge point 2 expired, splitting {1, 2, 3} into {1} and {3}:
+        # {1} continues the old group, {3} is reported as created.
+        events = diff_flushes([[1, 2, 3]], [[1], [3]])
+        assert kinds(events) == [DeltaKind.GROUP_CREATED]
+        assert events[0].group == 3
+
+    def test_split_fragment_with_new_points_still_counts_as_created(self):
+        events = diff_flushes([[1, 2, 3]], [[1], [3, 7]])
+        assert kinds(events) == [DeltaKind.GROUP_CREATED]
+        assert events[0].group == 3
+        assert events[0].added == (7,)
+
+    def test_merge_and_create_and_expire_in_one_diff(self):
+        events = diff_flushes(
+            [[0, 1], [2], [8, 9]],
+            [[0, 1, 2], [5, 6]],
+        )
+        assert kinds(events) == [
+            DeltaKind.GROUPS_MERGED,
+            DeltaKind.GROUP_CREATED,
+            DeltaKind.GROUP_EXPIRED,
+        ]
+        merged, created, expired = events
+        assert merged.sources == (0, 2)
+        assert created.group == 5
+        assert expired.group == 8
+
+    def test_events_are_deterministically_ordered(self):
+        # Current-flush events in canonical group order, expirations last by
+        # ascending anchor.
+        events = diff_flushes(
+            [[10, 11], [20, 21]],
+            [[3], [5]],
+        )
+        assert kinds(events) == [
+            DeltaKind.GROUP_CREATED,
+            DeltaKind.GROUP_CREATED,
+            DeltaKind.GROUP_EXPIRED,
+            DeltaKind.GROUP_EXPIRED,
+        ]
+        assert [e.group for e in events] == [3, 5, 10, 20]
+
+    def test_everything_expires_to_empty_flush(self):
+        events = diff_flushes([[0, 1], [2]], [])
+        assert kinds(events) == [DeltaKind.GROUP_EXPIRED, DeltaKind.GROUP_EXPIRED]
+        assert [e.group for e in events] == [0, 2]

@@ -1,0 +1,65 @@
+"""Window policy validation and epoch arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stream.window import CountWindow, TickWindow, WindowPolicy, sliding, tumbling
+
+
+class TestPolicyValidation:
+    def test_tumbling_factory_sets_slide_to_size(self):
+        policy = tumbling(100)
+        assert isinstance(policy, CountWindow)
+        assert policy.size == policy.slide == 100
+        assert policy.tumbling
+        assert policy.epochs_per_window == 1
+
+    def test_sliding_factory(self):
+        policy = sliding(100, 25)
+        assert policy.size == 100 and policy.slide == 25
+        assert not policy.tumbling
+        assert policy.epochs_per_window == 4
+
+    def test_tick_unit_factory(self):
+        policy = sliding(60, 20, by="tick")
+        assert isinstance(policy, TickWindow)
+        assert policy.kind == "tick"
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tumbling(10, by="rows")
+
+    @pytest.mark.parametrize("size,slide", [(0, 1), (10, 0), (-5, 5), (10, -2)])
+    def test_non_positive_rejected(self, size, slide):
+        with pytest.raises(InvalidParameterError):
+            CountWindow(size=size, slide=slide)
+
+    def test_slide_larger_than_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CountWindow(size=10, slide=20)
+
+    def test_size_must_be_multiple_of_slide(self):
+        with pytest.raises(InvalidParameterError):
+            CountWindow(size=10, slide=3)
+
+    @pytest.mark.parametrize("bad", [1.5, "10", True])
+    def test_non_integer_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            CountWindow(size=bad, slide=1)
+        with pytest.raises(InvalidParameterError):
+            CountWindow(size=10, slide=bad)
+
+    def test_count_is_the_default_kind(self):
+        assert WindowPolicy(size=4, slide=2).kind == "count"
+
+
+class TestTickEpochs:
+    def test_epoch_of_floors_by_slide(self):
+        policy = TickWindow(size=100, slide=25)
+        assert policy.epoch_of(0) == 0
+        assert policy.epoch_of(24) == 0
+        assert policy.epoch_of(25) == 1
+        assert policy.epoch_of(99) == 3
+        assert policy.epoch_of(100) == 4

@@ -32,6 +32,12 @@ class TestExamples:
         assert "Query 1" in output
         assert "gateway" in output.lower()
 
+    def test_streaming_checkins(self):
+        output = run_example("streaming_checkins.py")
+        assert "hotspot groups" in output
+        assert "WINDOW 200 SLIDE 100" in output
+        assert "expired" in output
+
     def test_location_privacy_groups(self):
         output = run_example("location_privacy_groups.py")
         assert "ON-OVERLAP JOIN-ANY" in output
