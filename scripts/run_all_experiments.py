@@ -49,6 +49,7 @@ def main(large: bool = False, worker_counts: "tuple[int, ...]" = (2, 4)) -> None
             sizes=(10_000 * k, 50_000 * k), worker_counts=worker_counts)),
         ("streaming_window", lambda: E.streaming_window(
             sizes=(10_000 * k, 25_000 * k), window=10_000 * k, slide=1_250 * k)),
+        ("join_vs_allpairs", lambda: E.join_vs_allpairs(sizes=(10_000 * k, 25_000 * k))),
         ("table1", lambda: E.table1_scaling_exponents(sizes=(500 * k, 1000 * k, 2000 * k))),
         ("table2", lambda: E.table2_tpch_queries(scale_factor=0.002 * k)),
         ("fig12", lambda: E.fig12_overhead(scale_factors=(0.001 * k, 0.002 * k))),

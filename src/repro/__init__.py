@@ -9,6 +9,8 @@ Multi-dimensional Relational Data" (ICDE 2016).  The package provides:
                           partitioning, worker pools, forest merging);
 * ``repro.stream``     — windowed incremental SGB over continuous point
                           streams (tumbling/sliding windows, delta events);
+* ``repro.join``       — similarity joins between two point relations
+                          (eps-join, kNN-join, sharded execution);
 * ``repro.minidb``     — an in-memory SQL engine with the extended
                           ``GROUP BY ... DISTANCE-TO-ALL/ANY`` syntax;
 * ``repro.spatial``    — R-tree / grid / kd-tree spatial indexes;
@@ -28,6 +30,7 @@ from repro.core import (
     sgb_all,
     sgb_any,
     sgb_any_stream,
+    sim_join,
 )
 
 __version__ = "1.0.0"
@@ -41,6 +44,7 @@ __all__ = [
     "sgb_all",
     "sgb_any",
     "sgb_any_stream",
+    "sim_join",
     "cluster_by",
     "__version__",
 ]

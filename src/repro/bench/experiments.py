@@ -27,6 +27,7 @@ __all__ = [
     "batch_vs_scalar",
     "parallel_vs_serial",
     "streaming_window",
+    "join_vs_allpairs",
     "fig9_sgb_all_epsilon",
     "fig9_sgb_any_epsilon",
     "fig10_sgb_all_scale",
@@ -214,6 +215,66 @@ def streaming_window(
                     "slide": s,
                     "eps": eps,
                     "flushes": m.value,
+                    "backend": "numpy" if HAVE_NUMPY else "python",
+                    "seconds": m.seconds,
+                    "speedup": m.params.get("speedup"),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Grid eps-join vs the all-pairs nested-loop baseline
+# ---------------------------------------------------------------------------
+
+
+def join_vs_allpairs(
+    sizes: Sequence[int] = (10_000, 25_000),
+    eps: float = 0.3,
+    metric: "Metric | str" = Metric.L2,
+    seed: int = 11,
+) -> List[Dict[str, object]]:
+    """Runtime of the eps-grid similarity join vs the all-pairs baseline.
+
+    Each size is the *total* point count, split evenly between two clustered
+    relations with distinct layouts.  Both paths return the identical sorted
+    pair list (enforced by the equivalence suite); the all-pairs run is the
+    pinned baseline, so the ``speedup`` column reports the grid pruning win
+    directly.  ``workers=1`` pins the in-process grid join — the sharded
+    path is the engine's story (``parallel_vs_serial``), not this one's.
+    """
+    from repro.join import eps_join, eps_join_allpairs
+
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        half = n // 2
+        left = clustered_points(
+            half, clusters=max(20, n // 500), spread=0.005, low=0.0, high=100.0, seed=seed
+        )
+        right = clustered_points(
+            half, clusters=max(20, n // 500), spread=0.005, low=0.0, high=100.0,
+            seed=seed + 1,
+        )
+        for m in compare(
+            {
+                "all-pairs": lambda left=left, right=right: eps_join_allpairs(
+                    left, right, eps, metric=metric
+                ),
+                "grid": lambda left=left, right=right: eps_join(
+                    left, right, eps, metric=metric, workers=1
+                ),
+            },
+            baseline="all-pairs",
+        ):
+            rows.append(
+                {
+                    "experiment": "join-vs-allpairs",
+                    "path": m.label,
+                    "n": n,
+                    "n_left": half,
+                    "n_right": half,
+                    "eps": eps,
+                    "pairs": len(m.value),
                     "backend": "numpy" if HAVE_NUMPY else "python",
                     "seconds": m.seconds,
                     "speedup": m.params.get("speedup"),

@@ -6,7 +6,7 @@ The most convenient entry points are :func:`repro.core.sgb_all` and
 relational executor drives tuple-at-a-time.
 """
 
-from repro.core.api import cluster_by, sgb_all, sgb_any, sgb_any_stream
+from repro.core.api import cluster_by, sgb_all, sgb_any, sgb_any_stream, sim_join
 from repro.core.distance import Metric, chebyshev, euclidean, manhattan, minkowski
 from repro.core.groups import Group
 from repro.core.overlap import OverlapAction
@@ -33,6 +33,7 @@ __all__ = [
     "sgb_all",
     "sgb_any",
     "sgb_any_stream",
+    "sim_join",
     "cluster_by",
     "sgb_all_grouping",
     "sgb_any_grouping",

@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.stream.session import WindowResult
     from repro.stream.window import WindowPolicy
 
-__all__ = ["sgb_all", "sgb_any", "sgb_any_stream", "cluster_by"]
+__all__ = ["sgb_all", "sgb_any", "sgb_any_stream", "sim_join", "cluster_by"]
 
 
 def _normalise_points(points: Sequence[Sequence[float]]) -> PointSet:
@@ -171,6 +171,35 @@ def sgb_any_stream(
         slide=slide,
         workers=workers,
         backend=backend,
+    )
+
+
+def sim_join(
+    left: Sequence[Sequence[float]],
+    right: Sequence[Sequence[float]],
+    eps: Optional[float] = None,
+    k: Optional[int] = None,
+    metric: "Metric | str" = Metric.L2,
+    workers: "Optional[int | str]" = None,
+    backend: Optional[str] = None,
+) -> "list[tuple[int, int]]":
+    """Similarity-join two point relations; returns ``(left, right)`` index pairs.
+
+    Pass ``eps`` for an epsilon-join (every cross pair within the threshold,
+    in lexicographic order) or ``k`` for a kNN-join (each left point with its
+    k nearest right points, distance ties broken by ascending right index);
+    exactly one of the two must be given.  ``workers`` routes the eps-join
+    through the sharded parallel engine exactly like :func:`sgb_any`'s
+    ``workers`` — the result is bit-identical to the serial join.
+
+    SQL-level access is the ``FROM a SIMILARITY JOIN b ON DISTANCE(...)
+    WITHIN eps`` / ``KNN k`` clause of :class:`repro.minidb.Database`; see
+    :mod:`repro.join` for the underlying subsystem.
+    """
+    from repro.join.api import sim_join as _sim_join
+
+    return _sim_join(
+        left, right, eps=eps, k=k, metric=metric, workers=workers, backend=backend
     )
 
 

@@ -26,7 +26,12 @@ randomized equivalence suite enforces.
 from repro.engine.merge import canonical_groups, merge_shard_forests
 from repro.engine.partition import GridPartition, HaloBand, Shard, partition_pointset
 from repro.engine.planner import ShardPlan, plan_shards, resolve_workers
-from repro.engine.workers import shutdown_worker_pools, sgb_any_sharded
+from repro.engine.workers import (
+    drop_worker_pool,
+    get_worker_pool,
+    shutdown_worker_pools,
+    sgb_any_sharded,
+)
 
 __all__ = [
     "GridPartition",
@@ -38,6 +43,8 @@ __all__ = [
     "partition_pointset",
     "plan_shards",
     "resolve_workers",
+    "get_worker_pool",
+    "drop_worker_pool",
     "shutdown_worker_pools",
     "sgb_any_sharded",
 ]

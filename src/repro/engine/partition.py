@@ -33,7 +33,14 @@ try:  # optional; the pure-Python payload path covers its absence
 except ImportError:  # pragma: no cover - exercised via the python backend
     _np = None
 
-__all__ = ["Shard", "HaloBand", "GridPartition", "partition_pointset"]
+__all__ = [
+    "Shard",
+    "HaloBand",
+    "GridPartition",
+    "partition_pointset",
+    "take_payload",
+    "axis_cells",
+]
 
 #: Minimum slab width in eps-cells.  Two cells (= ``2 * eps``) guarantee a
 #: within-eps pair can never skip a whole shard, with a full cell of float
@@ -85,15 +92,23 @@ class GridPartition:
         return sum(len(s.indices) for s in self.shards)
 
 
-def _take(ps: PointSet, indices: Sequence[int]) -> Any:
-    """Extract a picklable point payload for the given row indices."""
+def take_payload(ps: PointSet, indices: Sequence[int]) -> Any:
+    """Extract a picklable point payload for the given row indices.
+
+    Shared with the similarity-join subsystem, which ships per-shard slices
+    of both relations through the same worker pool.
+    """
     if HAVE_NUMPY and isinstance(ps, NumpyPointSet):
         return ps.array[_np.asarray(indices, dtype=_np.intp)]
     return [ps.point(i) for i in indices]
 
 
-def _axis_cells(ps: PointSet, axis: int, eps: float) -> List[int]:
-    """The eps-grid cell of every point along ``axis`` (``floor(x / eps)``)."""
+def axis_cells(ps: PointSet, axis: int, eps: float) -> List[int]:
+    """The eps-grid cell of every point along ``axis`` (``floor(x / eps)``).
+
+    One vectorised pass on the NumPy backend; the similarity-join stitcher
+    reuses it instead of re-deriving cells point by point.
+    """
     if HAVE_NUMPY and isinstance(ps, NumpyPointSet):
         return _np.floor(ps.array[:, axis] / eps).astype(_np.int64).tolist()
     return [math.floor(ps.point(i)[axis] / eps) for i in range(len(ps))]
@@ -155,7 +170,7 @@ def partition_pointset(
         raise InvalidParameterError(
             f"partition axis {axis} out of range for {ps.dims}-d points"
         )
-    cells = _axis_cells(ps, axis, eps)
+    cells = axis_cells(ps, axis, eps)
     cuts = _choose_cuts(cells, n_shards)
     if not cuts:
         return None
@@ -171,11 +186,11 @@ def partition_pointset(
             band_indices[slot].append(i)
 
     shards = [
-        Shard(sid=sid, indices=indices, points=_take(ps, indices))
+        Shard(sid=sid, indices=indices, points=take_payload(ps, indices))
         for sid, indices in enumerate(shard_indices)
     ]
     bands = [
-        HaloBand(cut_cell=cut, indices=indices, points=_take(ps, indices))
+        HaloBand(cut_cell=cut, indices=indices, points=take_payload(ps, indices))
         for cut, indices in zip(cuts, band_indices)
     ]
     return GridPartition(axis=axis, eps=eps, cut_cells=cuts, shards=shards, bands=bands)

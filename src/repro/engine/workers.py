@@ -31,13 +31,23 @@ from repro.engine.merge import canonical_groups, merge_shard_forests
 from repro.engine.partition import GridPartition, partition_pointset
 from repro.engine.planner import plan_shards
 
-__all__ = ["sgb_any_sharded", "shutdown_worker_pools"]
+__all__ = [
+    "sgb_any_sharded",
+    "get_worker_pool",
+    "drop_worker_pool",
+    "shutdown_worker_pools",
+]
 
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
 
 
-def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
-    """Return the cached pool for ``workers`` processes, creating it lazily."""
+def get_worker_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """Return the cached pool for ``workers`` processes, creating it lazily.
+
+    Shared by every sharded consumer (the SGB engine and the similarity-join
+    subsystem) so one query workload never spawns two pools of the same size.
+    Returns ``None`` when no pool can be created (serial fallback).
+    """
     pool = _POOLS.get(workers)
     if pool is None:
         try:
@@ -46,6 +56,17 @@ def _get_pool(workers: int) -> Optional[ProcessPoolExecutor]:
             return None
         _POOLS[workers] = pool
     return pool
+
+
+def drop_worker_pool(workers: int) -> None:
+    """Discard (and shut down) the cached pool for ``workers`` processes.
+
+    Callers drop a pool after a :class:`BrokenProcessPool` (or an OS refusal
+    to spawn) so the next request starts from a clean slate.
+    """
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_worker_pools() -> None:
@@ -120,7 +141,7 @@ def sgb_any_sharded(
     if partition is None or len(partition.shards) < 2:
         return _serial_grouping(ps, eps, metric)
 
-    pool = _get_pool(plan.workers) if plan.parallel and plan.workers > 1 else None
+    pool = get_worker_pool(plan.workers) if plan.parallel and plan.workers > 1 else None
     forests: List[Dict[int, int]]
     if pool is not None:
         try:
@@ -137,8 +158,7 @@ def sgb_any_sharded(
             # RuntimeError), not at pool construction; a killed worker raises
             # BrokenProcessPool.  Drop the pool and recover serially rather
             # than failing the query.
-            _POOLS.pop(plan.workers, None)
-            pool.shutdown(wait=False, cancel_futures=True)
+            drop_worker_pool(plan.workers)
             return _serial_grouping(ps, eps, metric)
     else:
         edges = list(_band_edges(partition, eps, metric))

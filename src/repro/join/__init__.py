@@ -1,0 +1,36 @@
+"""repro.join — set-at-a-time similarity joins between two point relations.
+
+The similarity-aware operator family the paper places SGB in also contains
+similarity *joins*: pairing the tuples of two relations by distance instead
+of by equality.  This subsystem provides both classic variants over the
+columnar :class:`~repro.core.pointset.PointSet` core:
+
+* :mod:`repro.join.epsilon` — the eps-join (:func:`eps_join`): every cross
+  pair within ``eps``, discovered with the same eps-grid sweep and
+  ``within_eps`` kernel as the SGB batch path (plus the brute-force
+  :func:`eps_join_allpairs` baseline for the benchmarks);
+* :mod:`repro.join.knn` — the kNN-join (:func:`knn_join`): each left point
+  with its k nearest right points via expanding R-tree window probes,
+  distance ties broken deterministically by right index;
+* :mod:`repro.join.sharded` — :func:`eps_join_sharded`, the eps-join over
+  the engine's slab+halo grid partition in the shared worker pool,
+  bit-identical to the serial join;
+* :mod:`repro.join.api` — :func:`sim_join`, the single entry point
+  (``eps=`` or ``k=``), also re-exported as :func:`repro.sim_join`.
+
+SQL access: ``FROM a SIMILARITY JOIN b ON DISTANCE(a.x, a.y, b.x, b.y)
+WITHIN eps`` (or ``... KNN k``) through :class:`repro.minidb.Database`.
+"""
+
+from repro.join.api import sim_join
+from repro.join.epsilon import eps_join, eps_join_allpairs
+from repro.join.knn import knn_join
+from repro.join.sharded import eps_join_sharded
+
+__all__ = [
+    "sim_join",
+    "eps_join",
+    "eps_join_allpairs",
+    "eps_join_sharded",
+    "knn_join",
+]

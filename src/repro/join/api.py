@@ -1,0 +1,68 @@
+"""Entry point of the similarity-join subsystem: :func:`sim_join`.
+
+One function covers both join kinds the paper's operator family pairs with
+similarity grouping: pass ``eps`` for an epsilon-join (all cross pairs
+within the threshold) or ``k`` for a kNN-join (each left point with its k
+nearest right points); exactly one of the two must be given.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.distance import Metric
+from repro.core.pointset import PointSet
+from repro.exceptions import InvalidParameterError
+from repro.join.epsilon import JoinPairs, eps_join
+from repro.join.knn import knn_join
+
+__all__ = ["sim_join"]
+
+
+def sim_join(
+    left: "PointSet | Sequence[Sequence[float]]",
+    right: "PointSet | Sequence[Sequence[float]]",
+    eps: Optional[float] = None,
+    k: Optional[int] = None,
+    metric: "Metric | str" = Metric.L2,
+    workers: "Optional[int | str]" = None,
+    backend: Optional[str] = None,
+) -> JoinPairs:
+    """Similarity-join two point relations; returns ``(left, right)`` index pairs.
+
+    Parameters
+    ----------
+    left, right:
+        The two relations' join attributes: any point container
+        :func:`repro.core.sgb_any` would accept (NumPy ``(n, d)`` arrays are
+        consumed zero-copy).  Both sides must share one dimensionality.
+    eps:
+        Epsilon-join threshold: every pair within ``eps`` under the metric
+        is returned, sorted lexicographically (the brute-force nested-loop
+        order).  Mutually exclusive with ``k``.
+    k:
+        kNN-join count: each left point pairs with its ``k`` nearest right
+        points, ordered by ascending ``(distance, right_index)`` — ties
+        break towards the smaller right index.  Mutually exclusive with
+        ``eps``.
+    metric:
+        ``"L2"`` (default), ``"LINF"``, or ``"L1"`` — any metric the SGB
+        core supports.
+    workers:
+        Sharded parallel execution for the eps-join (``N > 1`` worker
+        processes, ``0``/``"auto"`` for every core, ``None`` defers to the
+        ``SGB_WORKERS`` environment variable); bit-identical to the serial
+        join.  The kNN-join always runs in process.
+    backend:
+        Optional :class:`PointSet` backend override (``"python"`` forces
+        the pure-Python kernels).
+    """
+    if (eps is None) == (k is None):
+        raise InvalidParameterError(
+            "sim_join requires exactly one of eps (epsilon-join) or k (kNN-join)"
+        )
+    if eps is not None:
+        return eps_join(
+            left, right, eps, metric=metric, workers=workers, backend=backend
+        )
+    return knn_join(left, right, k, metric=metric, backend=backend)

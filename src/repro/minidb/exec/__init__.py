@@ -1,6 +1,7 @@
 """Volcano-style execution operators for the in-memory engine."""
 
 from repro.minidb.exec.aggregate import AggregateSpec, HashAggregate
+from repro.minidb.exec.join import SimilarityJoin
 from repro.minidb.exec.operators import (
     Distinct,
     Filter,
@@ -25,6 +26,7 @@ __all__ = [
     "Rename",
     "NestedLoopJoin",
     "HashJoin",
+    "SimilarityJoin",
     "Sort",
     "Limit",
     "Distinct",

@@ -1,0 +1,120 @@
+"""The similarity-join physical operator (``SIMILARITY JOIN ... ON DISTANCE``).
+
+Both inputs are materialised, their join attributes are evaluated once into
+column vectors (exactly like the SGB executor buffers its grouping
+attributes), and the matched index pairs come from the set-at-a-time
+:func:`repro.join.sim_join` — the eps-grid join for ``WITHIN eps`` (sharded
+across worker processes when WORKERS allows), the expanding index-probe join
+for ``KNN k``.  Matched row pairs then stream into the surrounding Volcano
+pipeline like any other join's output: left row columns followed by right
+row columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.core.pointset import PointSet
+from repro.exceptions import ExecutionError, InvalidParameterError
+from repro.minidb.exec.operators import PhysicalOperator, Row
+from repro.minidb.expressions import Expression, compile_expression
+
+__all__ = ["SimilarityJoin"]
+
+
+class SimilarityJoin(PhysicalOperator):
+    """Inner join pairing rows whose join attributes are similar.
+
+    ``eps`` set: every cross pair within the threshold (lexicographic pair
+    order).  ``k`` set: each left row with its k nearest right rows
+    (distance ties break towards the earlier right row).  Exactly one of the
+    two is set — the planner enforces it.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_exprs: Sequence[Expression],
+        right_exprs: Sequence[Expression],
+        metric: str,
+        eps: Optional[float] = None,
+        k: Optional[int] = None,
+        workers: "Optional[int | str]" = None,
+    ) -> None:
+        if len(left_exprs) != len(right_exprs) or not left_exprs:
+            raise ExecutionError(
+                "similarity join requires matching, non-empty coordinate lists"
+            )
+        if (eps is None) == (k is None):
+            raise ExecutionError(
+                "similarity join requires exactly one of eps (WITHIN) and k (KNN)"
+            )
+        self.left = left
+        self.right = right
+        self.left_exprs = list(left_exprs)
+        self.right_exprs = list(right_exprs)
+        self.metric = metric
+        self.eps = float(eps) if eps is not None else None
+        self.k = k
+        self.workers = workers
+        self.schema = left.schema.concat(right.schema)
+        self._left_fns = [compile_expression(e, left.schema) for e in left_exprs]
+        self._right_fns = [compile_expression(e, right.schema) for e in right_exprs]
+
+    def rows(self) -> Iterator[Row]:
+        from repro.join.api import sim_join
+
+        left_rows = list(self.left.rows())
+        right_rows = list(self.right.rows())
+        if not left_rows or not right_rows:
+            return
+        left_columns = [
+            [self._coordinate(fn, row) for row in left_rows] for fn in self._left_fns
+        ]
+        right_columns = [
+            [self._coordinate(fn, row) for row in right_rows] for fn in self._right_fns
+        ]
+        try:
+            pairs = sim_join(
+                PointSet.from_columns(left_columns),
+                PointSet.from_columns(right_columns),
+                eps=self.eps,
+                k=self.k,
+                metric=self.metric,
+                workers=self.workers,
+            )
+        except InvalidParameterError as exc:
+            # Surface core-layer validation (e.g. NaN join attributes) as an
+            # executor error so engine callers see a DatabaseError.
+            raise ExecutionError(f"invalid similarity join attributes: {exc}") from exc
+        for i, j in pairs:
+            yield left_rows[i] + right_rows[j]
+
+    @staticmethod
+    def _coordinate(fn, row: Row) -> float:
+        value = fn(row)
+        if value is None:
+            raise ExecutionError("similarity join attributes must not be NULL")
+        try:
+            return float(value)
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(
+                f"similarity join attribute value {value!r} is not numeric"
+            ) from exc
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        coords = ", ".join(
+            str(e) for e in (*self.left_exprs, *self.right_exprs)
+        )
+        if self.eps is not None:
+            clause = f"WITHIN {self.eps}"
+        else:
+            clause = f"KNN {self.k}"
+        workers = f" WORKERS {self.workers}" if self.workers is not None else ""
+        return (
+            f"SimilarityJoin(DISTANCE({coords}) {clause} {self.metric}{workers})"
+        )

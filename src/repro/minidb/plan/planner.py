@@ -36,6 +36,7 @@ from repro.minidb.exec.operators import (
     SeqScan,
     Sort,
 )
+from repro.minidb.exec.join import SimilarityJoin
 from repro.minidb.exec.sgb import SGBAggregate
 from repro.minidb.expressions import (
     Between,
@@ -68,6 +69,7 @@ from repro.minidb.sql.ast import (
     SGBSpec,
     SelectItem,
     SelectStatement,
+    SimilarityJoinClause,
     SubquerySource,
     TableSource,
 )
@@ -145,12 +147,20 @@ class Planner:
                 remaining.append(conjunct)
 
         # Left-deep joins in FROM order, preferring hash joins on equi-conjuncts.
+        # A source joined with SIMILARITY JOIN gets the distance-pairing
+        # operator instead; its WHERE conjuncts were pushed below it already
+        # and the cross-source ones become post-join filters.
+        similarity = dict(stmt.similarity_joins)
         plan = sources[0]
         joined = {0}
         for next_index in range(1, len(sources)):
-            plan, remaining = self._join_next(
-                plan, joined, sources, schemas, next_index, remaining
-            )
+            clause = similarity.get(next_index)
+            if clause is not None:
+                plan = self._plan_similarity_join(plan, sources[next_index], clause)
+            else:
+                plan, remaining = self._join_next(
+                    plan, joined, sources, schemas, next_index, remaining
+                )
             joined.add(next_index)
 
         # Whatever could not be attached to a join becomes a post-join filter.
@@ -214,6 +224,76 @@ class Planner:
         else:
             join = NestedLoopJoin(plan, right, condition=conjoin(residual))
         return join, deferred
+
+    def _plan_similarity_join(
+        self,
+        plan: PhysicalOperator,
+        right: PhysicalOperator,
+        clause: SimilarityJoinClause,
+    ) -> PhysicalOperator:
+        """Validate one SIMILARITY JOIN clause and build its operator.
+
+        Checks: a positive numeric WITHIN threshold or a positive integer
+        KNN count, a metric the core supports, coordinate expressions that
+        resolve against their own side (left half against everything joined
+        so far, right half against the joined source), and a non-negative
+        WORKERS count.
+        """
+        metric = resolve_metric(clause.metric).value
+        eps: Optional[float] = None
+        k: Optional[int] = None
+        if clause.eps is not None:
+            eps_value = self._constant_value(clause.eps)
+            if (
+                not isinstance(eps_value, (int, float))
+                or isinstance(eps_value, bool)
+                or eps_value <= 0
+            ):
+                raise PlanningError(
+                    f"WITHIN threshold must be a positive numeric constant, "
+                    f"got {eps_value!r}"
+                )
+            eps = float(eps_value)
+        else:
+            assert clause.k is not None  # the parser guarantees one of the two
+            k = self._positive_int(clause.k, "KNN")
+        workers: "Optional[int | str]" = self.settings.sgb_workers
+        if clause.workers is not None:
+            workers_value = self._constant_value(clause.workers)
+            if (
+                not isinstance(workers_value, int)
+                or isinstance(workers_value, bool)
+                or workers_value < 0
+            ):
+                raise PlanningError(
+                    f"WORKERS must be a non-negative integer constant, "
+                    f"got {workers_value!r}"
+                )
+            workers = workers_value
+        for expr in clause.left_exprs:
+            if not self._resolvable(expr, plan.schema):
+                raise PlanningError(
+                    f"SIMILARITY JOIN coordinate {expr!r} does not resolve "
+                    "against the left side; DISTANCE(...) lists the left "
+                    "side's coordinates first, then the right side's"
+                )
+        for expr in clause.right_exprs:
+            if not self._resolvable(expr, right.schema):
+                raise PlanningError(
+                    f"SIMILARITY JOIN coordinate {expr!r} does not resolve "
+                    "against the joined source; DISTANCE(...) lists the left "
+                    "side's coordinates first, then the right side's"
+                )
+        return SimilarityJoin(
+            plan,
+            right,
+            clause.left_exprs,
+            clause.right_exprs,
+            metric=metric,
+            eps=eps,
+            k=k,
+            workers=workers,
+        )
 
     # ------------------------------------------------------------------
     # IN (SELECT ...) rewriting

@@ -16,6 +16,7 @@ __all__ = [
     "SubquerySource",
     "GroupBySpec",
     "SGBSpec",
+    "SimilarityJoinClause",
     "OrderItem",
     "CreateTableStatement",
     "InsertStatement",
@@ -80,6 +81,26 @@ class SGBSpec:
 
 
 @dataclass(frozen=True)
+class SimilarityJoinClause:
+    """The ``ON DISTANCE(...) WITHIN eps | KNN k`` clause of a SIMILARITY JOIN.
+
+    ``left_exprs``/``right_exprs`` are the two halves of the ``DISTANCE``
+    call's argument list (the join attributes of each side, one expression
+    per dimension); ``metric`` is the SQL metric keyword (``L2``/``LINF``/
+    ...).  Exactly one of ``eps`` (the WITHIN threshold expression) and ``k``
+    (the KNN count expression) is set; ``workers`` is the optional WORKERS
+    count routing the eps-join through the sharded parallel engine.
+    """
+
+    left_exprs: Tuple[Expression, ...]
+    right_exprs: Tuple[Expression, ...]
+    metric: str
+    eps: Optional[Expression] = None
+    k: Optional[Expression] = None
+    workers: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
 class GroupBySpec:
     """GROUP BY keys plus the optional similarity clause."""
 
@@ -97,7 +118,12 @@ class OrderItem:
 
 @dataclass(frozen=True)
 class SelectStatement(Statement):
-    """A SELECT query (possibly used as a derived table or IN subquery)."""
+    """A SELECT query (possibly used as a derived table or IN subquery).
+
+    ``similarity_joins`` records each SIMILARITY JOIN as ``(source_index,
+    clause)``, where ``source_index`` is the joined source's position in
+    ``from_items``; plain joins keep using ``join_conditions``.
+    """
 
     items: Tuple[SelectItem, ...]
     from_items: Tuple[FromItem, ...] = ()
@@ -108,6 +134,7 @@ class SelectStatement(Statement):
     order_by: Tuple[OrderItem, ...] = ()
     limit: Optional[int] = None
     distinct: bool = False
+    similarity_joins: Tuple[Tuple[int, SimilarityJoinClause], ...] = ()
 
 
 @dataclass(frozen=True)

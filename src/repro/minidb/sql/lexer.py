@@ -54,6 +54,8 @@ _KEYWORDS = {
     "ELSE", "END", "WITHIN", "OVERLAP", "ELIMINATE", "LIKE", "EXISTS",
     # Similarity group-by keywords (single-word forms).
     "L2", "LINF", "LONE", "LTWO", "WORKERS", "WINDOW", "SLIDE",
+    # Similarity join keywords.
+    "SIMILARITY", "KNN",
 }
 
 #: Hyphenated compound keywords of the SGB grammar, longest first.

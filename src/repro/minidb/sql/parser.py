@@ -30,6 +30,7 @@ from repro.minidb.sql.ast import (
     SelectItem,
     SelectStatement,
     SGBSpec,
+    SimilarityJoinClause,
     Statement,
     SubquerySource,
     TableSource,
@@ -227,8 +228,9 @@ class Parser:
 
         from_items: List[FromItem] = []
         join_conditions: List[Expression] = []
+        similarity_joins: List[Tuple[int, SimilarityJoinClause]] = []
         if self._accept_keyword("FROM"):
-            from_items, join_conditions = self._parse_from_clause()
+            from_items, join_conditions, similarity_joins = self._parse_from_clause()
 
         where = self.parse_expression() if self._accept_keyword("WHERE") else None
 
@@ -268,6 +270,7 @@ class Parser:
             order_by=tuple(order_by),
             limit=limit,
             distinct=distinct,
+            similarity_joins=tuple(similarity_joins),
         )
 
     def _parse_select_items(self) -> List[SelectItem]:
@@ -288,12 +291,23 @@ class Parser:
                 break
         return items
 
-    def _parse_from_clause(self) -> Tuple[List[FromItem], List[Expression]]:
+    def _parse_from_clause(
+        self,
+    ) -> Tuple[List[FromItem], List[Expression], List[Tuple[int, SimilarityJoinClause]]]:
         sources: List[FromItem] = [self._parse_from_source()]
         conditions: List[Expression] = []
+        similarity: List[Tuple[int, SimilarityJoinClause]] = []
         while True:
             if self._accept(TokenType.PUNCTUATION, ","):
                 sources.append(self._parse_from_source())
+                continue
+            if self._check_keyword("SIMILARITY"):
+                self._advance()
+                self._expect_keyword("JOIN")
+                sources.append(self._parse_from_source())
+                similarity.append(
+                    (len(sources) - 1, self._parse_similarity_join_clause())
+                )
                 continue
             if self._check_keyword("JOIN", "INNER", "LEFT", "CROSS"):
                 is_cross = bool(self._accept_keyword("CROSS"))
@@ -306,7 +320,68 @@ class Parser:
                     conditions.append(self.parse_expression())
                 continue
             break
-        return sources, conditions
+        return sources, conditions, similarity
+
+    def _parse_similarity_join_clause(self) -> SimilarityJoinClause:
+        """Parse ``ON DISTANCE(coords...) [metric] WITHIN eps | KNN k ...``.
+
+        The ``DISTANCE`` argument list holds the two sides' join attributes
+        back to back (first half left, second half right); the metric may be
+        named either before the WITHIN/KNN keyword or after the threshold via
+        ``USING``, mirroring the similarity group-by clause.  An optional
+        trailing ``WORKERS n`` routes the eps-join through the sharded
+        engine.
+        """
+        self._expect_keyword("ON")
+        on_token = self._peek()
+        condition = self.parse_expression()
+        if (
+            not isinstance(condition, FuncCall)
+            or condition.name != "distance"
+            or condition.star
+        ):
+            raise SqlSyntaxError(
+                "SIMILARITY JOIN requires an ON DISTANCE(...) condition",
+                position=on_token.position,
+            )
+        args = condition.args
+        if len(args) < 2 or len(args) % 2 != 0:
+            raise SqlSyntaxError(
+                "DISTANCE(...) in a SIMILARITY JOIN needs an even number of "
+                "arguments: the left side's coordinates followed by the "
+                f"right side's, got {len(args)}",
+                position=on_token.position,
+            )
+        metric = self._parse_optional_metric()
+        eps: Optional[Expression] = None
+        k: Optional[Expression] = None
+        if self._accept_keyword("WITHIN"):
+            eps = self.parse_expression()
+        elif self._accept_keyword("KNN"):
+            k = self.parse_expression()
+        else:
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"expected WITHIN or KNN after DISTANCE(...) but found "
+                f"{token.value!r}",
+                position=token.position,
+            )
+        if self._accept_keyword("USING"):
+            metric = self._parse_required_metric()
+        if metric is None:
+            metric = "L2"
+        workers: Optional[Expression] = None
+        if self._accept_keyword("WORKERS"):
+            workers = self.parse_expression()
+        half = len(args) // 2
+        return SimilarityJoinClause(
+            left_exprs=args[:half],
+            right_exprs=args[half:],
+            metric=metric,
+            eps=eps,
+            k=k,
+            workers=workers,
+        )
 
     def _parse_from_source(self) -> FromItem:
         if self._accept(TokenType.PUNCTUATION, "("):

@@ -52,8 +52,12 @@ class SpatialIndex(ABC):
 
         The default runs the queries one by one; concrete indexes override
         this where a shared traversal is cheaper (grid cells, kd-tree).
-        Result order within a window is unspecified.
+        Result order within a window is unspecified.  An empty index (or an
+        empty window batch) short-circuits to empty result lists — every
+        override honours the same contract.
         """
+        if len(self) == 0:
+            return [[] for _ in windows]
         return [self.search(window) for window in windows]
 
     def insert_point(self, point: Sequence[float], item: Any) -> None:

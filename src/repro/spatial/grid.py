@@ -76,6 +76,8 @@ class GridIndex(SpatialIndex):
         batch's probe windows cluster (the SGB batch path).  Result order
         within a window may differ from :meth:`search`.
         """
+        if self._count == 0:
+            return [[] for _ in windows]
         results: List[List[Any]] = [[] for _ in windows]
         seen: List[Set[int]] = [set() for _ in windows]
         cell_windows: Dict[_CellKey, List[int]] = {}

@@ -110,11 +110,11 @@ class KDTree(SpatialIndex):
         """
         if not windows:
             return []
+        if self._root is None or self._count == 0:
+            return [[] for _ in windows]
         if len(windows) > 16:
             return [self.search(window) for window in windows]
         results: List[List[Any]] = [[] for _ in windows]
-        if self._root is None:
-            return results
         union = windows[0]
         for w in windows[1:]:
             union = union.union(w)

@@ -45,7 +45,7 @@ from repro.core.pointset import PointSet
 from repro.core.result import GroupingResult, canonicalize_groups
 from repro.core.sgb_any import SGBAnyGrouper
 from repro.dstruct.union_find import UnionFind
-from repro.engine.planner import resolve_workers
+from repro.engine.planner import plan_shards, resolve_workers
 from repro.exceptions import DimensionalityError, InvalidParameterError
 from repro.stream.deltas import DeltaEvent, diff_flushes
 from repro.stream.window import CountWindow, TickWindow, WindowPolicy
@@ -179,7 +179,7 @@ class StreamingSGB:
         self.policy = self._resolve_policy(window, slide)
         self.workers = workers
         self._backend = backend
-        self._sharded = resolve_workers(workers) > 1
+        self._sharded = self._plan_sharded_mode(workers)
         self._epochs: Deque[_Epoch] = deque()
         self._uf = UnionFind()
         #: Reduced eps-edges between live epoch pairs, ``(older_eid, newer_eid)``.
@@ -195,6 +195,24 @@ class StreamingSGB:
         self._last_tick: Optional[int] = None
         self._dims: Optional[int] = None
         self._closed = False
+
+    def _plan_sharded_mode(self, workers: "Optional[int | str]") -> bool:
+        """Decide between per-flush sharding and the incremental mode.
+
+        More than one resolved worker requests sharding, but the engine
+        planner has the final word: a count window caps the live point count
+        at ``policy.size``, so when that can never reach the parallel floor
+        (``SGB_PARALLEL_MIN_POINTS``) every flush would pay pool overhead
+        for a payload the planner degrades to serial anyway — the session
+        then stays incremental, which is strictly cheaper.  Tick windows
+        carry no point-count bound, so they keep the requested sharding and
+        rely on the same per-flush planner check inside the engine.
+        """
+        if resolve_workers(workers) <= 1:
+            return False
+        if self.policy.kind != "count":
+            return True
+        return plan_shards(self.policy.size, self.eps, workers).parallel
 
     @staticmethod
     def _resolve_policy(

@@ -9,6 +9,7 @@ from repro.bench.experiments import (
     fig10_sgb_any_scale,
     fig11_vs_clustering,
     fig12_overhead,
+    join_vs_allpairs,
     streaming_window,
     table1_scaling_exponents,
     table2_tpch_queries,
@@ -120,6 +121,16 @@ class TestFigureRunners:
         rows = streaming_window(sizes=(80,), window=200, slide=50)
         # Clamped to the stream size and rounded to a whole number of epochs.
         assert all(r["window"] == 50 and r["slide"] == 50 for r in rows)
+
+    def test_join_vs_allpairs_compares_both_paths(self):
+        rows = join_vs_allpairs(sizes=(600,))
+        assert len(rows) == 2
+        by_path = {r["path"]: r for r in rows}
+        assert set(by_path) == {"all-pairs", "grid"}
+        # Identical pair sets: the comparison is apples to apples.
+        assert by_path["grid"]["pairs"] == by_path["all-pairs"]["pairs"]
+        assert all(r["n_left"] == r["n_right"] == 300 for r in rows)
+        assert by_path["grid"]["speedup"] is not None
 
     def test_fig12_reports_overhead_per_panel(self):
         rows = fig12_overhead(scale_factors=(0.0005,))

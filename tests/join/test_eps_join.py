@@ -1,0 +1,92 @@
+"""Unit behaviour of the epsilon similarity join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pointset import HAVE_NUMPY, PointSet
+from repro.exceptions import DimensionalityError, InvalidParameterError
+from repro.join import eps_join, eps_join_allpairs, sim_join
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+LEFT = [(0.0, 0.0), (1.0, 0.0), (5.0, 5.0)]
+RIGHT = [(0.5, 0.0), (5.2, 5.1), (9.0, 9.0)]
+
+
+class TestEpsJoinBasics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_known_pairs(self, backend):
+        pairs = eps_join(LEFT, RIGHT, 1.0, workers=1, backend=backend)
+        assert pairs == [(0, 0), (1, 0), (2, 1)]
+
+    def test_pairs_are_lexicographically_sorted(self):
+        pairs = eps_join(LEFT * 3, RIGHT * 3, 1.0, workers=1)
+        assert pairs == sorted(pairs)
+
+    def test_empty_sides(self):
+        assert eps_join([], RIGHT, 1.0, workers=1) == []
+        assert eps_join(LEFT, [], 1.0, workers=1) == []
+        assert eps_join([], [], 1.0, workers=1) == []
+
+    def test_duplicates_pair_independently(self):
+        left = [(0.0, 0.0), (0.0, 0.0)]
+        right = [(0.1, 0.0)]
+        assert eps_join(left, right, 0.5, workers=1) == [(0, 0), (1, 0)]
+
+    def test_boundary_distance_is_included(self):
+        # distance exactly eps qualifies (<=, Definition 2)
+        assert eps_join([(0.0, 0.0)], [(1.0, 0.0)], 1.0, workers=1) == [(0, 0)]
+
+    def test_transpose_symmetry(self):
+        forward = eps_join(LEFT, RIGHT, 1.3, workers=1)
+        backward = eps_join(RIGHT, LEFT, 1.3, workers=1)
+        assert sorted((j, i) for i, j in forward) == backward
+
+    @pytest.mark.parametrize("metric", ["L2", "LINF", "L1"])
+    def test_metrics_accepted(self, metric):
+        pairs = eps_join(LEFT, RIGHT, 1.0, metric=metric, workers=1)
+        assert (0, 0) in pairs
+
+    def test_accepts_pointsets(self):
+        pairs = eps_join(
+            PointSet.from_any(LEFT), PointSet.from_any(RIGHT), 1.0, workers=1
+        )
+        assert pairs == [(0, 0), (1, 0), (2, 1)]
+
+
+class TestEpsJoinValidation:
+    @pytest.mark.parametrize("bad_eps", [0.0, -1.0])
+    def test_non_positive_eps_rejected(self, bad_eps):
+        with pytest.raises(InvalidParameterError):
+            eps_join(LEFT, RIGHT, bad_eps, workers=1)
+
+    def test_dimensionality_mismatch_rejected(self):
+        with pytest.raises(DimensionalityError):
+            eps_join(LEFT, [(1.0, 2.0, 3.0)], 1.0, workers=1)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            eps_join(LEFT, RIGHT, 1.0, metric="cosine", workers=1)
+
+    def test_nan_coordinates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            eps_join([(float("nan"), 0.0)], RIGHT, 1.0, workers=1)
+
+
+class TestAllPairsBaseline:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_grid_join(self, backend):
+        pairs = eps_join_allpairs(LEFT, RIGHT, 1.0, backend=backend)
+        assert pairs == eps_join(LEFT, RIGHT, 1.0, workers=1, backend=backend)
+
+
+class TestSimJoinDispatch:
+    def test_eps_routes_to_eps_join(self):
+        assert sim_join(LEFT, RIGHT, eps=1.0, workers=1) == [(0, 0), (1, 0), (2, 1)]
+
+    def test_requires_exactly_one_of_eps_and_k(self):
+        with pytest.raises(InvalidParameterError):
+            sim_join(LEFT, RIGHT)
+        with pytest.raises(InvalidParameterError):
+            sim_join(LEFT, RIGHT, eps=1.0, k=2)

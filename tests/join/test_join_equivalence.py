@@ -1,0 +1,117 @@
+"""Randomized equivalence: both joins == a brute-force nested loop, everywhere.
+
+This is the acceptance property of the join subsystem: for any mix of
+dimensionality (2–4), duplicate coordinates, PointSet backend, and metric,
+the eps-join and kNN-join results must be bit-identical to the obvious
+nested loop over the scalar reference kernels — and the sharded eps-join
+(workers=2, forced shards) bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distance import resolve_metric
+from repro.core.pointset import HAVE_NUMPY
+from repro.core.predicates import SimilarityPredicate
+from repro.join import eps_join, eps_join_allpairs, eps_join_sharded, knn_join
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+METRICS = ["L2", "LINF", "L1"]
+
+
+def _random_sides(seed, dims, n_left=70, n_right=55):
+    """Clustered + uniform points with duplicates and shared coordinates."""
+    rng = random.Random(seed)
+    centers = [tuple(rng.uniform(0, 12) for _ in range(dims)) for _ in range(4)]
+
+    def draw(n):
+        out = []
+        for _ in range(n):
+            roll = rng.random()
+            if roll < 0.6:
+                c = rng.choice(centers)
+                out.append(tuple(x + rng.uniform(-0.8, 0.8) for x in c))
+            elif roll < 0.75 and out:
+                out.append(rng.choice(out))  # exact duplicate
+            else:
+                out.append(tuple(rng.uniform(0, 12) for _ in range(dims)))
+        return out
+
+    left = draw(n_left)
+    right = draw(n_right)
+    # Cross-side duplicates: identical coordinates in both relations.
+    right[0] = left[0]
+    return left, right
+
+
+def _brute_eps(left, right, eps, metric):
+    predicate = SimilarityPredicate(resolve_metric(metric), eps)
+    return [
+        (i, j)
+        for i, p in enumerate(left)
+        for j, q in enumerate(right)
+        if predicate.similar(p, q)
+    ]
+
+
+def _brute_knn(left, right, k, metric):
+    distance = resolve_metric(metric).distance
+    pairs = []
+    for i, p in enumerate(left):
+        ranked = sorted((distance(p, q), j) for j, q in enumerate(right))
+        pairs.extend((i, j) for _, j in ranked[:k])
+    return pairs
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("dims", [2, 3, 4])
+class TestEpsJoinEquivalence:
+    def test_matches_bruteforce_nested_loop(self, dims, metric, backend):
+        left, right = _random_sides(seed=dims * 101 + len(metric), dims=dims)
+        eps = 1.2
+        expected = _brute_eps(left, right, eps, metric)
+        assert eps_join(left, right, eps, metric=metric, workers=1, backend=backend) == expected
+        assert eps_join_allpairs(left, right, eps, metric=metric, backend=backend) == expected
+
+    def test_sharded_bit_identical_to_serial(self, dims, metric, backend):
+        left, right = _random_sides(seed=dims * 211 + len(metric), dims=dims)
+        eps = 1.0
+        serial = eps_join(left, right, eps, metric=metric, workers=1, backend=backend)
+        # Forced shards exercise the partition/stitch pipeline even where the
+        # planner would stay serial; workers=2 adds the real process pool.
+        forced = eps_join_sharded(left, right, eps, metric=metric, shards=3)
+        assert forced == serial
+        pooled = eps_join(left, right, eps, metric=metric, workers=2, backend=backend)
+        assert pooled == serial
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("dims", [2, 3, 4])
+class TestKnnJoinEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_matches_bruteforce_nested_loop(self, dims, metric, backend, k):
+        left, right = _random_sides(
+            seed=dims * 307 + k + len(metric), dims=dims, n_left=45, n_right=40
+        )
+        expected = _brute_knn(left, right, k, metric)
+        assert knn_join(left, right, k, metric=metric, backend=backend) == expected
+
+
+class TestCrossPathConsistency:
+    """The eps-join agrees with a kNN-join restricted to the eps ball."""
+
+    def test_knn_of_everything_contains_the_eps_pairs(self):
+        left, right = _random_sides(seed=997, dims=2)
+        eps = 1.5
+        distance = resolve_metric("L2").distance
+        eps_pairs = set(eps_join(left, right, eps, workers=1))
+        all_ranked = knn_join(left, right, len(right))
+        within = {
+            (i, j) for i, j in all_ranked if distance(left[i], right[j]) <= eps
+        }
+        assert within == eps_pairs

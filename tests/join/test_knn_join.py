@@ -1,0 +1,73 @@
+"""Unit behaviour of the k-nearest-neighbour similarity join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pointset import HAVE_NUMPY
+from repro.exceptions import DimensionalityError, InvalidParameterError
+from repro.join import knn_join, sim_join
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+LEFT = [(0.0, 0.0), (10.0, 10.0)]
+RIGHT = [(1.0, 0.0), (2.0, 0.0), (9.0, 10.0), (0.5, 0.0)]
+
+
+class TestKnnJoinBasics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_nearest_first(self, backend):
+        pairs = knn_join(LEFT, RIGHT, 2, backend=backend)
+        assert pairs == [(0, 3), (0, 0), (1, 2), (1, 1)]
+
+    def test_k_one(self):
+        assert knn_join(LEFT, RIGHT, 1) == [(0, 3), (1, 2)]
+
+    def test_k_exceeding_right_side_ranks_everything(self):
+        pairs = knn_join(LEFT, RIGHT, 10)
+        assert [j for i, j in pairs if i == 0] == [3, 0, 1, 2]
+        assert len(pairs) == len(LEFT) * len(RIGHT)
+
+    def test_distance_ties_break_by_right_index(self):
+        left = [(0.0, 0.0)]
+        right = [(1.0, 0.0), (0.0, 1.0), (-1.0, 0.0)]  # all at distance 1
+        assert knn_join(left, right, 2) == [(0, 0), (0, 1)]
+
+    def test_duplicate_right_points_rank_by_index(self):
+        left = [(0.0, 0.0)]
+        right = [(2.0, 0.0), (2.0, 0.0), (2.0, 0.0)]
+        assert knn_join(left, right, 2) == [(0, 0), (0, 1)]
+
+    def test_empty_sides(self):
+        assert knn_join([], RIGHT, 2) == []
+        assert knn_join(LEFT, [], 2) == []
+
+    def test_far_probe_expands_until_it_finds_neighbours(self):
+        # Probe far outside the right side's bounding box: the expanding
+        # window must keep doubling until candidates appear.
+        assert knn_join([(1000.0, 1000.0)], RIGHT, 1) == [(0, 2)]
+
+    def test_degenerate_right_side_single_location(self):
+        right = [(3.0, 3.0)] * 5
+        assert knn_join([(0.0, 0.0)], right, 3) == [(0, 0), (0, 1), (0, 2)]
+
+    @pytest.mark.parametrize("metric", ["L2", "LINF", "L1"])
+    def test_metrics_accepted(self, metric):
+        pairs = knn_join(LEFT, RIGHT, 1, metric=metric)
+        assert pairs[0] == (0, 3)
+
+
+class TestKnnJoinValidation:
+    @pytest.mark.parametrize("bad_k", [0, -1, 1.5, "3", True])
+    def test_invalid_k_rejected(self, bad_k):
+        with pytest.raises(InvalidParameterError):
+            knn_join(LEFT, RIGHT, bad_k)
+
+    def test_dimensionality_mismatch_rejected(self):
+        with pytest.raises(DimensionalityError):
+            knn_join(LEFT, [(1.0, 2.0, 3.0)], 1)
+
+
+class TestSimJoinDispatch:
+    def test_k_routes_to_knn_join(self):
+        assert sim_join(LEFT, RIGHT, k=1) == [(0, 3), (1, 2)]

@@ -1,0 +1,277 @@
+"""SIMILARITY JOIN through every SQL layer: lexer, parser, planner, executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlanningError, SqlSyntaxError
+from repro.join import eps_join, knn_join
+from repro.minidb import Database
+from repro.minidb.expressions import ColumnRef, Literal
+from repro.minidb.sql.ast import SelectStatement, SimilarityJoinClause
+from repro.minidb.sql.lexer import TokenType, tokenize
+from repro.minidb.sql.parser import parse_sql
+
+EPS_SQL = (
+    "SELECT c.cid, p.pid FROM checkins c SIMILARITY JOIN pois p "
+    "ON DISTANCE(c.x, c.y, p.x, p.y) WITHIN 1.5"
+)
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+
+
+class TestLexer:
+    def test_similarity_and_knn_are_keywords(self):
+        tokens = tokenize("SIMILARITY JOIN t ON DISTANCE(x) KNN 3")
+        keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert "SIMILARITY" in keywords
+        assert "KNN" in keywords
+
+    def test_distance_stays_an_identifier(self):
+        tokens = tokenize("DISTANCE(a, b)")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "DISTANCE"
+
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("similarity join knn")
+        assert [t.value for t in tokens[:-1]] == ["SIMILARITY", "JOIN", "KNN"]
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+class TestParser:
+    def test_eps_join_clause(self):
+        stmt = parse_sql(EPS_SQL)
+        assert isinstance(stmt, SelectStatement)
+        assert len(stmt.similarity_joins) == 1
+        index, clause = stmt.similarity_joins[0]
+        assert index == 1  # the second FROM source
+        assert isinstance(clause, SimilarityJoinClause)
+        assert clause.left_exprs == (ColumnRef("x", "c"), ColumnRef("y", "c"))
+        assert clause.right_exprs == (ColumnRef("x", "p"), ColumnRef("y", "p"))
+        assert clause.metric == "L2"
+        assert clause.eps == Literal(1.5)
+        assert clause.k is None
+        assert stmt.join_conditions == ()
+
+    def test_knn_join_clause(self):
+        stmt = parse_sql(
+            "SELECT * FROM a SIMILARITY JOIN b ON DISTANCE(a.x, b.x) KNN 3"
+        )
+        _, clause = stmt.similarity_joins[0]
+        assert clause.k == Literal(3)
+        assert clause.eps is None
+        assert clause.left_exprs == (ColumnRef("x", "a"),)
+
+    def test_metric_before_within(self):
+        stmt = parse_sql(
+            "SELECT * FROM a SIMILARITY JOIN b ON DISTANCE(a.x, b.x) LINF WITHIN 2"
+        )
+        assert stmt.similarity_joins[0][1].metric == "LINF"
+
+    def test_metric_via_using(self):
+        stmt = parse_sql(
+            "SELECT * FROM a SIMILARITY JOIN b "
+            "ON DISTANCE(a.x, b.x) KNN 2 USING L1"
+        )
+        assert stmt.similarity_joins[0][1].metric == "L1"
+
+    def test_workers_option(self):
+        stmt = parse_sql(
+            "SELECT * FROM a SIMILARITY JOIN b "
+            "ON DISTANCE(a.x, b.x) WITHIN 1 WORKERS 4"
+        )
+        assert stmt.similarity_joins[0][1].workers == Literal(4)
+
+    def test_mixes_with_ordinary_joins(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.id = b.id "
+            "SIMILARITY JOIN c ON DISTANCE(a.x, a.y, c.x, c.y) WITHIN 1"
+        )
+        assert len(stmt.from_items) == 3
+        assert len(stmt.join_conditions) == 1
+        assert stmt.similarity_joins[0][0] == 2
+
+    def test_distance_arguments_may_be_expressions(self):
+        stmt = parse_sql(
+            "SELECT * FROM a SIMILARITY JOIN b "
+            "ON DISTANCE(a.x * 2, b.x + 1) WITHIN 1"
+        )
+        _, clause = stmt.similarity_joins[0]
+        assert len(clause.left_exprs) == 1 and len(clause.right_exprs) == 1
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # not a DISTANCE(...) condition
+            "SELECT * FROM a SIMILARITY JOIN b ON a.x = b.x",
+            # odd coordinate count
+            "SELECT * FROM a SIMILARITY JOIN b ON DISTANCE(a.x, a.y, b.x) WITHIN 1",
+            # zero coordinates
+            "SELECT * FROM a SIMILARITY JOIN b ON DISTANCE() WITHIN 1",
+            # missing WITHIN / KNN
+            "SELECT * FROM a SIMILARITY JOIN b ON DISTANCE(a.x, b.x)",
+            # missing ON
+            "SELECT * FROM a SIMILARITY JOIN b WITHIN 1",
+            # SIMILARITY without JOIN
+            "SELECT * FROM a SIMILARITY b ON DISTANCE(a.x, b.x) WITHIN 1",
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(sql)
+
+
+# ---------------------------------------------------------------------------
+# planner + executor (end to end through Database)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE checkins (cid INT, x FLOAT, y FLOAT)")
+    database.execute("CREATE TABLE pois (pid INT, x FLOAT, y FLOAT)")
+    database.insert_rows(
+        "checkins",
+        [(1, 0.0, 0.0), (2, 1.0, 0.0), (3, 5.0, 5.0), (4, 9.0, 9.0)],
+    )
+    database.insert_rows(
+        "pois", [(10, 0.5, 0.0), (20, 5.2, 5.1), (30, 8.0, 8.0)]
+    )
+    return database
+
+
+class TestPlanner:
+    def test_explain_shows_the_join_operator(self, db):
+        plan = db.explain(EPS_SQL)
+        assert "SimilarityJoin" in plan
+        assert "WITHIN 1.5" in plan
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # non-positive eps
+            EPS_SQL.replace("WITHIN 1.5", "WITHIN 0"),
+            EPS_SQL.replace("WITHIN 1.5", "WITHIN -2"),
+            # non-constant eps
+            EPS_SQL.replace("WITHIN 1.5", "WITHIN c.x"),
+            # non-positive / non-integer k
+            EPS_SQL.replace("WITHIN 1.5", "KNN 0"),
+            EPS_SQL.replace("WITHIN 1.5", "KNN 1.5"),
+            # sides swapped: coordinates don't resolve against their half
+            "SELECT * FROM checkins c SIMILARITY JOIN pois p "
+            "ON DISTANCE(p.x, p.y, c.x, c.y) WITHIN 1",
+            # unknown column
+            "SELECT * FROM checkins c SIMILARITY JOIN pois p "
+            "ON DISTANCE(c.x, c.nope, p.x, p.y) WITHIN 1",
+            # negative workers
+            EPS_SQL + " WORKERS -1",
+        ],
+    )
+    def test_planning_errors(self, db, sql):
+        with pytest.raises(PlanningError):
+            db.execute(sql)
+
+
+class TestExecutor:
+    def _points(self, db, table):
+        rows = db.table(table).rows
+        return [(r[1], r[2]) for r in rows]
+
+    def test_eps_join_rows_match_the_core_join(self, db):
+        result = db.execute(EPS_SQL)
+        checkins = db.table("checkins").rows
+        pois = db.table("pois").rows
+        expected = [
+            (checkins[i][0], pois[j][0])
+            for i, j in eps_join(
+                self._points(db, "checkins"), self._points(db, "pois"), 1.5, workers=1
+            )
+        ]
+        assert result.rows == expected
+        assert result.columns == ["cid", "pid"]
+
+    def test_knn_join_rows_match_the_core_join(self, db):
+        result = db.execute(EPS_SQL.replace("WITHIN 1.5", "KNN 2"))
+        checkins = db.table("checkins").rows
+        pois = db.table("pois").rows
+        expected = [
+            (checkins[i][0], pois[j][0])
+            for i, j in knn_join(
+                self._points(db, "checkins"), self._points(db, "pois"), 2
+            )
+        ]
+        assert result.rows == expected
+
+    def test_star_output_concatenates_both_rows(self, db):
+        rows = db.execute(
+            "SELECT * FROM checkins c SIMILARITY JOIN pois p "
+            "ON DISTANCE(c.x, c.y, p.x, p.y) KNN 1 WHERE c.cid = 1"
+        ).rows
+        assert rows == [(1, 0.0, 0.0, 10, 0.5, 0.0)]
+
+    def test_where_filters_apply(self, db):
+        count = db.execute(
+            EPS_SQL.replace("SELECT c.cid, p.pid", "SELECT count(*)")
+            + " WHERE c.cid > 2"
+        ).scalar()
+        assert count == 2  # (3, 20) and (4, 30) survive the filter
+
+    def test_workers_clause_is_bit_identical(self, db):
+        serial = db.execute(EPS_SQL).rows
+        assert db.execute(EPS_SQL + " WORKERS 2").rows == serial
+
+    def test_session_default_workers_apply(self):
+        parallel_db = Database(sgb_workers=2)
+        parallel_db.execute("CREATE TABLE a (x FLOAT, y FLOAT)")
+        parallel_db.execute("CREATE TABLE b (x FLOAT, y FLOAT)")
+        parallel_db.insert_rows("a", [(float(i), 0.0) for i in range(30)])
+        parallel_db.insert_rows("b", [(float(i) + 0.4, 0.0) for i in range(30)])
+        sql = (
+            "SELECT count(*) FROM a SIMILARITY JOIN b "
+            "ON DISTANCE(a.x, a.y, b.x, b.y) WITHIN 0.5"
+        )
+        assert parallel_db.execute(sql).scalar() == 30
+
+    def test_metric_changes_the_pair_set(self, db):
+        l2 = db.execute(
+            EPS_SQL.replace("SELECT c.cid, p.pid", "SELECT count(*)")
+        ).scalar()
+        linf = db.execute(
+            EPS_SQL.replace("SELECT c.cid, p.pid", "SELECT count(*)").replace(
+                "WITHIN 1.5", "LINF WITHIN 1.5"
+            )
+        ).scalar()
+        assert linf >= l2  # the LINF ball contains the L2 ball
+
+    def test_empty_side_yields_no_rows(self, db):
+        db.execute("CREATE TABLE empty_pois (pid INT, x FLOAT, y FLOAT)")
+        rows = db.execute(
+            "SELECT c.cid FROM checkins c SIMILARITY JOIN empty_pois p "
+            "ON DISTANCE(c.x, c.y, p.x, p.y) WITHIN 5.0"
+        ).rows
+        assert rows == []
+
+    def test_join_feeds_similarity_group_by(self, db):
+        # Join, then SGB the matched POI locations: the join streams into
+        # the ordinary operator pipeline, so derived tables work unchanged.
+        result = db.execute(
+            "SELECT count(*) FROM (SELECT p.x AS px, p.y AS py FROM checkins c "
+            "SIMILARITY JOIN pois p ON DISTANCE(c.x, c.y, p.x, p.y) WITHIN 1.5) m "
+            "GROUP BY px, py DISTANCE-TO-ANY L2 WITHIN 2.0"
+        )
+        assert len(result.rows) >= 1
+
+    def test_null_join_attribute_is_an_execution_error(self, db):
+        from repro.exceptions import ExecutionError
+
+        db.insert_rows("pois", [(99, None, 1.0)])
+        with pytest.raises(ExecutionError):
+            db.execute(EPS_SQL)

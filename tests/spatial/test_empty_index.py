@@ -1,0 +1,97 @@
+"""Empty-index regressions: probes against zero-entry indexes stay well-defined.
+
+The batch SGB path (and the kNN join) issue ``search_many`` probes that can
+legally hit an index holding nothing yet — a grouper before its first
+``add_batch``, an R-tree bulk-loaded from an empty batch.  Every index type
+must answer with empty result lists (never raise, never return garbage), and
+an empty bulk load must leave the index usable for later inserts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pointset import HAVE_NUMPY
+from repro.core.rectangle import Rect
+from repro.core.sgb_any import SGBAnyGrouper
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+from repro.spatial.rtree import RTree
+
+FACTORIES = {
+    "grid": lambda: GridIndex(cell_size=1.0),
+    "kdtree": lambda: KDTree(dims=2),
+    "rtree": lambda: RTree(max_entries=8),
+}
+
+WINDOWS = [
+    Rect.from_point((0.0, 0.0), 1.0),
+    Rect.from_point((5.0, 5.0), 2.0),
+    Rect((-100.0, -100.0), (100.0, 100.0)),
+]
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+class TestEmptyIndexQueries:
+    def test_search_returns_empty(self, kind):
+        index = FACTORIES[kind]()
+        for window in WINDOWS:
+            assert index.search(window) == []
+
+    def test_search_many_returns_one_empty_list_per_window(self, kind):
+        index = FACTORIES[kind]()
+        assert index.search_many(WINDOWS) == [[] for _ in WINDOWS]
+
+    def test_search_many_with_no_windows(self, kind):
+        index = FACTORIES[kind]()
+        assert index.search_many([]) == []
+
+    def test_search_many_above_the_kdtree_batch_cutoff(self, kind):
+        # 20 windows exceeds the kd-tree's shared-traversal cutoff (16),
+        # exercising the per-window fallback on an empty index too.
+        windows = [Rect.from_point((float(i), 0.0), 0.5) for i in range(20)]
+        assert FACTORIES[kind]().search_many(windows) == [[] for _ in windows]
+
+    def test_empty_load_then_insert_keeps_working(self, kind):
+        index = FACTORIES[kind]()
+        index.load([], [])
+        assert len(index) == 0
+        assert index.search_many(WINDOWS) == [[] for _ in WINDOWS]
+        index.insert(Rect.from_point((0.5, 0.5)), "payload")
+        assert len(index) == 1
+        assert index.search(WINDOWS[0]) == ["payload"]
+
+    def test_delete_on_empty_index_reports_missing(self, kind):
+        index = FACTORIES[kind]()
+        assert index.delete(Rect.from_point((0.0, 0.0)), "ghost") is False
+        assert len(index) == 0
+
+
+class TestEmptyBulkLoad:
+    def test_rtree_bulk_load_of_nothing_is_usable(self):
+        tree = RTree.bulk_load([], [])
+        assert len(tree) == 0
+        assert tree.search(WINDOWS[2]) == []
+        assert tree.search_many(WINDOWS) == [[] for _ in WINDOWS]
+        tree.insert(Rect.from_point((1.0, 1.0)), 7)
+        assert tree.search(WINDOWS[2]) == [7]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_grouper_probe_on_empty_explicit_index(kind, backend):
+    """The batched FindCandidateGroups probe of a fresh grouper is empty.
+
+    Exercised with every index type as the explicit access method and both
+    PointSet backends feeding the probe batch.
+    """
+    from repro.core.pointset import PointSet
+
+    grouper = SGBAnyGrouper(eps=0.5, index_factory=FACTORIES[kind])
+    probes = PointSet.from_any([(0.0, 0.0), (3.0, 4.0)], backend=backend)
+    assert grouper.neighbours_many(probes) == [[], []]
+    # The grouper keeps working normally after the cold probe.
+    grouper.add_batch(probes)
+    assert grouper.finalize().groups == [[0], [1]]

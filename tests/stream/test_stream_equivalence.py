@@ -115,15 +115,23 @@ class TestTickWindowEquivalence:
 
 
 class TestWorkerEquivalence:
-    """workers=1 (incremental) and workers=2 (per-flush sharding) agree exactly."""
+    """workers=1 (incremental) and workers=2 (per-flush sharding) agree exactly.
+
+    The parallel floor is lowered to one point so the small windows these
+    tests use really run the sharded mode (a count window below
+    ``SGB_PARALLEL_MIN_POINTS`` stays incremental by design — covered by
+    ``test_session.TestParallelFloor``).
+    """
 
     @pytest.mark.parametrize("size,slide", [(40, 40), (60, 20)])
-    def test_workers_1_vs_2_bit_identical(self, size, slide):
+    def test_workers_1_vs_2_bit_identical(self, size, slide, monkeypatch):
+        monkeypatch.setenv("SGB_PARALLEL_MIN_POINTS", "1")
         points = _stream_points(220, seed=41)
         sessions = {
             w: StreamingSGB(eps=0.9, window=size, slide=slide, workers=w)
             for w in (1, 2)
         }
+        assert sessions[2]._sharded
         flushes = {w: [] for w in sessions}
         for chunk in _chunks(points, 41):
             for w, session in sessions.items():
@@ -143,7 +151,8 @@ class TestWorkerEquivalence:
             )
         _assert_flushes_match_scratch(flushes[2], points, 0.9, "L2")
 
-    def test_sharded_flushes_match_scratch_on_ticks(self):
+    def test_sharded_flushes_match_scratch_on_ticks(self, monkeypatch):
+        monkeypatch.setenv("SGB_PARALLEL_MIN_POINTS", "1")
         rng = random.Random(53)
         points = _stream_points(160, seed=53)
         ticks = sorted(rng.randint(0, 300) for _ in points)

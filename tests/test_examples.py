@@ -38,6 +38,13 @@ class TestExamples:
         assert "WINDOW 200 SLIDE 100" in output
         assert "expired" in output
 
+    def test_join_checkins(self):
+        output = run_example("join_checkins.py")
+        assert "eps-join" in output
+        assert "kNN-join" in output
+        assert "SIMILARITY JOIN" in output
+        assert "activity clusters" in output
+
     def test_location_privacy_groups(self):
         output = run_example("location_privacy_groups.py")
         assert "ON-OVERLAP JOIN-ANY" in output
