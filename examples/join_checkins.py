@@ -12,17 +12,22 @@ Figure 11 generator) with a small set of points of interest (POIs):
    "which check-ins happened near which POI";
 2. a **kNN-join** assigns every check-in to its single nearest POI,
    distance ties broken deterministically;
-3. through SQL, the ``SIMILARITY JOIN ... ON DISTANCE(...) WITHIN eps``
+3. the **fused join→group pipeline** similarity-joins and SGBs the matches
+   in one pass — the grouping sweep sees each matched POI once instead of
+   once per pair, and returns results bit-identical to the two-step path
+   (asserted below);
+4. through SQL, the ``SIMILARITY JOIN ... ON DISTANCE(...) WITHIN eps``
    clause feeds the matched pairs straight into a similarity ``GROUP BY`` —
-   join the check-ins to POIs, then SGB the matched POI locations into
-   activity clusters, one relational pipeline end to end.
+   the executor detects this shape and takes the same fused route.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 
-from repro.core.api import sim_join
+from repro.core.api import sgb_any, sim_join
+from repro.core.pointset import PointSet
+from repro.join import fused_join_group
 from repro.minidb import Database
 from repro.workloads.checkins import CheckinConfig, generate_checkins
 
@@ -58,6 +63,22 @@ def api_level(records, checkins, pois) -> None:
     print(f"   {len(nearest)} assignments over {len(per_poi)} POIs; "
           f"largest catchment holds {max(per_poi.values())} check-ins")
 
+    print("\n== fused join->group: SGB the matched POIs without "
+          "materializing the pairs ==")
+    fused = fused_join_group(checkins, pois, 1.0, eps=EPS)
+    # The two-step reference: materialize one POI point per matched pair,
+    # then group that duplicated relation.  The fused pipeline must be
+    # bit-identical — same canonical groups over the same pair positions.
+    poi_ps = PointSet.from_any(pois)
+    pair_points = [poi_ps.point(j) for _, j in fused.pairs]
+    two_step = sgb_any(pair_points, eps=1.0)
+    assert fused.grouping.groups == two_step.groups
+    assert fused.grouping.points == two_step.points
+    print(f"   {len(fused.grouping.groups)} activity clusters over "
+          f"{len(fused.pairs)} pairs — identical to the two-step pipeline, "
+          f"but the grouping sweep saw only "
+          f"{sum(len(g) for g in fused.side_groups)} distinct POIs")
+
 
 def sql_level(records, pois) -> None:
     print("\n== The same join through SQL, then SGB over the matches ==")
@@ -86,7 +107,9 @@ def sql_level(records, pois) -> None:
     print(f"   -> {db.execute(knn_sql).scalar()} nearest-POI assignments")
 
     # Join, then similarity-group the matched POI locations: POIs whose
-    # visitor neighbourhoods overlap chain into one activity cluster.
+    # visitor neighbourhoods overlap chain into one activity cluster.  The
+    # executor recognises this join→SGB shape and runs it through the same
+    # fused pipeline as above — the pair-point relation is never built.
     pipeline_sql = (
         "SELECT count(*) AS visits FROM "
         "(SELECT p.lat AS plat, p.lon AS plon FROM checkins c "

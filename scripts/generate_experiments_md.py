@@ -314,6 +314,70 @@ def main(path: str) -> None:
         add("```")
         add("")
 
+    # ---------------- fused join→group pipeline ----------------
+    if "fused_vs_materialized" in data:
+        add("## Fused join→group pipeline vs materialize-then-group (beyond the paper)")
+        add("")
+        add("The fused pipeline (`fused_join_group` / the SQL executor's automatic")
+        add("join→SGB fusion) groups only the *distinct* matched points of the join")
+        add("and expands the components over the pair positions, instead of")
+        add("materialising one point per matched pair and sweeping the duplicated")
+        add("relation.  Canonical groupings are bit-identical (enforced by")
+        add("`tests/join/test_fused.py`); the advantage scales with the pair/point")
+        add("fan-out, since a point matched m times costs the materialized sweep m²")
+        add("edge work (`benchmarks/test_fused_pipeline.py` measures ~50x at 25x")
+        add("fan-out).")
+        add("")
+        rows = data["fused_vs_materialized"]
+        add("```")
+        add(format_table(
+            [
+                {
+                    "path": r["path"],
+                    "n (total)": r["n"],
+                    "groups": r["groups"],
+                    "backend": r["backend"],
+                    "seconds": round(r["seconds"], 3),
+                    "speedup vs materialized": r["speedup"],
+                }
+                for r in rows
+            ]
+        ))
+        add("```")
+        add("")
+
+    # ---------------- sharded kNN-join ----------------
+    if "knn_parallel" in data:
+        add("## Sharded parallel kNN-join vs the serial probe join (beyond the paper)")
+        add("")
+        add("The kNN-join sharded over worker processes (`knn_join(..., workers=N)`):")
+        add("the left relation is partitioned and every worker ranks its left points")
+        add("against the full right side, so the merged pair list is bit-identical to")
+        add("the serial join with no halo stitching (enforced by")
+        add("`tests/join/test_knn_sharded.py`).  `rebuild` lets each worker bulk-load")
+        add("its own right R-tree; `ship-index` pickles the coordinator's tree into")
+        add("the task payloads.  As with the other parallel stages, the speedup is")
+        add("bounded by the physical core count in the `cpus` column.")
+        add("")
+        rows = data["knn_parallel"]
+        add("```")
+        add(format_table(
+            [
+                {
+                    "path": r["path"],
+                    "n (total)": r["n"],
+                    "k": r["k"],
+                    "cpus": r["cpu_count"],
+                    "backend": r["backend"],
+                    "seconds": round(r["seconds"], 3),
+                    "speedup vs serial": r["speedup"],
+                }
+                for r in rows
+            ]
+        ))
+        add("```")
+        add("")
+
     # ---------------- fidelity notes ----------------
     add("## Fidelity notes (where the measured shape deviates from the paper)")
     add("")

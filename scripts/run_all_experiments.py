@@ -50,6 +50,9 @@ def main(large: bool = False, worker_counts: "tuple[int, ...]" = (2, 4)) -> None
         ("streaming_window", lambda: E.streaming_window(
             sizes=(10_000 * k, 25_000 * k), window=10_000 * k, slide=1_250 * k)),
         ("join_vs_allpairs", lambda: E.join_vs_allpairs(sizes=(10_000 * k, 25_000 * k))),
+        ("fused_vs_materialized", lambda: E.fused_vs_materialized(sizes=(10_000 * k, 25_000 * k))),
+        ("knn_parallel", lambda: E.knn_parallel(
+            sizes=(5_000 * k, 10_000 * k), worker_counts=worker_counts)),
         ("table1", lambda: E.table1_scaling_exponents(sizes=(500 * k, 1000 * k, 2000 * k))),
         ("table2", lambda: E.table2_tpch_queries(scale_factor=0.002 * k)),
         ("fig12", lambda: E.fig12_overhead(scale_factors=(0.001 * k, 0.002 * k))),

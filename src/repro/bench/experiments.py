@@ -28,6 +28,8 @@ __all__ = [
     "parallel_vs_serial",
     "streaming_window",
     "join_vs_allpairs",
+    "fused_vs_materialized",
+    "knn_parallel",
     "fig9_sgb_all_epsilon",
     "fig9_sgb_any_epsilon",
     "fig10_sgb_all_scale",
@@ -284,6 +286,140 @@ def join_vs_allpairs(
 
 
 # ---------------------------------------------------------------------------
+# Fused join→group pipeline vs materialize-then-group
+# ---------------------------------------------------------------------------
+
+
+def fused_vs_materialized(
+    sizes: Sequence[int] = (10_000, 25_000),
+    eps: float = 0.3,
+    group_eps: float = 0.5,
+    metric: "Metric | str" = Metric.L2,
+    seed: int = 23,
+) -> List[Dict[str, object]]:
+    """Runtime of the fused eps-join→SGB-Any pipeline vs the two-step path.
+
+    The baseline materialises the matched side of every join pair and then
+    groups that pair-point relation with ``sgb_any``; the fused path groups
+    only the *distinct* matched points and expands the components over the
+    pair positions afterwards.  Both produce identical canonical groupings
+    (enforced by the equivalence suite), so the ``speedup`` column reports
+    the dedup win — it grows with the pair/point fan-out.
+    """
+    from repro.core.pointset import PointSet
+    from repro.join import eps_join, fused_join_group
+
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        half = n // 2
+        left = clustered_points(
+            half, clusters=max(20, n // 500), spread=0.005, low=0.0, high=100.0, seed=seed
+        )
+        right = clustered_points(
+            half, clusters=max(20, n // 500), spread=0.005, low=0.0, high=100.0,
+            seed=seed + 1,
+        )
+        right_ps = PointSet.from_any(right)
+
+        def materialized() -> int:
+            pairs = eps_join(left, right, eps, metric=metric, workers=1)
+            pair_points = [right_ps.point(j) for _, j in pairs]
+            if not pair_points:
+                return 0
+            return sgb_any(pair_points, eps=group_eps, metric=metric, workers=1).group_count
+
+        def fused() -> int:
+            result = fused_join_group(
+                left, right, group_eps, eps=eps, metric=metric, workers=1
+            )
+            return len(result.grouping.groups)
+
+        for m in compare(
+            {"materialized": materialized, "fused": fused}, baseline="materialized"
+        ):
+            rows.append(
+                {
+                    "experiment": "fused-vs-materialized",
+                    "path": m.label,
+                    "n": n,
+                    "eps": eps,
+                    "group_eps": group_eps,
+                    "groups": m.value,
+                    "backend": "numpy" if HAVE_NUMPY else "python",
+                    "seconds": m.seconds,
+                    "speedup": m.params.get("speedup"),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Sharded parallel kNN-join vs the serial expanding-probe join
+# ---------------------------------------------------------------------------
+
+
+def knn_parallel(
+    sizes: Sequence[int] = (10_000, 25_000),
+    k: int = 4,
+    worker_counts: Sequence[int] = (2, 4),
+    metric: "Metric | str" = Metric.L2,
+    seed: int = 29,
+) -> List[Dict[str, object]]:
+    """Runtime of the sharded kNN-join vs the serial expanding-probe join.
+
+    Each size is the total point count, split evenly between the two
+    relations.  The sharded path partitions the *left* relation and ships
+    the whole right side to every worker — ``rebuild`` mode lets each worker
+    bulk-load its own R-tree, ``ship-index`` pickles the coordinator's tree
+    into the task payload.  All paths return the identical sorted pair list
+    (enforced by the equivalence suite).  Rows carry ``cpu_count`` so the
+    report can explain sub-linear speedups on small boxes.
+    """
+    import os
+
+    from repro.join import knn_join, knn_join_sharded
+
+    rows: List[Dict[str, object]] = []
+    cpu_count = os.cpu_count() or 1
+    for n in sizes:
+        half = n // 2
+        left = clustered_points(
+            half, clusters=max(20, n // 500), spread=0.005, low=0.0, high=100.0, seed=seed
+        )
+        right = clustered_points(
+            half, clusters=max(20, n // 500), spread=0.005, low=0.0, high=100.0,
+            seed=seed + 1,
+        )
+        runs = {
+            "serial": lambda: knn_join(left, right, k, metric=metric, workers=1)
+        }
+        for w in worker_counts:
+            runs[f"workers={w}/rebuild"] = lambda w=w: knn_join_sharded(
+                left, right, k, metric=metric, workers=w, ship_index=False
+            )
+            runs[f"workers={w}/ship-index"] = lambda w=w: knn_join_sharded(
+                left, right, k, metric=metric, workers=w, ship_index=True
+            )
+        for m in compare(runs, baseline="serial"):
+            rows.append(
+                {
+                    "experiment": "knn-parallel",
+                    "path": m.label,
+                    "n": n,
+                    "n_left": half,
+                    "n_right": half,
+                    "k": k,
+                    "cpu_count": cpu_count,
+                    "pairs": len(m.value),
+                    "backend": "numpy" if HAVE_NUMPY else "python",
+                    "seconds": m.seconds,
+                    "speedup": m.params.get("speedup"),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Figure 9: effect of the similarity threshold epsilon
 # ---------------------------------------------------------------------------
 
@@ -301,9 +437,13 @@ def fig9_sgb_all_epsilon(
     rows: List[Dict[str, object]] = []
     for eps in eps_values:
         for strategy in strategies:
+            # batch=False: this figure ablates the paper's per-tuple candidate
+            # discovery strategies; the batch frontier path replaces exactly
+            # that discovery, so it would flatten the strategy differences.
             m = measure(
                 lambda e=eps, s=strategy: sgb_all(
-                    points, eps=e, metric=metric, on_overlap=on_overlap, strategy=s
+                    points, eps=e, metric=metric, on_overlap=on_overlap,
+                    strategy=s, batch=False,
                 ),
                 label=f"sgb-all/{on_overlap}",
             )
@@ -374,9 +514,11 @@ def fig10_sgb_all_scale(
     for n in sizes:
         points = clustered_points(n, clusters=25, spread=0.005, low=0.0, high=100.0, seed=seed)
         for strategy in strategies:
+            # batch=False: same strategy-ablation pin as fig9_sgb_all_epsilon.
             m = measure(
                 lambda p=points, s=strategy: sgb_all(
-                    p, eps=eps, metric=metric, on_overlap=on_overlap, strategy=s
+                    p, eps=eps, metric=metric, on_overlap=on_overlap,
+                    strategy=s, batch=False,
                 ),
                 label=f"sgb-all/{on_overlap}",
             )
@@ -458,17 +600,23 @@ def fig11_vs_clustering(
         # distance in degrees, so the similarity threshold is selective.
         points = checkin_points(generate_checkins(config))
 
-        # batch=False on SGB-Any: like the other figure runners, this
-        # reproduces the paper's per-tuple operator; the batched pipeline has
-        # its own comparison (batch_vs_scalar).
+        # batch=False on every SGB line: like the other figure runners, this
+        # reproduces the paper's per-tuple operators; the batched pipelines
+        # have their own comparison (batch_vs_scalar).
         competitors = {
             "DBSCAN": lambda: dbscan(points, eps=eps, min_pts=4),
             "BIRCH": lambda: birch(points, threshold=eps / 2),
             "K-means(20)": lambda: kmeans(points, k=20),
             "K-means(40)": lambda: kmeans(points, k=40),
-            "SGB-All-Join-Any": lambda: sgb_all(points, eps=eps, on_overlap="JOIN-ANY"),
-            "SGB-All-Eliminate": lambda: sgb_all(points, eps=eps, on_overlap="ELIMINATE"),
-            "SGB-All-Form-New": lambda: sgb_all(points, eps=eps, on_overlap="FORM-NEW-GROUP"),
+            "SGB-All-Join-Any": lambda: sgb_all(
+                points, eps=eps, on_overlap="JOIN-ANY", batch=False
+            ),
+            "SGB-All-Eliminate": lambda: sgb_all(
+                points, eps=eps, on_overlap="ELIMINATE", batch=False
+            ),
+            "SGB-All-Form-New": lambda: sgb_all(
+                points, eps=eps, on_overlap="FORM-NEW-GROUP", batch=False
+            ),
             "SGB-Any": lambda: sgb_any(points, eps=eps, batch=False),
         }
         for name, fn in competitors.items():
@@ -602,9 +750,13 @@ def table1_scaling_exponents(
     for n in sizes:
         points = clustered_points(n, clusters=20, spread=0.005, low=0.0, high=100.0, seed=seed)
         for strategy in strategies:
+            # batch=False: the exponents characterise the per-tuple
+            # strategies; the batch frontier path replaces their candidate
+            # walks and would flatten All-Pairs towards the indexed slope.
             m = measure(
                 lambda p=points, s=strategy: sgb_all(
-                    p, eps=eps, metric=metric, on_overlap=on_overlap, strategy=s
+                    p, eps=eps, metric=metric, on_overlap=on_overlap,
+                    strategy=s, batch=False,
                 )
             )
             timings[strategy].append(m.seconds)

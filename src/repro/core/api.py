@@ -46,6 +46,7 @@ def sgb_all(
     seed: int = 0,
     index_factory: Optional[IndexFactory] = None,
     batch: bool = True,
+    frontier: bool = True,
 ) -> GroupingResult:
     """Run the SGB-All (distance-to-all / clique) operator over ``points``.
 
@@ -73,6 +74,10 @@ def sgb_all(
         Route through the batched columnar pipeline (default).  ``False``
         forces the scalar point-at-a-time reference path; both produce
         identical results.
+    frontier:
+        Allow the batch path's whole-frontier candidate discovery (default).
+        ``False`` keeps the legacy per-point batch loop; results are
+        identical either way.
 
     Returns
     -------
@@ -88,6 +93,7 @@ def sgb_all(
         seed=seed,
         index_factory=index_factory,
         batch=batch,
+        frontier=frontier,
     )
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from enum import Enum
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.distance import Metric, resolve_metric
 from repro.core.groups import Group
@@ -105,6 +105,13 @@ class SGBAllGrouper:
         )
         self._next_gid = 0
         self._points: List[Point] = []
+        #: Input row index of each entry of ``_points`` (arrival order); the
+        #: frontier path uses it to map cross-batch edges back to row ids.
+        self._point_indices: List[int] = []
+        #: Live membership map (input index -> owning group), maintained by
+        #: every insert/remove so the frontier path can resolve a neighbour
+        #: edge to its group in O(1) instead of scanning group members.
+        self._member_group: Dict[int, Group] = {}
         self._seen_indices: set[int] = set()
         self._deferred: List[Tuple[int, Point]] = []
         self._eliminated: List[int] = []
@@ -131,6 +138,7 @@ class SGBAllGrouper:
             )
         self._seen_indices.add(index)
         self._points.append(pt)
+        self._point_indices.append(index)
         self._process_point(index, pt)
 
     def add_all(self, points: Iterable[Sequence[float]]) -> None:
@@ -138,16 +146,29 @@ class SGBAllGrouper:
         for point in points:
             self.add(point)
 
-    def add_batch(self, points: "PointSet | Sequence[Sequence[float]]") -> None:
+    def add_batch(
+        self,
+        points: "PointSet | Sequence[Sequence[float]]",
+        frontier: bool = True,
+    ) -> None:
         """Process a whole batch of points through the columnar pipeline.
 
         SGB-All's arbitration (JOIN-ANY randomness, group formation order)
         is inherently sequential, so the batch path keeps the per-point
-        decision sequence of :meth:`add` — the results are bit-identical —
-        but normalises the batch exactly once into a :class:`PointSet`
-        (one dimensionality/type sweep instead of one per point) and relies
-        on the vectorised bulk membership verification inside
-        :class:`~repro.core.groups.Group` for the hot distance checks.
+        decision *sequence* of :meth:`add` — the results are bit-identical —
+        but replaces the per-point candidate discovery with whole-frontier
+        verification where the configuration allows it (see
+        :meth:`_frontier_eligible`): one eps-grid sweep computes the exact
+        within-eps adjacency of the entire batch up front
+        (:meth:`PointSet.pairwise_within` within the batch,
+        :meth:`PointSet.cross_within` against earlier points), and each
+        point's candidate/overlap groups are then read off its neighbour
+        set in O(degree) — no per-point index probe, no per-member distance
+        re-checks.  Ineligible configurations (where the reference filter is
+        deliberately approximate, so adjacency alone cannot reproduce its
+        decisions) keep the legacy per-point batch loop; ``frontier=False``
+        forces that loop everywhere, which the parity suite uses to compare
+        the two paths.
         """
         if is_empty_batch(points):
             # Degenerate batch: a strict no-op — no PointSet normalisation
@@ -165,11 +186,83 @@ class SGBAllGrouper:
                 raise InvalidParameterError(
                     f"input row index {base + offset} was already added to this grouper"
                 )
+        neighbours = (
+            self._batch_neighbours(ps, base)
+            if frontier and self._frontier_eligible(ps.dims)
+            else None
+        )
         for offset, pt in enumerate(tuples):
             index = base + offset
             self._seen_indices.add(index)
             self._points.append(pt)
-            self._process_point(index, pt)
+            self._point_indices.append(index)
+            if neighbours is None:
+                self._process_point(index, pt)
+            else:
+                self._process_point_frontier(index, pt, neighbours[offset])
+
+    def _frontier_eligible(self, dims: int) -> bool:
+        """True when per-point candidate decisions are pure adjacency functions.
+
+        ALL_PAIRS decides candidacy with exact per-member distance checks;
+        under LINF the epsilon-All rectangle *is* the distance-to-all region;
+        under L2 in 2-d the convex-hull refinement makes the rectangle filter
+        exact again.  Everywhere else (L1, L2 in >= 3-d) the bounds/index
+        filters accept rectangle false positives by design, so the frontier
+        cannot reproduce their decisions from the true adjacency and the
+        per-point loop stays in charge.
+        """
+        if self.strategy is SGBAllStrategy.ALL_PAIRS:
+            return True
+        metric = self.predicate.metric
+        return metric is Metric.LINF or (metric is Metric.L2 and dims == 2)
+
+    def _batch_neighbours(self, ps: PointSet, base: int) -> List[Set[int]]:
+        """Exact within-eps neighbour sets (as input row indices) per batch point.
+
+        One pass of the eps-grid pairwise sweep inside the batch plus one
+        cross sweep against every previously added point; both run the same
+        ``within_eps`` kernel as the scalar predicate, so the adjacency is
+        bit-identical to what per-point probing would discover.
+        """
+        metric = self.predicate.metric
+        neighbours: List[Set[int]] = [set() for _ in range(len(ps))]
+        for a, b in ps.pairwise_within(self.eps, metric):
+            neighbours[a].add(base + b)
+            neighbours[b].add(base + a)
+        if self._points:
+            prior = PointSet.from_any(self._points)
+            for prior_pos, batch_pos in prior.cross_within(ps, self.eps, metric):
+                neighbours[batch_pos].add(self._point_indices[prior_pos])
+        return neighbours
+
+    def _process_point_frontier(
+        self, index: int, point: Point, neighbour_rows: Set[int]
+    ) -> None:
+        """Procedure 1 body with candidate discovery read off the frontier."""
+        hits: Dict[int, int] = {}
+        by_gid: Dict[int, Group] = {}
+        for row in neighbour_rows:
+            group = self._member_group.get(row)
+            if group is None:
+                continue
+            hits[group.gid] = hits.get(group.gid, 0) + 1
+            by_gid[group.gid] = group
+        join_any = self.on_overlap is OverlapAction.JOIN_ANY
+        candidates: List[Group] = []
+        overlaps: List[Group] = []
+        for gid in sorted(hits):
+            group = by_gid[gid]
+            if hits[gid] == len(group):
+                candidates.append(group)
+            elif not join_any:
+                overlaps.append(group)
+        self._process_grouping(index, point, candidates)
+        if not join_any and overlaps:
+            for group in overlaps:
+                # Same decision `members_within` would make, in member order.
+                touched = [idx for idx in group.indices if idx in neighbour_rows]
+                self._strip_overlap(group, touched)
 
     def finalize(self) -> GroupingResult:
         """Run the deferred FORM-NEW-GROUP rounds and return the grouping."""
@@ -298,6 +391,7 @@ class SGBAllGrouper:
         group = Group(self._next_gid, self.eps, index, point)
         self._next_gid += 1
         self._groups.append(group)
+        self._member_group[index] = group
         if self._group_index is not None:
             group.indexed_rect = group.eps_rect.rect
             self._group_index.insert(group.indexed_rect, group)
@@ -305,6 +399,7 @@ class SGBAllGrouper:
 
     def _insert_into_group(self, group: Group, index: int, point: Point) -> None:
         group.add(index, point)
+        self._member_group[index] = group
         # The fresh rectangle only shrinks, so the (stale) indexed rectangle
         # stays a conservative cover; no R-tree update is needed here.
 
@@ -325,16 +420,20 @@ class SGBAllGrouper:
     def _process_overlap(self, point: Point, overlaps: List[Group]) -> None:
         for group in overlaps:
             touched = group.members_within(point, self.predicate)
-            if not touched:
-                continue
-            removed = group.remove_indices(touched)
+            self._strip_overlap(group, touched)
+
+    def _strip_overlap(self, group: Group, touched: List[int]) -> None:
+        """Remove the overlapping members and eliminate/defer them."""
+        if not touched:
+            return
+        removed = group.remove_indices(touched)
+        for idx, pt in removed:
+            self._member_group.pop(idx, None)
             if self.on_overlap is OverlapAction.ELIMINATE:
-                for idx, _ in removed:
-                    self._eliminate(idx)
+                self._eliminate(idx)
             else:  # FORM_NEW_GROUP
-                for idx, pt in removed:
-                    self._defer(idx, pt)
-            self._refresh_group_index_entry(group)
+                self._defer(idx, pt)
+        self._refresh_group_index_entry(group)
 
     def _refresh_group_index_entry(self, group: Group) -> None:
         """Re-register a group in the R-tree after its membership shrank."""
@@ -390,6 +489,7 @@ def sgb_all_grouping(
     seed: int = 0,
     index_factory: Optional[IndexFactory] = None,
     batch: bool = True,
+    frontier: bool = True,
 ) -> GroupingResult:
     """Group ``points`` with the SGB-All operator and return the result.
 
@@ -397,8 +497,10 @@ def sgb_all_grouping(
     ``metric`` the ``DISTANCE-TO-ALL`` metric (``L2``/``LINF``), ``on_overlap``
     the ``ON-OVERLAP`` action, and ``strategy`` selects the paper's All-Pairs,
     Bounds-Checking, or on-the-fly Index algorithm.  ``batch=False`` forces
-    the scalar point-at-a-time reference path; the two paths produce
-    identical results (enforced by the parity test suite).
+    the scalar point-at-a-time reference path, and ``frontier=False`` keeps
+    the batch path but disables its whole-frontier candidate discovery; all
+    three paths produce identical results (enforced by the parity test
+    suite).
     """
     grouper = SGBAllGrouper(
         eps=eps,
@@ -409,7 +511,7 @@ def sgb_all_grouping(
         index_factory=index_factory,
     )
     if batch:
-        grouper.add_batch(points)
+        grouper.add_batch(points, frontier=frontier)
     else:
         grouper.add_all(points)
     return grouper.finalize()

@@ -15,6 +15,12 @@ columnar :class:`~repro.core.pointset.PointSet` core:
 * :mod:`repro.join.sharded` — :func:`eps_join_sharded`, the eps-join over
   the engine's slab+halo grid partition in the shared worker pool,
   bit-identical to the serial join;
+* :mod:`repro.join.knn_sharded` — :func:`knn_join_sharded`, the kNN-join
+  over left-relation shards (the right R-tree rebuilt per worker or built
+  once and shipped), bit-identical to the serial join;
+* :mod:`repro.join.fused` — :func:`fused_join_group`, the fused join→SGB
+  pipeline: groups the distinct matched points and expands the components
+  over the pair list instead of materialising the duplicated pair relation;
 * :mod:`repro.join.api` — :func:`sim_join`, the single entry point
   (``eps=`` or ``k=``), also re-exported as :func:`repro.sim_join`.
 
@@ -24,7 +30,9 @@ WITHIN eps`` (or ``... KNN k``) through :class:`repro.minidb.Database`.
 
 from repro.join.api import sim_join
 from repro.join.epsilon import eps_join, eps_join_allpairs
+from repro.join.fused import FusedJoinGroups, fused_join_group
 from repro.join.knn import knn_join
+from repro.join.knn_sharded import knn_join_sharded
 from repro.join.sharded import eps_join_sharded
 
 __all__ = [
@@ -33,4 +41,7 @@ __all__ = [
     "eps_join_allpairs",
     "eps_join_sharded",
     "knn_join",
+    "knn_join_sharded",
+    "fused_join_group",
+    "FusedJoinGroups",
 ]

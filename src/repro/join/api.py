@@ -49,10 +49,11 @@ def sim_join(
         ``"L2"`` (default), ``"LINF"``, or ``"L1"`` — any metric the SGB
         core supports.
     workers:
-        Sharded parallel execution for the eps-join (``N > 1`` worker
+        Sharded parallel execution for both join kinds (``N > 1`` worker
         processes, ``0``/``"auto"`` for every core, ``None`` defers to the
         ``SGB_WORKERS`` environment variable); bit-identical to the serial
-        join.  The kNN-join always runs in process.
+        join either way.  The eps-join shards both sides on the slab+halo
+        grid; the kNN-join shards the left relation only.
     backend:
         Optional :class:`PointSet` backend override (``"python"`` forces
         the pure-Python kernels).
@@ -65,4 +66,4 @@ def sim_join(
         return eps_join(
             left, right, eps, metric=metric, workers=workers, backend=backend
         )
-    return knn_join(left, right, k, metric=metric, backend=backend)
+    return knn_join(left, right, k, metric=metric, workers=workers, backend=backend)

@@ -1,0 +1,164 @@
+"""Fused join→group pipeline: similarity-join two relations and SGB the matches.
+
+The materialized two-step pipeline — run :func:`repro.join.sim_join`, build
+one point row per matched pair (the matched side's coordinates), then run
+SGB-Any over that pair relation — repeats every matched point once per pair
+it appears in.  The grouping sweep then pays for the duplication twice: the
+eps-grid buckets hold multiplied copies, and the pairwise sweep enumerates
+an edge between every copy of every within-eps point pair, so a point
+matched ``m`` times inflates its edge work by ``m^2``.
+
+The fused path exploits the structure of that duplication instead of
+re-discovering it:
+
+* duplicates of one matched point are at distance 0 of each other, and the
+  ``WITHIN`` threshold is strictly positive, so all pair rows carrying the
+  same matched point are always in one connected component;
+* therefore the components of the pair relation are exactly the components
+  of the *distinct* matched points, expanded back over the pair positions.
+
+So the fused pipeline runs the join sweep once, groups only the distinct
+matched coordinates (``|distinct| <= |side|``, independent of the pair
+count), and expands the component labels over the pair list — never
+materialising the duplicated pair-point relation, never sweeping it.  The
+result is bit-identical to the two-step reference (same canonical groups,
+same per-pair points), which the randomized equivalence suite enforces on
+both backends and all metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.distance import Metric, resolve_metric
+from repro.core.pointset import PointSet
+from repro.core.result import GroupingResult, canonicalize_groups
+from repro.core.sgb_any import sgb_any_grouping
+from repro.exceptions import InvalidParameterError
+from repro.join.api import sim_join
+from repro.join.epsilon import JoinPairs, _normalise_sides
+
+__all__ = ["FusedJoinGroups", "fused_join_group"]
+
+
+@dataclass
+class FusedJoinGroups:
+    """Outcome of a fused join→SGB pipeline.
+
+    Attributes
+    ----------
+    pairs:
+        The similarity-join output: ``(left_index, right_index)`` pairs in
+        the join's canonical order.
+    grouping:
+        SGB-Any over the matched side's coordinates, one input row per
+        *pair* (so group members are positions into ``pairs``) — exactly
+        what grouping the materialized pair relation returns.
+    side_groups:
+        The same groups expressed over distinct matched side indices
+        (ascending within each group, groups ordered to match ``grouping``).
+    """
+
+    pairs: JoinPairs
+    grouping: GroupingResult
+    side_groups: List[List[int]]
+
+
+def fused_join_group(
+    left: "PointSet | Sequence[Sequence[float]]",
+    right: "PointSet | Sequence[Sequence[float]]",
+    group_eps: float,
+    eps: Optional[float] = None,
+    k: Optional[int] = None,
+    metric: "Metric | str" = Metric.L2,
+    group_metric: "Metric | str | None" = None,
+    group_side: str = "right",
+    workers: "Optional[int | str]" = None,
+    backend: Optional[str] = None,
+) -> FusedJoinGroups:
+    """Similarity-join ``left`` and ``right``, then SGB-Any the matches.
+
+    Equivalent to (and bit-identical with) the materialized two-step
+    pipeline::
+
+        pairs = sim_join(left, right, eps=eps, k=k, metric=metric)
+        matched = [right[j] for (i, j) in pairs]       # group_side="right"
+        grouping = sgb_any(matched, group_eps, metric=group_metric)
+
+    but the grouping sweep only ever sees each matched point once.
+
+    Parameters
+    ----------
+    group_eps:
+        The SGB-Any ``WITHIN`` threshold applied to the matched coordinates.
+    eps / k:
+        The join threshold (eps-join) or neighbour count (kNN-join);
+        exactly one must be given, as in :func:`repro.join.sim_join`.
+    metric / group_metric:
+        Join and grouping metrics; ``group_metric=None`` reuses ``metric``.
+    group_side:
+        ``"right"`` (default) groups the matched right points, ``"left"``
+        the matched left points.
+    workers:
+        Sharded execution for both the join and the grouping of the
+        distinct matched points (resolved like :func:`repro.core.api.sgb_any`).
+    """
+    if group_side not in ("left", "right"):
+        raise InvalidParameterError(
+            f"group_side must be 'left' or 'right', got {group_side!r}"
+        )
+    metric = resolve_metric(metric)
+    group_metric = metric if group_metric is None else resolve_metric(group_metric)
+    group_eps = PointSet._check_eps(group_eps)
+    left_ps, right_ps = _normalise_sides(left, right, backend)
+    pairs = sim_join(
+        left_ps, right_ps, eps=eps, k=k, metric=metric, workers=workers
+    )
+    side_ps = right_ps if group_side == "right" else left_ps
+    matched = (
+        [j for _, j in pairs] if group_side == "right" else [i for i, _ in pairs]
+    )
+    if not pairs:
+        return FusedJoinGroups(
+            pairs=[], grouping=GroupingResult.empty(), side_groups=[]
+        )
+
+    # Positions of every pair carrying each distinct matched side row; the
+    # distinct rows (ascending) are the only points the grouping sweep sees.
+    positions: Dict[int, List[int]] = {}
+    for position, side_index in enumerate(matched):
+        positions.setdefault(side_index, []).append(position)
+    distinct = sorted(positions)
+    distinct_points = [side_ps.point(side_index) for side_index in distinct]
+    compact = sgb_any_grouping(
+        PointSet.from_any(distinct_points, backend=side_ps.backend),
+        eps=group_eps,
+        metric=group_metric,
+        workers=workers,
+    )
+
+    # Expand each distinct-point component over its pair positions, then
+    # re-normalise so the labelling provably matches the reference (members
+    # ascending, groups by smallest pair position).  side_groups rides along
+    # under the same ordering so the two views stay index-aligned.
+    expanded = [
+        (
+            sorted(
+                position
+                for member in members
+                for position in positions[distinct[member]]
+            ),
+            sorted(distinct[member] for member in members),
+        )
+        for members in compact.groups
+    ]
+    expanded.sort(key=lambda pair: pair[0][0])
+    groups = canonicalize_groups(group for group, _ in expanded)
+    side_groups = [side for _, side in expanded]
+    pair_points = [side_ps.point(side_index) for side_index in matched]
+    return FusedJoinGroups(
+        pairs=pairs,
+        grouping=GroupingResult(groups=groups, eliminated=[], points=pair_points),
+        side_groups=side_groups,
+    )

@@ -17,15 +17,25 @@ path) with expanding window queries instead of enumerating all pairs:
    ascending-index rule breaks distance ties deterministically — and the
    first k survive.
 
+``k >= len(right)`` is well-defined, not an error: every right point
+qualifies, so each left point pairs with the *whole* right side in canonical
+rank order (ascending ``(distance, right_index)``), producing exactly
+``len(left) * len(right)`` pairs with no padding.  The expanding search is
+skipped outright in that regime — ranking the full side directly is both
+cheaper and trivially exact.
+
 Distances come from :func:`repro.core.distance.distances_many`, which is
 bit-identical to the scalar metric loops, so the result matches a brute-force
 nested loop exactly (the randomized equivalence suite enforces this on both
-backends and all metrics).
+backends and all metrics).  ``workers`` shards the *left* side across the
+engine's worker pool (:mod:`repro.join.knn_sharded`); every left point's
+neighbour list is independent of every other's, so the sharded result is
+bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.distance import Metric, distances_many, resolve_metric
 from repro.core.pointset import PointSet
@@ -33,6 +43,8 @@ from repro.core.rectangle import Rect
 from repro.exceptions import InvalidParameterError
 from repro.join.epsilon import JoinPairs, _normalise_sides
 from repro.spatial.rtree import RTree
+
+Point = Tuple[float, ...]
 
 __all__ = ["knn_join"]
 
@@ -64,51 +76,55 @@ def _initial_radius(right_ps: PointSet, want: int) -> float:
     return widest / 2 if widest > 0 else 1.0
 
 
-def knn_join(
-    left: "PointSet | Sequence[Sequence[float]]",
-    right: "PointSet | Sequence[Sequence[float]]",
-    k: int,
-    metric: "Metric | str" = Metric.L2,
-    backend: Optional[str] = None,
+def _rank_all(
+    left_tuples: Sequence[Point], right_tuples: Sequence[Point], metric: Metric
 ) -> JoinPairs:
-    """Pair every left point with its ``k`` nearest right points.
-
-    Returns ``(left_index, right_index)`` pairs ordered by left index and,
-    within one left point, by ascending ``(distance, right_index)`` — ties
-    in distance break deterministically towards the smaller right index.
-    When the right side holds fewer than ``k`` points, every right point is
-    paired (in rank order); fewer pairs than ``k`` per left point then
-    appear, never padding.
-    """
-    k = _check_k(k)
-    metric = resolve_metric(metric)
-    left_ps, right_ps = _normalise_sides(left, right, backend)
-    if len(left_ps) == 0 or len(right_ps) == 0:
-        return []
-    right_tuples = right_ps.to_tuples()
+    """The ``k >= len(right)`` regime: rank the full right side per left point."""
     n_right = len(right_tuples)
-    want = min(k, n_right)
-    left_tuples = left_ps.to_tuples()
     pairs: JoinPairs = []
-    if want == n_right:
-        # Every right point qualifies: rank the full side per left point.
-        for i, probe in enumerate(left_tuples):
-            ranked = sorted(zip(distances_many(probe, right_tuples, metric), range(n_right)))
-            pairs.extend((i, j) for _, j in ranked)
-        return pairs
+    for i, probe in enumerate(left_tuples):
+        ranked = sorted(zip(distances_many(probe, right_tuples, metric), range(n_right)))
+        pairs.extend((i, j) for _, j in ranked)
+    return pairs
+
+
+def build_right_index(right_tuples: Sequence[Point]) -> RTree:
+    """Bulk-load the right side into the STR-packed R-tree the probes use.
+
+    Exposed for the sharded kNN-join, whose *ship* mode builds this index
+    once in the coordinator and pickles it to every worker instead of
+    rebuilding it per shard.
+    """
+    return RTree.bulk_load(
+        [Rect.from_point(pt) for pt in right_tuples], range(len(right_tuples))
+    )
+
+
+def _expanding_pairs(
+    left_tuples: Sequence[Point],
+    right_tuples: Sequence[Point],
+    index: RTree,
+    radius: float,
+    want: int,
+    metric: Metric,
+) -> JoinPairs:
+    """The expanding-window core: kNN pairs with *local* left indices.
+
+    Deterministic for any positive ``radius`` — the starting window only
+    changes how many doubling rounds run, never the final ranked candidate
+    set — which is what lets the sharded join reuse the serial coordinator's
+    radius verbatim.
+    """
 
     def rank(probe, hits):
         """Candidates ordered by ``(distance, right_index)`` — the tie rule."""
         distances = distances_many(probe, [right_tuples[j] for j in hits], metric)
         return sorted(zip(distances, hits))
 
-    index = RTree.bulk_load(
-        [Rect.from_point(pt) for pt in right_tuples], range(n_right)
-    )
-    radius = _initial_radius(right_ps, want)
     first_round = index.search_many(
         [Rect.from_point(pt, radius) for pt in left_tuples]
     )
+    pairs: JoinPairs = []
     for i, (probe, hits) in enumerate(zip(left_tuples, first_round)):
         r = radius
         while len(hits) < want:
@@ -123,3 +139,60 @@ def knn_join(
             ranked = rank(probe, index.search(Rect.from_point(probe, bound)))
         pairs.extend((i, j) for _, j in ranked[:want])
     return pairs
+
+
+def knn_join(
+    left: "PointSet | Sequence[Sequence[float]]",
+    right: "PointSet | Sequence[Sequence[float]]",
+    k: int,
+    metric: "Metric | str" = Metric.L2,
+    workers: "Optional[int | str]" = None,
+    backend: Optional[str] = None,
+) -> JoinPairs:
+    """Pair every left point with its ``k`` nearest right points.
+
+    Returns ``(left_index, right_index)`` pairs ordered by left index and,
+    within one left point, by ascending ``(distance, right_index)`` — ties
+    in distance break deterministically towards the smaller right index.
+    When ``k >= len(right)`` every right point is paired per left point, in
+    that same canonical rank order: ``len(left) * len(right)`` pairs total,
+    never padding.
+
+    ``workers`` shards the left relation through the engine partitioner
+    (:func:`repro.join.knn_sharded.knn_join_sharded`): ``N > 1`` uses up to
+    N worker processes, ``0``/``"auto"`` uses every core, and ``None``
+    (default) defers to the ``SGB_WORKERS`` environment variable, staying
+    serial when it is unset.  The sharded result is bit-identical to the
+    serial one.
+    """
+    k = _check_k(k)
+    metric = resolve_metric(metric)
+    left_ps, right_ps = _normalise_sides(left, right, backend)
+    if len(left_ps) == 0 or len(right_ps) == 0:
+        return []
+    from repro.engine.planner import resolve_workers
+
+    if resolve_workers(workers) > 1:
+        from repro.join.knn_sharded import knn_join_sharded
+
+        return knn_join_sharded(left_ps, right_ps, k, metric=metric, workers=workers)
+    return _knn_serial(left_ps, right_ps, k, metric)
+
+
+def _knn_serial(
+    left_ps: PointSet, right_ps: PointSet, k: int, metric: Metric
+) -> JoinPairs:
+    """The in-process kNN-join over already-normalised sides."""
+    right_tuples = right_ps.to_tuples()
+    left_tuples = left_ps.to_tuples()
+    want = min(k, len(right_tuples))
+    if want == len(right_tuples):
+        return _rank_all(left_tuples, right_tuples, metric)
+    return _expanding_pairs(
+        left_tuples,
+        right_tuples,
+        build_right_index(right_tuples),
+        _initial_radius(right_ps, want),
+        want,
+        metric,
+    )

@@ -63,12 +63,24 @@ class SimilarityJoin(PhysicalOperator):
         self._right_fns = [compile_expression(e, right.schema) for e in right_exprs]
 
     def rows(self) -> Iterator[Row]:
+        pairs, left_rows, right_rows = self.materialize()
+        for i, j in pairs:
+            yield left_rows[i] + right_rows[j]
+
+    def materialize(self) -> "tuple[list, list, list]":
+        """Materialise both inputs and run the join once.
+
+        Returns ``(pairs, left_rows, right_rows)`` without building the
+        concatenated pair rows — the fused join→SGB route consumes the
+        matched indices directly, so only :meth:`rows` ever pays for the
+        pair-row construction.
+        """
         from repro.join.api import sim_join
 
         left_rows = list(self.left.rows())
         right_rows = list(self.right.rows())
         if not left_rows or not right_rows:
-            return
+            return [], left_rows, right_rows
         left_columns = [
             [self._coordinate(fn, row) for row in left_rows] for fn in self._left_fns
         ]
@@ -88,8 +100,7 @@ class SimilarityJoin(PhysicalOperator):
             # Surface core-layer validation (e.g. NaN join attributes) as an
             # executor error so engine callers see a DatabaseError.
             raise ExecutionError(f"invalid similarity join attributes: {exc}") from exc
-        for i, j in pairs:
-            yield left_rows[i] + right_rows[j]
+        return pairs, left_rows, right_rows
 
     @staticmethod
     def _coordinate(fn, row: Row) -> float:

@@ -1,0 +1,206 @@
+"""Shard-level aggregate push-down for parallel SGB-Any queries.
+
+The plain sharded SGB path (:func:`repro.engine.workers.sgb_any_sharded`)
+parallelises only the *grouping*: workers return their shard's Union-Find
+forest and the coordinator then replays every group member through the
+aggregate accumulators.  For wide shards that replay — one pass over every
+buffered row, per aggregate — is the remaining serial section.
+
+This module pushes the accumulation into the workers: each shard task
+groups its slab *and* folds the shard rows into per-local-root accumulator
+states (:meth:`Aggregate.step_many` exactly as the coordinator replay
+would), returning only the picklable partial states
+(:meth:`Aggregate.partial`).  The coordinator merges the forests as before
+and then merges each global group's states with :meth:`Aggregate.absorb`
+instead of touching the rows again.  Grouping-key centroids stay on the
+coordinator: they are float sums whose value depends on addition order, and
+only the ascending-global-index order of the serial replay is the reference.
+
+Exactness gate
+--------------
+Push-down must be *invisible*: the executor's parallel results are asserted
+equal to the serial ones, so a query is eligible only when state merging
+provably reproduces the row replay:
+
+* every aggregate must be :attr:`Aggregate.mergeable`
+  (``count(*)``/``count``/``min``/``max``/``sum``/``avg``) — order-free by
+  algebra;
+* ``sum``/``avg`` are additionally gated on every value being a Python
+  ``int`` (and not ``bool``): integer addition is arbitrary-precision and
+  therefore insensitive to the partition, while float addition is not.
+
+Ineligible queries (any other aggregate, float sums, ELIMINATE semantics —
+which never reach here because SGB-All always runs serially) keep the
+existing ship-members-and-replay path unchanged.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.distance import resolve_metric
+from repro.core.pointset import PointSet
+from repro.core.result import GroupingResult
+from repro.engine.merge import canonical_groups, merge_shard_forests
+from repro.engine.partition import partition_pointset
+from repro.engine.planner import plan_shards
+from repro.engine.workers import drop_worker_pool, get_worker_pool
+from repro.minidb.exec.aggregate import AggregateSpec
+from repro.minidb.functions import MULTI_ARG_AGGREGATES, create_aggregate
+
+__all__ = ["pushdown_eligible", "columns_eligible", "sgb_any_pushdown"]
+
+_POOL_ERRORS = (BrokenProcessPool, OSError, RuntimeError)
+
+#: Aggregates whose partial states merge exactly regardless of partition.
+_MERGEABLE_FUNCS = frozenset({"count", "min", "max", "sum", "avg", "average"})
+
+#: Of those, the ones whose accumulation is an addition — exact only when
+#: every value is an arbitrary-precision int.
+_ADDITIVE_FUNCS = frozenset({"sum", "avg", "average"})
+
+
+def pushdown_eligible(specs: Sequence[AggregateSpec]) -> bool:
+    """Static check: every spec's aggregate supports exact state merging."""
+    for spec in specs:
+        func = spec.func.lower()
+        if func not in _MERGEABLE_FUNCS or func in MULTI_ARG_AGGREGATES:
+            return False
+    return True
+
+
+def columns_eligible(
+    specs: Sequence[AggregateSpec], columns: Sequence[Optional[List[Any]]]
+) -> bool:
+    """Runtime check: additive aggregates only push down over pure-int values."""
+    for spec, column in zip(specs, columns):
+        if spec.func.lower() not in _ADDITIVE_FUNCS or column is None:
+            continue
+        for value in column:
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                return False
+    return True
+
+
+def _pushdown_shard(
+    payload: Any,
+    eps: float,
+    metric_value: str,
+    spec_payload: List[Tuple[str, bool]],
+    shard_columns: List[Optional[List[Any]]],
+) -> Tuple[Dict[int, int], Dict[int, List[Any]]]:
+    """Worker body: group one shard and pre-aggregate its rows per local root.
+
+    Module-level (not a closure) so it pickles by reference under every
+    multiprocessing start method.  ``shard_columns`` holds one value column
+    per spec aligned with the shard's local row order (``None`` for
+    ``count(*)``-style constant steps).  Returns the shard forest plus
+    ``{local_root: [partial state per spec]}``.
+    """
+    from repro.core.sgb_any import SGBAnyGrouper
+
+    grouper = SGBAnyGrouper(eps=eps, metric=metric_value)
+    grouper.add_batch(payload)
+    forest = grouper.forest()
+
+    members_by_root: Dict[int, List[int]] = {}
+    for position in range(len(forest)):
+        members_by_root.setdefault(forest[position], []).append(position)
+    partials: Dict[int, List[Any]] = {}
+    for root, members in members_by_root.items():
+        accumulators = [create_aggregate(func, star) for func, star in spec_payload]
+        for column, acc in zip(shard_columns, accumulators):
+            if column is None:
+                acc.step_count(len(members))
+            else:
+                acc.step_many([column[i] for i in members])
+        partials[root] = [acc.partial() for acc in accumulators]
+    return forest, partials
+
+
+def sgb_any_pushdown(
+    points: PointSet,
+    eps: float,
+    metric: str,
+    workers: "Optional[int | str]",
+    specs: Sequence[AggregateSpec],
+    agg_columns: Sequence[Optional[List[Any]]],
+    shards: Optional[int] = None,
+) -> Optional[Tuple[GroupingResult, List[List[Any]]]]:
+    """Group + aggregate in worker processes; ``None`` means "use the normal path".
+
+    On success returns the grouping (canonically labelled, exactly what
+    :func:`sgb_any_sharded` returns) plus one list of already-stepped
+    accumulators per group, aligned with ``grouping.groups`` — the caller
+    only finalizes them.  Any degradation (plan went serial, partition
+    refused, pool unavailable or broken) returns ``None`` so the caller's
+    existing serial/sharded fallbacks stay in charge; this function never
+    aggregates in-process precisely because the replay path already covers
+    that case better.
+    """
+    metric_enum = resolve_metric(metric)
+    eps = PointSet._check_eps(eps)
+    plan = plan_shards(len(points), eps, workers)
+    n_shards = shards if shards is not None else plan.shards
+    if n_shards < 2 or not plan.parallel or plan.workers < 2:
+        return None
+    partition = partition_pointset(points, eps, n_shards)
+    if partition is None or len(partition.shards) < 2:
+        return None
+    pool = get_worker_pool(plan.workers)
+    if pool is None:
+        return None
+
+    spec_payload = [(spec.func, spec.star) for spec in specs]
+    try:
+        futures = [
+            pool.submit(
+                _pushdown_shard,
+                shard.points,
+                eps,
+                metric_enum.value,
+                spec_payload,
+                [
+                    None if column is None else [column[g] for g in shard.indices]
+                    for column in agg_columns
+                ],
+            )
+            for shard in partition.shards
+        ]
+        # Overlap: stitch the halo bands while the pool grinds the shards.
+        from repro.engine.workers import _band_edges
+
+        edges = list(_band_edges(partition, eps, metric_enum))
+        results = [future.result() for future in futures]
+    except _POOL_ERRORS:
+        drop_worker_pool(plan.workers)
+        return None
+
+    shard_lists = [shard.indices for shard in partition.shards]
+    uf = merge_shard_forests(
+        len(points), shard_lists, [forest for forest, _ in results], edges
+    )
+    # Absorb the shard states per global root, visiting shards (then local
+    # roots) in ascending order so the merge order is deterministic.
+    merged: Dict[int, List[Any]] = {}
+    for indices, (_, partials) in zip(shard_lists, results):
+        for local_root in sorted(partials):
+            global_root = uf.find(indices[local_root])
+            accumulators = merged.get(global_root)
+            if accumulators is None:
+                accumulators = [
+                    create_aggregate(spec.func, spec.star) for spec in specs
+                ]
+                merged[global_root] = accumulators
+            for acc, state in zip(accumulators, partials[local_root]):
+                acc.absorb(state)
+
+    groups = canonical_groups(uf)
+    group_accumulators = [merged[uf.find(group[0])] for group in groups]
+    grouping = GroupingResult(
+        groups=groups, eliminated=[], points=points.to_tuples()
+    )
+    return grouping, group_accumulators

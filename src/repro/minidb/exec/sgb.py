@@ -19,15 +19,20 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.core.overlap import OverlapAction
 from repro.core.pointset import PointSet
-from repro.core.result import GroupingResult
+from repro.core.result import GroupingResult, canonicalize_groups
 from repro.core.sgb_all import SGBAllGrouper, SGBAllStrategy
 from repro.core.sgb_any import SGBAnyGrouper, SGBAnyStrategy
 from repro.engine.planner import resolve_workers
 from repro.engine.workers import sgb_any_sharded
-from repro.exceptions import ExecutionError, InvalidParameterError
+from repro.exceptions import CatalogError, ExecutionError, InvalidParameterError
 from repro.minidb.exec.aggregate import AggregateSpec, _AggregateEvaluator
 from repro.minidb.exec.operators import PhysicalOperator, Row
-from repro.minidb.expressions import Expression, compile_expression
+from repro.minidb.exec.pushdown import (
+    columns_eligible,
+    pushdown_eligible,
+    sgb_any_pushdown,
+)
+from repro.minidb.expressions import ColumnRef, Expression, compile_expression
 from repro.minidb.schema import Column, Schema
 from repro.minidb.types import DataType
 
@@ -102,6 +107,10 @@ class SGBAggregate(PhysicalOperator):
         return SGBAnyGrouper(eps=self.eps, metric=self.metric, strategy=strategy)
 
     def rows(self) -> Iterator[Row]:
+        fused = self._trace_fusable_join()
+        if fused is not None:
+            yield from self._fused_join_rows(*fused)
+            return
         buffered: List[Row] = []
         # Buffer the child's tuples and collect the grouping attributes into
         # one column vector per key expression; the whole batch then flows
@@ -115,9 +124,20 @@ class SGBAggregate(PhysicalOperator):
         if self.window is not None:
             yield from self._windowed_rows(buffered, columns)
             return
-        result = self._group(buffered, columns)
-
         dims = len(self.key_exprs)
+        pushed = self._try_pushdown(buffered, columns)
+        if pushed is not None:
+            # The workers already accumulated the aggregates; only the key
+            # centroids (order-sensitive float sums) are computed here.
+            result, group_accumulators = pushed
+            for members, accumulators in zip(result.groups, group_accumulators):
+                centroid = [
+                    sum(columns[d][idx] for idx in members) / len(members)
+                    for d in range(dims)
+                ]
+                yield tuple(centroid) + tuple(self._evaluator.finalize(accumulators))
+            return
+        result = self._group(buffered, columns)
         # The aggregate replay runs over column slices: every aggregate
         # argument is evaluated once per buffered row into a column vector,
         # and each group feeds its members' slice to the accumulators in one
@@ -225,6 +245,181 @@ class SGBAggregate(PhysicalOperator):
                 f"invalid similarity grouping attributes: {exc}"
             ) from exc
         return grouper.finalize()
+
+    def _try_pushdown(self, buffered: List[Row], columns: List[List[float]]):
+        """Shard-level aggregate push-down; ``None`` keeps the replay path.
+
+        Eligible only for the same parallel SGB-Any configurations
+        :meth:`_group` shards, and only when merging worker-side partial
+        aggregate states provably reproduces the coordinator replay (see
+        :mod:`repro.minidb.exec.pushdown`).  SGB-All — including its
+        ELIMINATE arbitration — never reaches this path: it always groups
+        serially and replays row-at-a-time.
+        """
+        if (
+            not buffered
+            or self.kind != "any"
+            or SGBAllStrategy.parse(self.strategy) is SGBAllStrategy.ALL_PAIRS
+            or resolve_workers(self.workers) < 2
+            or not pushdown_eligible(self.aggregates)
+        ):
+            return None
+        agg_columns = self._evaluator.value_columns(buffered)
+        if not columns_eligible(self.aggregates, agg_columns):
+            return None
+        try:
+            points = PointSet.from_columns(columns)
+        except InvalidParameterError as exc:
+            raise ExecutionError(
+                f"invalid similarity grouping attributes: {exc}"
+            ) from exc
+        return sgb_any_pushdown(
+            points, self.eps, self.metric, self.workers, self.aggregates, agg_columns
+        )
+
+    # ------------------------------------------------------------------
+    # fused SIMILARITY JOIN -> SGB route
+    # ------------------------------------------------------------------
+
+    def _trace_fusable_join(self):
+        """Detect a join→SGB pipeline whose grouping keys are one side's columns.
+
+        Walks the child chain through column-preserving wrappers (``Rename``
+        and ``Project`` whose traced outputs are bare column references) down
+        to a :class:`SimilarityJoin`, and resolves every grouping key to a
+        column position of exactly one join side.  Returns ``(join, wrappers,
+        side, key_positions)``, or ``None`` when the pipeline does not have
+        that shape (the buffering path then runs unchanged).
+        """
+        from repro.minidb.exec.join import SimilarityJoin
+        from repro.minidb.exec.operators import Project, Rename
+
+        if self.window is not None or self.kind != "any":
+            return None
+        wrappers: List[PhysicalOperator] = []
+        node = self.child
+        while isinstance(node, (Rename, Project)):
+            wrappers.append(node)
+            node = node.child
+        if not isinstance(node, SimilarityJoin):
+            return None
+        join = node
+        n_left = len(join.left.schema.columns)
+        sides: List[str] = []
+        positions: List[int] = []
+        for expr in self.key_exprs:
+            position = self._trace_key_position(expr, wrappers, join)
+            if position is None:
+                return None
+            if position < n_left:
+                sides.append("left")
+                positions.append(position)
+            else:
+                sides.append("right")
+                positions.append(position - n_left)
+        if len(set(sides)) != 1:
+            # Keys mixing both sides vary per pair, not per matched row; the
+            # distinct-side rewrite does not apply.
+            return None
+        return join, wrappers, sides[0], positions
+
+    def _trace_key_position(
+        self, expr: Expression, wrappers: List[PhysicalOperator], join
+    ) -> Optional[int]:
+        """Resolve a grouping key to its position in the join's output row."""
+        from repro.minidb.exec.operators import Project
+
+        schema = self.child.schema
+        for wrapper in [*wrappers, join]:
+            if not isinstance(expr, ColumnRef):
+                return None
+            try:
+                position = schema.index_of(expr.name, expr.qualifier)
+            except CatalogError:
+                return None
+            if wrapper is join:
+                return position
+            if isinstance(wrapper, Project):
+                expr = wrapper.expressions[position]
+                schema = wrapper.child.schema
+            else:  # Rename: positional passthrough
+                expr = ColumnRef(wrapper.child.schema.columns[position].name)
+                schema = wrapper.child.schema
+        return None
+
+    def _fused_join_rows(
+        self,
+        join,
+        wrappers: List[PhysicalOperator],
+        side: str,
+        key_positions: List[int],
+    ) -> Iterator[Row]:
+        """Execute the join→SGB pipeline without grouping the pair relation.
+
+        Every grouping key is a matched-side column, so all pair rows
+        carrying the same matched row collapse to one grouping point at
+        distance 0 — and with a strictly positive ``WITHIN`` they always land
+        in one connected component.  The SGB therefore runs over the
+        *distinct* matched rows only, and the components expand back over the
+        pair positions; result rows are bit-identical to grouping the
+        materialised pair relation (same canonical order, same centroid and
+        aggregate addition orders).
+        """
+        from repro.minidb.exec.operators import Project
+
+        pairs, left_rows, right_rows = join.materialize()
+        if not pairs:
+            return
+        side_rows = left_rows if side == "left" else right_rows
+        matched = (
+            [i for i, _ in pairs] if side == "left" else [j for _, j in pairs]
+        )
+        positions_by_row: dict[int, List[int]] = {}
+        for position, side_index in enumerate(matched):
+            positions_by_row.setdefault(side_index, []).append(position)
+        distinct = sorted(positions_by_row)
+        key_columns: List[List[float]] = [[] for _ in key_positions]
+        for side_index in distinct:
+            row = side_rows[side_index]
+            for column, key_position in zip(key_columns, key_positions):
+                column.append(
+                    self._key_value(lambda r, p=key_position: r[p], row)
+                )
+        compact = self._group(distinct, key_columns)
+        groups = canonicalize_groups(
+            sorted(
+                position
+                for member in members
+                for position in positions_by_row[distinct[member]]
+            )
+            for members in compact.groups
+        )
+
+        # Aggregates that consume values still need the wrapper-output pair
+        # rows; star-only aggregate lists skip that materialisation entirely.
+        if any(self._evaluator._arg_fns):
+            pair_rows = []
+            for i, j in pairs:
+                row = left_rows[i] + right_rows[j]
+                for wrapper in reversed(wrappers):
+                    if isinstance(wrapper, Project):
+                        row = tuple(fn(row) for fn in wrapper._compiled)
+                pair_rows.append(row)
+            agg_columns = self._evaluator.value_columns(pair_rows)
+        else:
+            agg_columns = [None] * len(self.aggregates)
+
+        rank = {side_index: pos for pos, side_index in enumerate(distinct)}
+        dims = len(key_positions)
+        for members in groups:
+            accumulators = self._evaluator.new_accumulators()
+            self._evaluator.step_slice(accumulators, agg_columns, members)
+            centroid = [
+                sum(key_columns[d][rank[matched[idx]]] for idx in members)
+                / len(members)
+                for d in range(dims)
+            ]
+            yield tuple(centroid) + tuple(self._evaluator.finalize(accumulators))
 
     @staticmethod
     def _key_value(fn, row: Row) -> float:

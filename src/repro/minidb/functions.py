@@ -71,9 +71,18 @@ class Aggregate:
     replay uses; the defaults delegate to ``step`` so custom aggregates stay
     correct, and the built-ins override them where a tighter loop (or an O(1)
     count bump) gives the same result.
+
+    Aggregates whose accumulation decomposes over any partition of the input
+    set ``mergeable = True`` and implement the ``partial`` / ``absorb`` pair:
+    ``partial`` exports a picklable snapshot of the accumulated state, and
+    ``absorb`` folds such a snapshot into another accumulator.  The sharded
+    SGB push-down relies on this to aggregate inside worker processes and
+    ship only the per-group states back to the coordinator.
     """
 
     name = "aggregate"
+    #: True when partial()/absorb() decompose the aggregate over partitions.
+    mergeable = False
 
     def step(self, value: Any) -> None:
         raise NotImplementedError
@@ -91,9 +100,18 @@ class Aggregate:
     def final(self) -> Any:
         raise NotImplementedError
 
+    def partial(self) -> Any:
+        """Export the accumulated state as a picklable value (mergeable only)."""
+        raise AggregateError(f"aggregate {self.name!r} has no partial state")
+
+    def absorb(self, state: Any) -> None:
+        """Fold a :meth:`partial` snapshot into this accumulator (mergeable only)."""
+        raise AggregateError(f"aggregate {self.name!r} cannot absorb partial state")
+
 
 class _CountStar(Aggregate):
     name = "count(*)"
+    mergeable = True
 
     def __init__(self) -> None:
         self.count = 0
@@ -110,9 +128,16 @@ class _CountStar(Aggregate):
     def final(self) -> int:
         return self.count
 
+    def partial(self) -> int:
+        return self.count
+
+    def absorb(self, state: int) -> None:
+        self.count += state
+
 
 class _Count(Aggregate):
     name = "count"
+    mergeable = True
 
     def __init__(self) -> None:
         self.count = 0
@@ -130,9 +155,16 @@ class _Count(Aggregate):
     def final(self) -> int:
         return self.count
 
+    def partial(self) -> int:
+        return self.count
+
+    def absorb(self, state: int) -> None:
+        self.count += state
+
 
 class _Sum(Aggregate):
     name = "sum"
+    mergeable = True
 
     def __init__(self) -> None:
         self.total: Any = None
@@ -152,9 +184,18 @@ class _Sum(Aggregate):
     def final(self) -> Any:
         return self.total
 
+    def partial(self) -> Any:
+        return self.total
+
+    def absorb(self, state: Any) -> None:
+        if state is None:
+            return
+        self.total = state if self.total is None else self.total + state
+
 
 class _Avg(Aggregate):
     name = "avg"
+    mergeable = True
 
     def __init__(self) -> None:
         self.total = 0.0
@@ -181,9 +222,18 @@ class _Avg(Aggregate):
             return None
         return self.total / self.count
 
+    def partial(self) -> tuple:
+        return (self.total, self.count)
+
+    def absorb(self, state: tuple) -> None:
+        total, count = state
+        self.total += total
+        self.count += count
+
 
 class _Min(Aggregate):
     name = "min"
+    mergeable = True
 
     def __init__(self) -> None:
         self.value: Any = None
@@ -204,9 +254,16 @@ class _Min(Aggregate):
     def final(self) -> Any:
         return self.value
 
+    def partial(self) -> Any:
+        return self.value
+
+    def absorb(self, state: Any) -> None:
+        self.step(state)
+
 
 class _Max(Aggregate):
     name = "max"
+    mergeable = True
 
     def __init__(self) -> None:
         self.value: Any = None
@@ -226,6 +283,12 @@ class _Max(Aggregate):
 
     def final(self) -> Any:
         return self.value
+
+    def partial(self) -> Any:
+        return self.value
+
+    def absorb(self, state: Any) -> None:
+        self.step(state)
 
 
 class _ArrayAgg(Aggregate):

@@ -9,7 +9,9 @@ from repro.bench.experiments import (
     fig10_sgb_any_scale,
     fig11_vs_clustering,
     fig12_overhead,
+    fused_vs_materialized,
     join_vs_allpairs,
+    knn_parallel,
     streaming_window,
     table1_scaling_exponents,
     table2_tpch_queries,
@@ -131,6 +133,24 @@ class TestFigureRunners:
         assert by_path["grid"]["pairs"] == by_path["all-pairs"]["pairs"]
         assert all(r["n_left"] == r["n_right"] == 300 for r in rows)
         assert by_path["grid"]["speedup"] is not None
+
+    def test_fused_vs_materialized_compares_both_paths(self):
+        rows = fused_vs_materialized(sizes=(600,))
+        assert len(rows) == 2
+        by_path = {r["path"]: r for r in rows}
+        assert set(by_path) == {"materialized", "fused"}
+        # Identical groupings: the comparison is apples to apples.
+        assert by_path["fused"]["groups"] == by_path["materialized"]["groups"]
+        assert by_path["fused"]["speedup"] is not None
+
+    def test_knn_parallel_compares_serial_and_sharded_modes(self):
+        rows = knn_parallel(sizes=(600,), k=2, worker_counts=(2,))
+        by_path = {r["path"]: r for r in rows}
+        assert set(by_path) == {"serial", "workers=2/rebuild", "workers=2/ship-index"}
+        # All three modes return the identical pair list.
+        pair_counts = {r["pairs"] for r in rows}
+        assert len(pair_counts) == 1 and pair_counts.pop() == 600 // 2 * 2
+        assert all(r["cpu_count"] >= 1 for r in rows)
 
     def test_fig12_reports_overhead_per_panel(self):
         rows = fig12_overhead(scale_factors=(0.0005,))

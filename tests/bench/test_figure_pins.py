@@ -1,0 +1,77 @@
+"""Guard: figure/table runners stay pinned to the paper's per-tuple operators.
+
+The batch frontier pipeline (SGB-All) and the sharded engine (SGB-Any)
+bypass the per-tuple candidate-discovery strategies the figure experiments
+ablate — an unpinned figure runner would silently measure the bypass
+instead of the strategies and flatten the curves (the Table 1 exponent
+ordering is the canary).  These tests wrap the operator entry points inside
+``repro.bench.experiments`` and assert every figure/table call goes through
+``batch=False``; ``batch_vs_scalar``'s batch arm must likewise pin
+``workers=1`` so an ``SGB_WORKERS`` environment default cannot reroute the
+in-process batch measurement through the worker pool.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+
+
+@pytest.fixture()
+def recorded(monkeypatch):
+    """Record (name, kwargs) of every SGB call a runner makes."""
+    calls = []
+    real_all, real_any = E.sgb_all, E.sgb_any
+
+    def spy_all(*args, **kwargs):
+        calls.append(("sgb_all", kwargs))
+        return real_all(*args, **kwargs)
+
+    def spy_any(*args, **kwargs):
+        calls.append(("sgb_any", kwargs))
+        return real_any(*args, **kwargs)
+
+    monkeypatch.setattr(E, "sgb_all", spy_all)
+    monkeypatch.setattr(E, "sgb_any", spy_any)
+    return calls
+
+
+def _assert_all_scalar(calls):
+    assert calls, "runner never reached an SGB operator"
+    for name, kwargs in calls:
+        assert kwargs.get("batch") is False, f"{name} call not pinned: {kwargs}"
+
+
+class TestFigurePins:
+    def test_fig9_sgb_all_pinned_to_scalar_path(self, recorded):
+        E.fig9_sgb_all_epsilon(n=120, eps_values=(0.3,), strategies=("index",))
+        _assert_all_scalar(recorded)
+
+    def test_fig9_sgb_any_pinned_to_scalar_path(self, recorded):
+        E.fig9_sgb_any_epsilon(n=120, eps_values=(0.3,), strategies=("index",))
+        _assert_all_scalar(recorded)
+
+    def test_fig10_sgb_all_pinned_to_scalar_path(self, recorded):
+        E.fig10_sgb_all_scale(sizes=(120,), strategies=("index",))
+        _assert_all_scalar(recorded)
+
+    def test_fig10_sgb_any_pinned_to_scalar_path(self, recorded):
+        E.fig10_sgb_any_scale(sizes=(120,), strategies=("index",))
+        _assert_all_scalar(recorded)
+
+    def test_fig11_pins_every_sgb_line(self, recorded):
+        E.fig11_vs_clustering(sizes=(150,), eps=0.2)
+        sgb_calls = [c for c in recorded if c[0].startswith("sgb")]
+        assert len(sgb_calls) >= 4  # three SGB-All overlap modes + SGB-Any
+        _assert_all_scalar(sgb_calls)
+
+    def test_table1_pinned_to_scalar_path(self, recorded):
+        E.table1_scaling_exponents(sizes=(100, 200, 400))
+        _assert_all_scalar(recorded)
+
+    def test_batch_vs_scalar_pins_workers(self, recorded):
+        E.batch_vs_scalar(sizes=(150,))
+        any_calls = [kwargs for name, kwargs in recorded if name == "sgb_any"]
+        assert any_calls
+        # Both arms pin workers=1: the experiment owns batch-vs-scalar, the
+        # engine comparison (parallel_vs_serial) owns the worker sweep.
+        assert all(kwargs.get("workers") == 1 for kwargs in any_calls)

@@ -1,0 +1,132 @@
+"""Fused join→group pipeline: bit-identity with the materialized two-step path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import sgb_any
+from repro.core.pointset import HAVE_NUMPY, PointSet
+from repro.exceptions import InvalidParameterError
+from repro.join import fused_join_group, sim_join
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+METRICS = ["L2", "LINF", "L1"]
+
+
+def _clustered_sides(seed: int, n: int = 90):
+    """Two overlapping clustered relations with repeated matched points."""
+    rng = random.Random(seed)
+    centers = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(6)]
+    left, right = [], []
+    for i in range(n):
+        cx, cy = centers[rng.randrange(len(centers))]
+        pt = (cx + rng.gauss(0, 0.4), cy + rng.gauss(0, 0.4))
+        (left if i % 2 else right).append(pt)
+    return left, right
+
+
+def _materialized(left, right, group_eps, *, eps=None, k=None, metric="L2",
+                  group_side="right"):
+    """The two-step reference: join, build pair points, group them."""
+    pairs = sim_join(left, right, eps=eps, k=k, metric=metric, workers=1)
+    side = right if group_side == "right" else left
+    matched = [j for _, j in pairs] if group_side == "right" else [i for i, _ in pairs]
+    side_ps = PointSet.from_any(side) if side else None
+    pair_points = [side_ps.point(s) for s in matched]
+    if not pair_points:
+        return pairs, None
+    return pairs, sgb_any(pair_points, eps=group_eps, metric=metric, workers=1)
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("seed", [3, 17, 41])
+    def test_eps_join_matches_materialized(self, backend, metric, seed):
+        left, right = _clustered_sides(seed)
+        pairs, ref = _materialized(left, right, 0.8, eps=0.5, metric=metric)
+        fused = fused_join_group(
+            left, right, 0.8, eps=0.5, metric=metric, workers=1, backend=backend
+        )
+        assert fused.pairs == pairs
+        assert fused.grouping.groups == ref.groups
+        assert fused.grouping.points == ref.points
+        assert fused.grouping.eliminated == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_knn_join_matches_materialized(self, backend, seed):
+        left, right = _clustered_sides(seed, n=60)
+        pairs, ref = _materialized(left, right, 0.8, k=3)
+        fused = fused_join_group(
+            left, right, 0.8, k=3, workers=1, backend=backend
+        )
+        assert fused.pairs == pairs
+        assert fused.grouping.groups == ref.groups
+        assert fused.grouping.points == ref.points
+
+    @pytest.mark.parametrize("group_side", ["left", "right"])
+    def test_group_side_selects_the_grouped_relation(self, group_side):
+        left, right = _clustered_sides(7)
+        pairs, ref = _materialized(left, right, 0.8, eps=0.5, group_side=group_side)
+        fused = fused_join_group(
+            left, right, 0.8, eps=0.5, group_side=group_side, workers=1
+        )
+        assert fused.grouping.groups == ref.groups
+        assert fused.grouping.points == ref.points
+
+    def test_distinct_group_metric(self):
+        left, right = _clustered_sides(11)
+        pairs = sim_join(left, right, eps=0.5, metric="L2", workers=1)
+        right_ps = PointSet.from_any(right)
+        pair_points = [right_ps.point(j) for _, j in pairs]
+        ref = sgb_any(pair_points, eps=0.8, metric="LINF", workers=1)
+        fused = fused_join_group(
+            left, right, 0.8, eps=0.5, metric="L2", group_metric="LINF", workers=1
+        )
+        assert fused.grouping.groups == ref.groups
+
+    def test_sharded_matches_serial(self):
+        left, right = _clustered_sides(13, n=240)
+        serial = fused_join_group(left, right, 0.8, eps=0.5, workers=1)
+        sharded = fused_join_group(left, right, 0.8, eps=0.5, workers=2)
+        assert sharded.pairs == serial.pairs
+        assert sharded.grouping.groups == serial.grouping.groups
+        assert sharded.side_groups == serial.side_groups
+
+
+class TestFusedStructure:
+    def test_side_groups_align_with_pair_groups(self):
+        left, right = _clustered_sides(19)
+        fused = fused_join_group(left, right, 0.8, eps=0.5, workers=1)
+        matched = [j for _, j in fused.pairs]
+        assert len(fused.side_groups) == len(fused.grouping.groups)
+        for members, side in zip(fused.grouping.groups, fused.side_groups):
+            assert sorted({matched[position] for position in members}) == side
+
+    def test_every_pair_position_appears_exactly_once(self):
+        left, right = _clustered_sides(29)
+        fused = fused_join_group(left, right, 0.8, eps=0.5, workers=1)
+        flattened = sorted(p for members in fused.grouping.groups for p in members)
+        assert flattened == list(range(len(fused.pairs)))
+
+    def test_empty_join_gives_empty_grouping(self):
+        fused = fused_join_group(
+            [(0.0, 0.0)], [(100.0, 100.0)], 0.8, eps=0.5, workers=1
+        )
+        assert fused.pairs == []
+        assert fused.grouping.groups == []
+        assert fused.side_groups == []
+
+    def test_invalid_group_side_rejected(self):
+        with pytest.raises(InvalidParameterError, match="group_side"):
+            fused_join_group([(0.0, 0.0)], [(0.0, 0.0)], 0.5, eps=0.5,
+                             group_side="middle")
+
+    def test_requires_exactly_one_join_parameter(self):
+        with pytest.raises(InvalidParameterError):
+            fused_join_group([(0.0, 0.0)], [(0.0, 0.0)], 0.5, eps=0.5, k=2)
+        with pytest.raises(InvalidParameterError):
+            fused_join_group([(0.0, 0.0)], [(0.0, 0.0)], 0.5)

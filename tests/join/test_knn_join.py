@@ -23,10 +23,21 @@ class TestKnnJoinBasics:
     def test_k_one(self):
         assert knn_join(LEFT, RIGHT, 1) == [(0, 3), (1, 2)]
 
-    def test_k_exceeding_right_side_ranks_everything(self):
-        pairs = knn_join(LEFT, RIGHT, 10)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_k_exceeding_right_side_ranks_everything(self, backend):
+        # Contract: k >= len(right) returns *every* right row per left row —
+        # no padding, no truncation — in canonical (distance, right_index)
+        # rank order, identically on both backends.
+        pairs = knn_join(LEFT, RIGHT, 10, backend=backend)
         assert [j for i, j in pairs if i == 0] == [3, 0, 1, 2]
+        assert [j for i, j in pairs if i == 1] == [2, 1, 0, 3]
         assert len(pairs) == len(LEFT) * len(RIGHT)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_k_equal_to_right_side_matches_oversized_k(self, backend):
+        exact = knn_join(LEFT, RIGHT, len(RIGHT), backend=backend)
+        oversized = knn_join(LEFT, RIGHT, len(RIGHT) * 7, backend=backend)
+        assert exact == oversized
 
     def test_distance_ties_break_by_right_index(self):
         left = [(0.0, 0.0)]

@@ -1,0 +1,148 @@
+"""The fused SIMILARITY JOIN → SGB executor route: engagement and bit-identity.
+
+The reference for every equality below is the same query run with the fused
+trace disabled (``_trace_fusable_join`` monkeypatched to ``None``), which
+forces the executor down the materialize-pairs-then-group pipeline the
+fused route replaces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.minidb.database import Database
+from repro.minidb.exec.sgb import SGBAggregate
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE checkins (cid INT, x FLOAT, y FLOAT)")
+    database.execute("CREATE TABLE pois (pid INT, v INT, x FLOAT, y FLOAT)")
+    rng = random.Random(77)
+    centers = [(rng.uniform(0, 12), rng.uniform(0, 12)) for _ in range(5)]
+    checkins, pois = [], []
+    for i in range(120):
+        cx, cy = centers[rng.randrange(len(centers))]
+        checkins.append((i, cx + rng.gauss(0, 0.4), cy + rng.gauss(0, 0.4)))
+    for i in range(60):
+        cx, cy = centers[rng.randrange(len(centers))]
+        pois.append(
+            (i, rng.randrange(0, 40), cx + rng.gauss(0, 0.4), cy + rng.gauss(0, 0.4))
+        )
+    database.insert_rows("checkins", checkins)
+    database.insert_rows("pois", pois)
+    return database
+
+
+FUSED_SQL = (
+    "SELECT px, py, {aggs} FROM "
+    "(SELECT p.x AS px, p.y AS py, p.v AS pv FROM checkins c "
+    "SIMILARITY JOIN pois p ON DISTANCE(c.x, c.y, p.x, p.y) WITHIN 1.0) m "
+    "GROUP BY px, py DISTANCE-TO-ANY L2 WITHIN 1.5 ORDER BY px, py"
+)
+
+
+def _reference(db, sql, monkeypatch):
+    """Run ``sql`` with the fused trace disabled: the two-step pipeline."""
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(SGBAggregate, "_trace_fusable_join", lambda self: None)
+        return db.execute(sql).rows
+
+
+class TestFusedRoute:
+    def test_star_only_aggregates_match_two_step(self, db, monkeypatch):
+        sql = FUSED_SQL.format(aggs="count(*) AS c")
+        expected = _reference(db, sql, monkeypatch)
+        assert db.execute(sql).rows == expected
+        assert expected  # the join really produced groups
+
+    def test_value_aggregates_match_two_step(self, db, monkeypatch):
+        sql = FUSED_SQL.format(
+            aggs="count(*) AS c, sum(pv) AS s, avg(pv) AS a, min(pv) AS lo"
+        )
+        expected = _reference(db, sql, monkeypatch)
+        assert db.execute(sql).rows == expected
+
+    def test_grouping_on_the_left_side(self, db, monkeypatch):
+        sql = (
+            "SELECT gx, gy, count(*) AS c FROM "
+            "(SELECT c.x AS gx, c.y AS gy FROM checkins c "
+            "SIMILARITY JOIN pois p ON DISTANCE(c.x, c.y, p.x, p.y) WITHIN 1.0) m "
+            "GROUP BY gx, gy DISTANCE-TO-ANY L2 WITHIN 1.5 ORDER BY gx, gy"
+        )
+        expected = _reference(db, sql, monkeypatch)
+        assert db.execute(sql).rows == expected
+
+    def test_knn_join_feed_matches_two_step(self, db, monkeypatch):
+        sql = FUSED_SQL.format(aggs="count(*) AS c").replace("WITHIN 1.0", "KNN 3")
+        expected = _reference(db, sql, monkeypatch)
+        assert db.execute(sql).rows == expected
+
+    def test_fused_route_actually_engages(self, db, monkeypatch):
+        traced = []
+        original = SGBAggregate._trace_fusable_join
+
+        def spy(self):
+            result = original(self)
+            traced.append(result is not None)
+            return result
+
+        monkeypatch.setattr(SGBAggregate, "_trace_fusable_join", spy)
+        db.execute(FUSED_SQL.format(aggs="count(*) AS c"))
+        assert traced == [True]
+
+    def test_mixed_side_keys_fall_back(self, db, monkeypatch):
+        # Grouping keys drawn from both join sides cannot be fused; the
+        # trace must refuse and the two-step pipeline still answers.
+        traced = []
+        original = SGBAggregate._trace_fusable_join
+
+        def spy(self):
+            result = original(self)
+            traced.append(result is not None)
+            return result
+
+        monkeypatch.setattr(SGBAggregate, "_trace_fusable_join", spy)
+        sql = (
+            "SELECT gx, py, count(*) AS c FROM "
+            "(SELECT c.x AS gx, p.y AS py FROM checkins c "
+            "SIMILARITY JOIN pois p ON DISTANCE(c.x, c.y, p.x, p.y) WITHIN 1.0) m "
+            "GROUP BY gx, py DISTANCE-TO-ANY L2 WITHIN 1.5 ORDER BY gx, py"
+        )
+        rows = db.execute(sql).rows
+        assert traced == [False]
+        assert rows  # still answered via materialization
+
+    def test_sgb_all_is_never_fused(self, db, monkeypatch):
+        traced = []
+        original = SGBAggregate._trace_fusable_join
+
+        def spy(self):
+            result = original(self)
+            traced.append(result is not None)
+            return result
+
+        monkeypatch.setattr(SGBAggregate, "_trace_fusable_join", spy)
+        sql = FUSED_SQL.format(aggs="count(*) AS c").replace(
+            "DISTANCE-TO-ANY L2 WITHIN 1.5",
+            "DISTANCE-TO-ALL L2 WITHIN 1.5 ON-OVERLAP ELIMINATE",
+        )
+        db.execute(sql)
+        assert traced == [False]
+
+    def test_empty_join_yields_no_groups(self, monkeypatch):
+        database = Database()
+        database.execute("CREATE TABLE a (x FLOAT, y FLOAT)")
+        database.execute("CREATE TABLE b (x FLOAT, y FLOAT)")
+        database.insert_rows("a", [(0.0, 0.0)])
+        database.insert_rows("b", [(50.0, 50.0)])
+        sql = (
+            "SELECT bx, by, count(*) AS c FROM "
+            "(SELECT b.x AS bx, b.y AS by FROM a "
+            "SIMILARITY JOIN b ON DISTANCE(a.x, a.y, b.x, b.y) WITHIN 1.0) m "
+            "GROUP BY bx, by DISTANCE-TO-ANY L2 WITHIN 1.0"
+        )
+        assert database.execute(sql).rows == []

@@ -44,6 +44,10 @@ class TestExamples:
         assert "kNN-join" in output
         assert "SIMILARITY JOIN" in output
         assert "activity clusters" in output
+        # The fused join→group section asserts bit-identity with the
+        # two-step pipeline in-process; reaching this line means it held.
+        assert "fused join->group" in output
+        assert "identical to the two-step pipeline" in output
 
     def test_location_privacy_groups(self):
         output = run_example("location_privacy_groups.py")
