@@ -250,6 +250,49 @@ def main(path: str) -> None:
         add("```")
         add("")
 
+    # ---------------- adaptive planner ----------------
+    if "planner_adaptive" in data:
+        add("## Cost-based planner: adaptive mode and fan-out selection (beyond the paper)")
+        add("")
+        add("The delegated `workers=\"auto\"` path lets the cost planner pick serial")
+        add("vs sharded execution — and the shard fan-out — from cached per-input")
+        add("statistics (count, bbox, per-axis eps-cell histograms), against the")
+        add("serial batch baseline and the legacy one-slab-per-worker decomposition")
+        add("(the `speedup` baseline).  On skewed inputs the planner over-decomposes")
+        add("(fan-out > workers) so the hot slab splits across the pool; on uniform")
+        add("inputs the arms converge.  All arms return identical groupings")
+        add("(`tests/engine/test_planner_equivalence.py`); the `plan` column is what")
+        add("the planner chose on this machine, and with few cores it degrades to")
+        add("serial mode by design.")
+        add("")
+        rows = data["planner_adaptive"]
+        add("```")
+        add(format_table(
+            [
+                {
+                    "workload": r["workload"],
+                    "path": r["path"],
+                    "n": r["n"],
+                    "cpus": r["cpu_count"],
+                    "seconds": round(r["seconds"], 3),
+                    "speedup vs 1-slab/worker": r["speedup"],
+                }
+                for r in rows
+            ]
+        ))
+        add("```")
+        add("")
+        plans = [r["plan"] for r in rows if r.get("plan")]
+        if plans:
+            add("Planner-chosen plans on this machine:")
+            add("")
+            add("```")
+            for r in rows:
+                if r.get("plan"):
+                    add(f"{r['workload']:>8} n={r['n']:<7} {r['plan']}")
+            add("```")
+            add("")
+
     # ---------------- streaming windows ----------------
     if "streaming_window" in data:
         add("## Streaming windowed grouping: incremental vs re-group per window (beyond the paper)")

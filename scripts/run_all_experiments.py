@@ -47,6 +47,8 @@ def main(large: bool = False, worker_counts: "tuple[int, ...]" = (2, 4)) -> None
         ("batch_vs_scalar", lambda: E.batch_vs_scalar(sizes=(10_000 * k, 25_000 * k))),
         ("parallel_vs_serial", lambda: E.parallel_vs_serial(
             sizes=(10_000 * k, 50_000 * k), worker_counts=worker_counts)),
+        ("planner_adaptive", lambda: E.planner_adaptive(
+            sizes=(10_000 * k, 30_000 * k), workers=max(worker_counts))),
         ("streaming_window", lambda: E.streaming_window(
             sizes=(10_000 * k, 25_000 * k), window=10_000 * k, slide=1_250 * k)),
         ("join_vs_allpairs", lambda: E.join_vs_allpairs(sizes=(10_000 * k, 25_000 * k))),

@@ -10,6 +10,7 @@ curves scale), not the absolute wall-clock numbers of the authors' testbed.
 from __future__ import annotations
 
 import math
+import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.harness import compare, measure
@@ -20,12 +21,13 @@ from repro.core.distance import Metric
 from repro.core.pointset import HAVE_NUMPY
 from repro.minidb.database import Database
 from repro.workloads.checkins import CheckinConfig, checkin_points, generate_checkins
-from repro.workloads.synthetic import clustered_points
+from repro.workloads.synthetic import clustered_points, uniform_points
 from repro.workloads.tpch import load_tpch
 
 __all__ = [
     "batch_vs_scalar",
     "parallel_vs_serial",
+    "planner_adaptive",
     "streaming_window",
     "join_vs_allpairs",
     "fused_vs_materialized",
@@ -72,8 +74,11 @@ def batch_vs_scalar(
             "SGB-Any": lambda batch: sgb_any(
                 points, eps=eps, metric=metric, strategy=strategy, batch=batch, workers=1
             ),
+            # planner=False pins SGB-All the same way: the cost planner may
+            # not reroute the "batch" arm through its scalar candidate.
             "SGB-All": lambda batch: sgb_all(
-                points, eps=eps, metric=metric, strategy=strategy, batch=batch
+                points, eps=eps, metric=metric, strategy=strategy, batch=batch,
+                planner=False,
             ),
         }
         for operator, run in operators.items():
@@ -149,6 +154,92 @@ def parallel_vs_serial(
                     "speedup": m.params.get("speedup"),
                 }
             )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Cost planner: adaptive mode/fan-out choice vs forced decompositions
+# ---------------------------------------------------------------------------
+
+
+def _skewed_points(
+    n: int, low: float = 0.0, high: float = 100.0, hot_fraction: float = 0.7, seed: int = 47
+) -> List[tuple]:
+    """Uniform background plus a hot gaussian slab spanning a few eps-cells."""
+    rng = random.Random(seed)
+    span = high - low
+    centre = low + span / 2.0
+    points = []
+    for _ in range(n):
+        if rng.random() < hot_fraction:
+            x = min(high, max(low, rng.gauss(centre, span * 0.03)))
+            points.append((x, low + rng.random() * span))
+        else:
+            points.append((low + rng.random() * span, low + rng.random() * span))
+    return points
+
+
+def planner_adaptive(
+    sizes: Sequence[int] = (10_000, 30_000),
+    eps: float = 0.3,
+    workers: int = 4,
+    metric: "Metric | str" = Metric.L2,
+    seed: int = 47,
+) -> List[Dict[str, object]]:
+    """Planner-chosen execution vs forced decompositions on uniform/skewed data.
+
+    Three arms per workload: the serial batch baseline (``workers=1``), the
+    legacy one-slab-per-worker decomposition (sharded engine forced to
+    ``shards == workers``), and the delegated ``workers="auto"`` path where
+    the cost planner picks mode, worker count, and shard fan-out from the
+    cached statistics.  The baseline for the ``speedup`` column is
+    one-slab-per-worker, so the auto row reports the adaptive-fan-out gain
+    directly: on skewed inputs the planner's over-decomposition (fan-out >
+    workers) should win, on uniform inputs the arms should be close.  Rows
+    carry ``plan`` (the auto arm's chosen plan) and ``cpu_count`` — on boxes
+    with fewer cores than ``workers`` the ratios degrade towards 1.0 and the
+    report can say why.
+    """
+    import os
+
+    from repro.engine import sgb_any_sharded
+
+    rows: List[Dict[str, object]] = []
+    cpu_count = os.cpu_count() or 1
+    workloads = {
+        "uniform": lambda n: uniform_points(n, low=0.0, high=100.0, seed=seed),
+        "skewed": lambda n: _skewed_points(n, low=0.0, high=100.0, seed=seed),
+    }
+    naive = f"one-slab-per-worker ({workers}w)"
+    for workload, make in workloads.items():
+        for n in sizes:
+            points = make(n)
+            runs = {
+                naive: lambda: sgb_any_sharded(
+                    points, eps=eps, metric=metric, workers=workers, shards=workers
+                ),
+                "serial": lambda: sgb_any(points, eps=eps, metric=metric, workers=1),
+                "auto (planner)": lambda: sgb_any(
+                    points, eps=eps, metric=metric, workers="auto"
+                ),
+            }
+            for m in compare(runs, baseline=naive):
+                plan = getattr(m.value, "plan", None)
+                rows.append(
+                    {
+                        "experiment": "planner-adaptive",
+                        "workload": workload,
+                        "path": m.label,
+                        "n": n,
+                        "eps": eps,
+                        "cpu_count": cpu_count,
+                        "backend": "numpy" if HAVE_NUMPY else "python",
+                        "groups": m.value.group_count,
+                        "seconds": m.seconds,
+                        "speedup": m.params.get("speedup"),
+                        "plan": plan.describe() if plan is not None else None,
+                    }
+                )
     return rows
 
 

@@ -47,6 +47,7 @@ def sgb_all(
     index_factory: Optional[IndexFactory] = None,
     batch: bool = True,
     frontier: bool = True,
+    planner: bool = True,
 ) -> GroupingResult:
     """Run the SGB-All (distance-to-all / clique) operator over ``points``.
 
@@ -78,6 +79,12 @@ def sgb_all(
         Allow the batch path's whole-frontier candidate discovery (default).
         ``False`` keeps the legacy per-point batch loop; results are
         identical either way.
+    planner:
+        Let the cost planner pick scalar vs frontier from the batch's
+        statistics (default; advisory about time only, recorded on
+        ``result.plan``).  ``False`` pins exactly the path the flags name —
+        the benchmark runners use this so measurements stay comparable
+        across machines.
 
     Returns
     -------
@@ -94,6 +101,7 @@ def sgb_all(
         index_factory=index_factory,
         batch=batch,
         frontier=frontier,
+        planner=planner,
     )
 
 
@@ -114,11 +122,14 @@ def sgb_any(
     array is consumed zero-copy; ``batch=False`` forces the scalar
     point-at-a-time reference path (identical results).
 
-    ``workers`` enables the sharded parallel engine on the batch path:
-    ``workers=N`` uses up to N worker processes, ``0``/``"auto"`` uses every
-    core, and ``None`` (default) defers to the ``SGB_WORKERS`` environment
-    variable, staying serial when it is unset.  Parallel runs return group
-    assignments identical to the serial and scalar paths.
+    ``workers`` controls the sharded parallel engine on the batch path:
+    ``workers=N`` forces up to N worker processes (clamped to the machine's
+    capacity with a warning), while ``0``/``"auto"`` — or ``None`` (the
+    default) with the ``SGB_WORKERS`` environment variable unset or
+    ``"auto"`` — *delegates to the cost planner*, which picks serial vs
+    sharded execution and the shard fan-out from the input's cached
+    statistics and records its choice on ``result.plan``.  Every mode
+    returns group assignments identical to the serial and scalar paths.
     """
     return sgb_any_grouping(
         _normalise_points(points),
@@ -194,9 +205,11 @@ def sim_join(
     Pass ``eps`` for an epsilon-join (every cross pair within the threshold,
     in lexicographic order) or ``k`` for a kNN-join (each left point with its
     k nearest right points, distance ties broken by ascending right index);
-    exactly one of the two must be given.  ``workers`` routes the eps-join
-    through the sharded parallel engine exactly like :func:`sgb_any`'s
-    ``workers`` — the result is bit-identical to the serial join.
+    exactly one of the two must be given.  ``workers`` resolves exactly like
+    :func:`sgb_any`'s: a numeric value forces the sharded engine, while
+    ``"auto"``/``0``/unset delegates the serial-vs-sharded choice to the
+    cost planner — either way the result is bit-identical to the serial
+    join.
 
     SQL-level access is the ``FROM a SIMILARITY JOIN b ON DISTANCE(...)
     WITHIN eps`` / ``KNN k`` clause of :class:`repro.minidb.Database`; see

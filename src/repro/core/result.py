@@ -9,9 +9,12 @@ groups into aggregate functions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.geometry.polygon import Polygon
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine.cost import PhysicalPlan
 
 Point = Tuple[float, ...]
 
@@ -48,11 +51,17 @@ class GroupingResult:
         (always empty for SGB-Any and the other overlap actions).
     points:
         The input points, index-aligned with the original input.
+    plan:
+        The :class:`~repro.engine.cost.PhysicalPlan` the cost planner chose
+        for this run, when the caller delegated the mode choice
+        (``workers="auto"`` or no knob at all); ``None`` for forced modes.
+        Purely informational — plans never change results.
     """
 
     groups: List[List[int]]
     eliminated: List[int] = field(default_factory=list)
     points: List[Point] = field(default_factory=list)
+    plan: "Optional[PhysicalPlan]" = None
 
     # -- basic views -------------------------------------------------------
 

@@ -490,6 +490,7 @@ def sgb_all_grouping(
     index_factory: Optional[IndexFactory] = None,
     batch: bool = True,
     frontier: bool = True,
+    planner: bool = True,
 ) -> GroupingResult:
     """Group ``points`` with the SGB-All operator and return the result.
 
@@ -501,6 +502,12 @@ def sgb_all_grouping(
     the batch path but disables its whole-frontier candidate discovery; all
     three paths produce identical results (enforced by the parity test
     suite).
+
+    With the default pipeline flags (``batch=True``, ``frontier=True``, no
+    explicit index or strategy) the cost planner scores the scalar vs
+    frontier candidates and records its advisory choice on ``result.plan``;
+    explicitly pinned flags — or ``planner=False`` — bypass the planner so
+    benchmarks measure the path they named.
     """
     grouper = SGBAllGrouper(
         eps=eps,
@@ -510,8 +517,26 @@ def sgb_all_grouping(
         seed=seed,
         index_factory=index_factory,
     )
-    if batch:
+    plan = None
+    if (
+        planner
+        and batch
+        and frontier
+        and index_factory is None
+        and SGBAllStrategy.parse(strategy) is SGBAllStrategy.INDEX
+    ):
+        from repro.engine.cost import plan_sgb_all
+        from repro.engine.stats import collect_stats
+
+        ps = PointSet.from_any(points)
+        plan = plan_sgb_all(collect_stats(ps), grouper.eps)
+        points = ps
+    if batch and not (plan is not None and plan.mode == "scalar"):
         grouper.add_batch(points, frontier=frontier)
+    elif plan is not None and plan.mode == "scalar":
+        grouper.add_all(PointSet.from_any(points).to_tuples())
     else:
         grouper.add_all(points)
-    return grouper.finalize()
+    result = grouper.finalize()
+    result.plan = plan
+    return result

@@ -357,24 +357,47 @@ def sgb_any_grouping(
     paths produce identical results (enforced by the parity test suite).
 
     ``workers`` routes the batch path through the sharded parallel engine
-    (``repro.engine``): ``N > 1`` uses up to N worker processes, ``0`` or
-    ``"auto"`` uses every core, and ``None`` defers to the ``SGB_WORKERS``
-    environment variable (serial by default).  The parallel result is
-    identical to the serial one after canonical relabelling.  An explicit
-    ``index_factory`` pins the run to the in-process path so index ablations
-    measure the access method they name.
+    (``repro.engine``): ``N > 1`` forces up to N worker processes, while
+    ``0`` / ``"auto"`` — or ``None`` with no numeric ``SGB_WORKERS`` in the
+    environment — delegates the mode choice to the cost-based planner
+    (:mod:`repro.engine.cost`), which goes parallel only when the statistics
+    say it pays and records its choice on ``result.plan``.  The parallel
+    result is identical to the serial one after canonical relabelling.  An
+    explicit ``index_factory`` pins the run to the in-process path so index
+    ablations measure the access method they name.
     """
+    from repro.engine.cost import planner_delegated
     from repro.engine.planner import resolve_workers
 
-    if (
+    plannable = (
         batch
         and index_factory is None
         # An explicit non-default strategy pins the in-process path: the
         # engine's shard-local grouping is the INDEX/grid pipeline, and a
         # caller comparing strategies must measure the one they named.
         and SGBAnyStrategy.parse(strategy) is SGBAnyStrategy.INDEX
-        and resolve_workers(workers) > 1
-    ):
+    )
+    if plannable and planner_delegated(workers):
+        # Cost-based route: statistics + calibrated formulas pick the mode.
+        # Advisory about time only — every candidate is result-identical.
+        from repro.engine.cost import plan_sgb_any
+        from repro.engine.stats import collect_stats
+
+        ps = PointSet.from_any(points)
+        plan = plan_sgb_any(collect_stats(ps), PointSet._check_eps(eps))
+        if plan.mode == "sharded":
+            from repro.engine.workers import sgb_any_sharded
+
+            result = sgb_any_sharded(
+                ps, eps=eps, metric=metric, workers=plan.workers, shards=plan.shards
+            )
+        else:
+            grouper = SGBAnyGrouper(eps=eps, metric=metric, strategy=strategy)
+            grouper.add_batch(ps)
+            result = grouper.finalize()
+        result.plan = plan
+        return result
+    if plannable and resolve_workers(workers) > 1:
         from repro.engine.workers import sgb_any_sharded
 
         return sgb_any_sharded(points, eps=eps, metric=metric, workers=workers)

@@ -16,16 +16,33 @@ within ``eps`` of each other.  That makes SGB-Any embarrassingly partitionable:
    yielding exactly the connected components the serial pass computes;
 4. :mod:`repro.engine.planner` picks the worker and shard counts from the
    point count, ``eps``, and ``os.cpu_count()``, and resolves the
-   ``SGB_WORKERS`` environment default.
+   ``SGB_WORKERS`` environment default;
+5. :mod:`repro.engine.stats` summarises each batch (count, bbox, per-axis
+   histograms) so :mod:`repro.engine.cost` — the cost-based physical planner
+   — can score serial vs sharded candidates with unit costs measured once
+   per machine by :mod:`repro.engine.calibrate`.  The planner engages when
+   the caller passes ``workers="auto"`` or no knob at all; numeric worker
+   counts force their mode as before.
 
 The result is *bit-identical* to the serial batch path after canonical
 relabelling (groups ordered by smallest member, members ascending), which the
-randomized equivalence suite enforces.
+randomized equivalence suite enforces — plans are advisory about time only.
 """
 
+from repro.engine.calibrate import CostProfile, calibrate, load_profile
+from repro.engine.cost import (
+    PhysicalPlan,
+    plan_eps_join,
+    plan_knn_join,
+    plan_sgb_all,
+    plan_sgb_any,
+    plan_stream_flush,
+    planner_delegated,
+)
 from repro.engine.merge import canonical_groups, merge_shard_forests
 from repro.engine.partition import GridPartition, HaloBand, Shard, partition_pointset
 from repro.engine.planner import ShardPlan, plan_shards, resolve_workers
+from repro.engine.stats import PointStats, collect_stats, synthetic_stats
 from repro.engine.workers import (
     drop_worker_pool,
     get_worker_pool,
@@ -34,15 +51,28 @@ from repro.engine.workers import (
 )
 
 __all__ = [
+    "CostProfile",
     "GridPartition",
     "HaloBand",
+    "PhysicalPlan",
+    "PointStats",
     "Shard",
     "ShardPlan",
+    "calibrate",
     "canonical_groups",
+    "collect_stats",
+    "load_profile",
     "merge_shard_forests",
     "partition_pointset",
+    "plan_eps_join",
+    "plan_knn_join",
+    "plan_sgb_all",
+    "plan_sgb_any",
     "plan_shards",
+    "plan_stream_flush",
+    "planner_delegated",
     "resolve_workers",
+    "synthetic_stats",
     "get_worker_pool",
     "drop_worker_pool",
     "shutdown_worker_pools",

@@ -1,0 +1,203 @@
+"""One-shot micro-benchmark calibrating the planner's cost constants.
+
+The cost model in :mod:`repro.engine.cost` prices a candidate plan as a sum
+of four machine-dependent unit costs:
+
+``c_point``
+    seconds to ingest one point through the eps-grid (hashing, binning);
+``c_pair``
+    seconds to verify one candidate pair (distance test + union);
+``c_task``
+    fixed per-shard-task overhead (pickling the closure, scheduling);
+``c_ship``
+    per-point cost of shipping a payload to a worker process and its
+    grouped rows back.
+
+:func:`calibrate` measures the first two by timing the serial grouping
+kernel at two eps values on the same synthetic batch (two equations, two
+unknowns), and the last two by round-tripping payloads through a real
+two-worker pool.  The result persists to a small JSON profile so the
+benchmark runs **once per machine**, not once per process: subsequent
+sessions load the file.  Set ``SGB_COST_PROFILE`` to relocate the file (the
+test suites point it at a tmpdir) or ``SGB_COST_PROFILE=off`` to skip disk
+entirely and use the built-in defaults.
+
+The defaults are deliberately conservative (pool overheads priced high), so
+an uncalibrated machine errs toward serial execution — wrong mode choices
+cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["CostProfile", "DEFAULT_PROFILE", "load_profile", "calibrate", "profile_path"]
+
+_ENV_PROFILE = "SGB_COST_PROFILE"
+_PROFILE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Machine-specific unit costs, in seconds, for the planner's formulas."""
+
+    c_point: float
+    c_pair: float
+    c_task: float
+    c_ship: float
+    calibrated: bool = False
+    version: int = _PROFILE_VERSION
+
+
+#: Conservative fallback used until :func:`calibrate` has run on a machine.
+#: Derived from a mid-range laptop, with the pool costs rounded *up* so the
+#: planner only goes parallel when the win is unambiguous.
+DEFAULT_PROFILE = CostProfile(
+    c_point=2.0e-6,
+    c_pair=1.5e-7,
+    c_task=3.0e-3,
+    c_ship=1.0e-6,
+    calibrated=False,
+)
+
+_CACHED: Optional[CostProfile] = None
+
+
+def profile_path() -> Optional[Path]:
+    """Where the calibrated profile lives (None when persistence is off)."""
+    configured = os.environ.get(_ENV_PROFILE, "").strip()
+    if configured.lower() == "off":
+        return None
+    if configured:
+        return Path(configured)
+    return Path.home() / ".cache" / "repro" / "cost_profile.json"
+
+
+def load_profile() -> CostProfile:
+    """The active cost profile: cached, else from disk, else the defaults."""
+    global _CACHED
+    if _CACHED is not None:
+        return _CACHED
+    path = profile_path()
+    if path is not None and path.is_file():
+        try:
+            raw = json.loads(path.read_text())
+            if raw.get("version") == _PROFILE_VERSION:
+                _CACHED = CostProfile(
+                    c_point=float(raw["c_point"]),
+                    c_pair=float(raw["c_pair"]),
+                    c_task=float(raw["c_task"]),
+                    c_ship=float(raw["c_ship"]),
+                    calibrated=bool(raw.get("calibrated", True)),
+                )
+                return _CACHED
+        except (ValueError, KeyError, OSError):
+            pass  # corrupt profile: fall through to the defaults
+    _CACHED = DEFAULT_PROFILE
+    return _CACHED
+
+
+def reset_profile_cache() -> None:
+    """Forget the in-process profile (tests repoint ``SGB_COST_PROFILE``)."""
+    global _CACHED
+    _CACHED = None
+
+
+def calibrate(force: bool = False, n: int = 4096, persist: bool = True) -> CostProfile:
+    """Measure the four unit costs on this machine and persist them.
+
+    Runs in well under a second at the default ``n``.  With ``force=False``
+    an existing calibrated profile (disk or cache) is returned untouched.
+    """
+    global _CACHED
+    if not force:
+        existing = load_profile()
+        if existing.calibrated:
+            return existing
+
+    from repro.core.api import sgb_any
+    from repro.core.pointset import PointSet
+
+    rng = _lcg(0xC0FFEE)
+    pts = [(next(rng), next(rng)) for _ in range(n)]
+    ps = PointSet.from_any(pts)
+
+    # Two timings at sparse and dense eps separate the per-point cost from
+    # the per-pair cost: t = c_point*n + c_pair*pairs(eps).
+    sparse_eps, dense_eps = 0.004, 0.04
+    t_sparse, pairs_sparse = _time_grouping(sgb_any, ps, sparse_eps)
+    t_dense, pairs_dense = _time_grouping(sgb_any, ps, dense_eps)
+    if pairs_dense > pairs_sparse:
+        c_pair = max(1e-9, (t_dense - t_sparse) / (pairs_dense - pairs_sparse))
+    else:  # pragma: no cover - pathological RNG
+        c_pair = DEFAULT_PROFILE.c_pair
+    c_point = max(1e-9, (t_sparse - c_pair * pairs_sparse) / n)
+
+    c_task, c_ship = _measure_pool_costs(ps)
+
+    profile = CostProfile(
+        c_point=c_point, c_pair=c_pair, c_task=c_task, c_ship=c_ship, calibrated=True
+    )
+    if persist:
+        path = profile_path()
+        if path is not None:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(json.dumps(asdict(profile), indent=2) + "\n")
+            except OSError:
+                pass  # read-only home: keep the in-memory result
+    _CACHED = profile
+    return profile
+
+
+def _time_grouping(sgb_any, ps, eps: float):
+    """Time one serial scalar grouping and count the pairs it verified."""
+    from repro.engine.stats import collect_stats
+
+    start = time.perf_counter()
+    sgb_any(ps, eps, batch=True, workers=1)
+    elapsed = time.perf_counter() - start
+    pairs = collect_stats(ps).estimated_pairs(eps)
+    return elapsed, max(pairs, 1.0)
+
+
+def _measure_pool_costs(ps):
+    """Round-trip payloads through a two-worker pool to price task + ship."""
+    try:
+        from repro.engine.workers import get_worker_pool
+
+        pool = get_worker_pool(2)
+        n = len(ps)
+        payload = ps.to_tuples()
+        # Warm-up (pool spawn is a one-off cost the steady state never pays).
+        pool.submit(_identity, ()).result()
+        rounds = 4
+        start = time.perf_counter()
+        for _ in range(rounds):
+            pool.submit(_identity, payload).result()
+        per_round = (time.perf_counter() - start) / rounds
+        start = time.perf_counter()
+        for _ in range(rounds):
+            pool.submit(_identity, ()).result()
+        c_task = max(1e-6, (time.perf_counter() - start) / rounds)
+        c_ship = max(1e-9, (per_round - c_task) / max(n, 1))
+        return c_task, c_ship
+    except Exception:  # pragma: no cover - sandboxed/no-fork environments
+        return DEFAULT_PROFILE.c_task, DEFAULT_PROFILE.c_ship
+
+
+def _identity(payload):
+    return len(payload)
+
+
+def _lcg(seed: int):
+    """Tiny deterministic uniform generator (no numpy dependency)."""
+    state = seed & 0xFFFFFFFF
+    while True:
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        yield state / 0x7FFFFFFF

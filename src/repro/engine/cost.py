@@ -1,0 +1,437 @@
+"""Cost-based physical planning for the SGB operators and similarity joins.
+
+Given a :class:`~repro.engine.stats.PointStats` summary of the input (and a
+machine :class:`~repro.engine.calibrate.CostProfile`), the planners here
+score every *candidate execution mode* of an operator and return a
+:class:`PhysicalPlan` naming the winner with its estimated cost:
+
+=============  ==========================================================
+operator       candidate modes
+=============  ==========================================================
+``sgb_any``    ``scalar`` · ``batch`` (serial grid) · ``sharded``
+``sgb_all``    ``scalar`` · ``frontier`` (batched frontier discovery)
+``eps_join``   ``allpairs`` · ``grid`` · ``sharded``
+``knn_join``   ``serial`` · ``sharded``
+``stream``     ``incremental`` · ``sharded-flush``
+=============  ==========================================================
+
+Plans are **advisory about time only** — every candidate mode is
+result-identical to the serial scalar reference (the randomized equivalence
+suite enforces this), so a mis-estimate can waste seconds, never change an
+answer.
+
+The planner engages only when the caller delegated the choice
+(:func:`planner_delegated`): ``workers="auto"`` / ``0``, or no ``workers``
+argument with no numeric ``SGB_WORKERS`` in the environment.  An explicit
+numeric worker count is a forced mode and bypasses the cost model entirely,
+so benchmarks and the forced-parallel CI lane measure exactly what they
+pinned.
+
+Sharded plans pick the *shard fan-out* adaptively from the partition-axis
+histogram: on uniform data one slab per worker is optimal (more shards only
+add per-task overhead), but on skewed data the balanced-cut slabs are capped
+by the histogram's hot bins, so the planner over-decomposes (2–4 slabs per
+worker) and lets the pool's greedy scheduling pack the uneven slabs — the
+classic LPT remedy for stragglers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.calibrate import CostProfile, load_profile
+from repro.engine.planner import ENV_WORKERS, _min_points
+from repro.engine.stats import PointStats
+
+__all__ = [
+    "PhysicalPlan",
+    "planner_delegated",
+    "plan_sgb_any",
+    "plan_sgb_all",
+    "plan_eps_join",
+    "plan_knn_join",
+    "plan_stream_flush",
+]
+
+#: Estimated serial runtimes below this are not worth parallelising no
+#: matter what the formulas say: pool latency and result shipping are
+#: certain, the projected win is not.
+_MIN_PARALLEL_SECONDS = 0.05
+
+#: A parallel plan must project at least this speedup over the best serial
+#: candidate before it is chosen (hysteresis against estimation noise).
+_MIN_PARALLEL_GAIN = 1.25
+
+#: Candidate slabs-per-worker fan-outs scored for sharded plans.
+_FANOUT_CANDIDATES = (1, 2, 4)
+
+#: Above this partition-axis imbalance the input counts as skewed.
+_SKEW_THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """One scored execution choice for an operator invocation.
+
+    ``details`` carries the per-candidate cost table so ``EXPLAIN`` (and the
+    decision-regression tests) can show *why* the winner won, not just who.
+    """
+
+    op: str
+    mode: str
+    workers: int = 1
+    shards: int = 1
+    est_cost: float = 0.0
+    est_rows: int = 0
+    reason: str = ""
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def describe(self) -> str:
+        """One-line rendering used by ``EXPLAIN`` and ``repr``-style logs."""
+        parts = [f"{self.op}: mode={self.mode}"]
+        if self.workers > 1 or self.shards > 1:
+            parts.append(f"workers={self.workers} shards={self.shards}")
+        parts.append(f"est_cost={self.est_cost:.6f}s est_rows={self.est_rows}")
+        if self.reason:
+            parts.append(f"({self.reason})")
+        return " ".join(parts)
+
+
+def planner_delegated(workers: "Optional[int | str]" = None) -> bool:
+    """True when the caller left the mode choice to the cost planner.
+
+    Delegation means ``workers="auto"`` / ``0`` (explicitly "you pick"), or
+    ``workers=None`` with ``SGB_WORKERS`` unset (or itself ``auto``/``0``).
+    A numeric worker count — argument or environment — is a *forced* mode:
+    the legacy threshold path runs and the planner stays out of the way.
+    """
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS, "").strip().lower()
+        return env in ("", "auto", "0")
+    if isinstance(workers, str):
+        return workers.strip().lower() == "auto"
+    return workers == 0
+
+
+def _available_workers(cpu_count: Optional[int] = None) -> int:
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return max(1, cores)
+
+
+def _sharded_candidate(
+    stats: PointStats,
+    serial_work: float,
+    ship_rows: int,
+    workers: int,
+    profile: CostProfile,
+) -> Tuple[float, int, Dict[str, float]]:
+    """Best sharded cost for ``workers`` processes: (cost, fan-out, table).
+
+    Slab task costs are read off the partition-axis histogram (the same
+    balanced cuts the partitioner will place); the makespan of greedily
+    packing ``F`` slab tasks onto ``W`` workers is bounded below by both the
+    biggest single slab and the perfectly balanced share, so we price it as
+    their max — the standard LPT estimate.
+    """
+    detail: Dict[str, float] = {}
+    best_cost = float("inf")
+    best_fanout = workers
+    for per_worker in _FANOUT_CANDIDATES:
+        fanout = workers * per_worker
+        loads = stats.slab_loads(fanout)
+        # Work splits across slabs proportionally to the squared load share:
+        # per-point work is linear, pair verification quadratic in density.
+        sq_total = sum(load * load for load in loads) or 1
+        slab_costs = [
+            serial_work * (load * load) / (sq_total * 1.0) for load in loads
+        ]
+        makespan = max(max(slab_costs), sum(slab_costs) / workers)
+        cost = (
+            makespan
+            + profile.c_task * len(loads)
+            + profile.c_ship * ship_rows
+        )
+        detail[f"sharded@{fanout}"] = cost
+        if cost < best_cost:
+            best_cost = cost
+            best_fanout = fanout
+    return best_cost, best_fanout, detail
+
+
+def _pick_parallel(
+    serial_mode: str,
+    serial_cost: float,
+    sharded_cost: float,
+) -> bool:
+    """Hysteresis gate: go parallel only for a clear, worthwhile win."""
+    if serial_cost < _MIN_PARALLEL_SECONDS:
+        return False
+    return sharded_cost * _MIN_PARALLEL_GAIN <= serial_cost
+
+
+def plan_sgb_any(
+    stats: PointStats,
+    eps: float,
+    cpu_count: Optional[int] = None,
+    profile: Optional[CostProfile] = None,
+) -> PhysicalPlan:
+    """Choose the execution mode for one SGB-Any batch."""
+    profile = profile or load_profile()
+    n = stats.count
+    pairs = stats.estimated_pairs(eps)
+    est_rows = stats.estimated_groups(eps)
+    serial_cost = profile.c_point * n + profile.c_pair * pairs
+    if n < max(32, _min_points()):
+        # The grid build isn't worth it for a handful of points, and the
+        # partitioner refuses tiny payloads anyway.
+        mode = "scalar" if n < 32 else "batch"
+        return PhysicalPlan(
+            op="sgb_any",
+            mode=mode,
+            est_cost=serial_cost,
+            est_rows=est_rows,
+            reason=f"n={n} below parallel floor",
+            details={"batch": serial_cost},
+        )
+    workers = _available_workers(cpu_count)
+    details: Dict[str, float] = {"batch": serial_cost}
+    if workers > 1:
+        sharded_cost, fanout, detail = _sharded_candidate(
+            stats, serial_cost, ship_rows=n, workers=workers, profile=profile
+        )
+        details.update(detail)
+        if _pick_parallel("batch", serial_cost, sharded_cost):
+            skew = stats.axis_imbalance()
+            return PhysicalPlan(
+                op="sgb_any",
+                mode="sharded",
+                workers=workers,
+                shards=fanout,
+                est_cost=sharded_cost,
+                est_rows=est_rows,
+                reason=(
+                    f"skew={skew:.2f} -> {fanout} shards on {workers} workers"
+                ),
+                details=details,
+            )
+    return PhysicalPlan(
+        op="sgb_any",
+        mode="batch",
+        est_cost=serial_cost,
+        est_rows=est_rows,
+        reason="serial grid cheapest" if workers > 1 else "single core",
+        details=details,
+    )
+
+
+def plan_sgb_all(
+    stats: PointStats,
+    eps: float,
+    cpu_count: Optional[int] = None,
+    profile: Optional[CostProfile] = None,
+) -> PhysicalPlan:
+    """Choose the execution mode for one SGB-All batch.
+
+    SGB-All's group semantics are order-dependent (overlap arbitration), so
+    there is no sharded candidate — the choice is scalar vs the batched
+    frontier pipeline, which wins as soon as the batch has enough points to
+    amortise its columnar staging.
+    """
+    profile = profile or load_profile()
+    n = stats.count
+    pairs = stats.estimated_pairs(eps)
+    est_rows = stats.estimated_groups(eps)
+    scalar_cost = (profile.c_point * 4.0) * n + profile.c_pair * pairs * 2.0
+    frontier_cost = profile.c_point * n + profile.c_pair * pairs
+    details = {"scalar": scalar_cost, "frontier": frontier_cost}
+    if n < 32:
+        return PhysicalPlan(
+            op="sgb_all",
+            mode="scalar",
+            est_cost=scalar_cost,
+            est_rows=est_rows,
+            reason=f"n={n} tiny",
+            details=details,
+        )
+    return PhysicalPlan(
+        op="sgb_all",
+        mode="frontier",
+        est_cost=frontier_cost,
+        est_rows=est_rows,
+        reason="batched frontier amortises discovery",
+        details=details,
+    )
+
+
+def plan_eps_join(
+    left: PointStats,
+    right: PointStats,
+    eps: float,
+    cpu_count: Optional[int] = None,
+    profile: Optional[CostProfile] = None,
+) -> PhysicalPlan:
+    """Choose all-pairs vs grid vs sharded-grid for one eps-join."""
+    profile = profile or load_profile()
+    n_l, n_r = left.count, right.count
+    est_pairs = left.estimated_join_pairs(right, eps)
+    est_rows = int(round(est_pairs))
+    allpairs_cost = profile.c_pair * n_l * n_r
+    # The grid sweep builds cells over both sides and verifies only the
+    # candidates in adjacent cells; candidates exceed true hits by a small
+    # geometry factor (3^d cell neighbourhoods), priced here at 4x.
+    grid_cost = profile.c_point * (n_l + n_r) + profile.c_pair * 4.0 * max(
+        est_pairs, 1.0
+    )
+    details = {"allpairs": allpairs_cost, "grid": grid_cost}
+    if allpairs_cost <= grid_cost:
+        return PhysicalPlan(
+            op="eps_join",
+            mode="allpairs",
+            est_cost=allpairs_cost,
+            est_rows=est_rows,
+            reason=f"dense join (selectivity {est_pairs / max(1, n_l * n_r):.3f})",
+            details=details,
+        )
+    workers = _available_workers(cpu_count)
+    if workers > 1 and min(n_l, n_r) >= _min_points():
+        # Shard the bigger side; both sides ship to the pool.
+        big = left if n_l >= n_r else right
+        sharded_cost, fanout, detail = _sharded_candidate(
+            big, grid_cost, ship_rows=n_l + n_r, workers=workers, profile=profile
+        )
+        details.update(detail)
+        if _pick_parallel("grid", grid_cost, sharded_cost):
+            return PhysicalPlan(
+                op="eps_join",
+                mode="sharded",
+                workers=workers,
+                shards=fanout,
+                est_cost=sharded_cost,
+                est_rows=est_rows,
+                reason=f"{fanout} shards on {workers} workers",
+                details=details,
+            )
+    return PhysicalPlan(
+        op="eps_join",
+        mode="grid",
+        est_cost=grid_cost,
+        est_rows=est_rows,
+        reason="grid sweep cheapest",
+        details=details,
+    )
+
+
+def plan_knn_join(
+    left: PointStats,
+    right: PointStats,
+    k: int,
+    cpu_count: Optional[int] = None,
+    profile: Optional[CostProfile] = None,
+) -> PhysicalPlan:
+    """Choose serial vs sharded execution for one kNN-join."""
+    profile = profile or load_profile()
+    n_l, n_r = left.count, right.count
+    est_rows = n_l * min(k, n_r)
+    # Build an index over the right side, then one expanding probe per left
+    # point; probe cost grows with k (more candidates verified per probe).
+    probe_pairs = float(n_l) * min(n_r, 8 * max(1, k))
+    serial_cost = profile.c_point * (n_l + n_r) + profile.c_pair * probe_pairs
+    details = {"serial": serial_cost}
+    workers = _available_workers(cpu_count)
+    if workers > 1 and n_l >= _min_points():
+        sharded_cost, fanout, detail = _sharded_candidate(
+            left, serial_cost, ship_rows=n_l + n_r, workers=workers, profile=profile
+        )
+        details.update(detail)
+        if _pick_parallel("serial", serial_cost, sharded_cost):
+            return PhysicalPlan(
+                op="knn_join",
+                mode="sharded",
+                workers=workers,
+                shards=fanout,
+                est_cost=sharded_cost,
+                est_rows=est_rows,
+                reason=f"{fanout} probe shards on {workers} workers",
+                details=details,
+            )
+    return PhysicalPlan(
+        op="knn_join",
+        mode="serial",
+        est_cost=serial_cost,
+        est_rows=est_rows,
+        reason="serial probe cheapest",
+        details=details,
+    )
+
+
+def plan_stream_flush(
+    window_points: int,
+    eps: float,
+    cpu_count: Optional[int] = None,
+    profile: Optional[CostProfile] = None,
+    stats: Optional[PointStats] = None,
+) -> PhysicalPlan:
+    """Incremental forest read vs per-flush sharded regroup for one window.
+
+    The incremental mode reads the maintained Union-Find forest — near-free
+    per flush.  Regrouping the whole window only wins when the window is so
+    large that even its *sharded* regroup cost undercuts the incremental
+    bookkeeping carried between flushes (eviction rebuilds); below that the
+    planner always stays incremental.
+    """
+    from repro.engine.stats import synthetic_stats
+
+    profile = profile or load_profile()
+    window_stats = stats if stats is not None else synthetic_stats(window_points)
+    regroup = plan_sgb_any(window_stats, eps, cpu_count=cpu_count, profile=profile)
+    # Maintained-forest bookkeeping: roughly one point-cost per live point
+    # (neighbour probes on ingest were already paid either way).
+    incremental_cost = profile.c_point * window_points
+    details = dict(regroup.details)
+    details["incremental"] = incremental_cost
+    if regroup.mode == "sharded" and regroup.est_cost < incremental_cost:
+        return PhysicalPlan(
+            op="stream_flush",
+            mode="sharded-flush",
+            workers=regroup.workers,
+            shards=regroup.shards,
+            est_cost=regroup.est_cost,
+            est_rows=regroup.est_rows,
+            reason="sharded regroup beats incremental upkeep",
+            details=details,
+        )
+    return PhysicalPlan(
+        op="stream_flush",
+        mode="incremental",
+        est_cost=incremental_cost,
+        est_rows=regroup.est_rows,
+        reason="maintained forest is near-free per flush",
+        details=details,
+    )
+
+
+def fused_join_group_gain(
+    left: PointStats, right: PointStats, eps: float, profile: Optional[CostProfile] = None
+) -> float:
+    """Estimated seconds saved by fusing an eps-join into a downstream SGB.
+
+    The materialized pipeline pays to emit every join pair as a row and
+    re-ingest it; the fused pipeline streams pair endpoints straight into
+    the grouper.  The saving is therefore proportional to the join's output
+    cardinality — the planner fuses whenever the estimate is positive, and
+    ``EXPLAIN`` surfaces the number.
+    """
+    profile = profile or load_profile()
+    est_pairs = left.estimated_join_pairs(right, eps)
+    return profile.c_ship * 2.0 * est_pairs + profile.c_point * est_pairs
+
+
+def slab_histogram(stats: PointStats, fanout: int) -> List[int]:
+    """The balanced-cut slab loads a sharded plan would schedule (for tests)."""
+    return stats.slab_loads(fanout)

@@ -13,6 +13,7 @@ out of the way of the paper's per-tuple benchmarks.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -58,13 +59,31 @@ def _parse_positive_int(value: object, what: str) -> int:
     return number
 
 
-def resolve_workers(workers: "Optional[int | str]" = None) -> int:
+def _worker_cap(cpu_count: Optional[int] = None) -> int:
+    """Largest worker count the machine sustains without oversubscription.
+
+    Never below 2: a two-process pool must stay viable even on one-core
+    boxes, because the forced-parallel CI lane (``SGB_WORKERS=2``) relies on
+    the pool really running there to exercise the multiprocess path.
+    """
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return max(2, cores)
+
+
+def resolve_workers(
+    workers: "Optional[int | str]" = None, cpu_count: Optional[int] = None
+) -> int:
     """Resolve a worker count: explicit argument > ``SGB_WORKERS`` env > 1.
 
     ``0`` or ``"auto"`` means "use every available core"
     (``os.cpu_count()``); ``None`` defers to the environment and defaults to
     serial.  Invalid values raise :class:`InvalidParameterError` so
     misconfiguration is loud rather than silently serial.
+
+    Numeric requests larger than the machine (argument or ``SGB_WORKERS``
+    alike) are clamped to :func:`_worker_cap` with a :class:`RuntimeWarning`
+    — spawning more grouping processes than cores only adds scheduling churn
+    and memory pressure, and used to silently oversubscribe the pool.
     """
     if workers is None:
         env = os.environ.get(ENV_WORKERS)
@@ -74,8 +93,18 @@ def resolve_workers(workers: "Optional[int | str]" = None) -> int:
     if isinstance(workers, str) and workers.strip().lower() == "auto":
         workers = 0
     count = _parse_positive_int(workers, "workers")
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
     if count == 0:
-        count = os.cpu_count() or 1
+        count = cores
+    cap = _worker_cap(cores)
+    if count > cap:
+        warnings.warn(
+            f"workers={count} exceeds this machine's capacity "
+            f"(cpu_count={cores}); clamping the pool to {cap}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        count = cap
     return count
 
 
@@ -107,14 +136,15 @@ def plan_shards(
         or (workers is None and env in ("0", "auto"))
     ):
         # "auto" sizes the pool from the machine.
-        requested = resolve_workers(workers)
+        requested = resolve_workers(workers, cpu_count=cpu_count)
         cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
         usable = max(1, min(requested, cores))
     else:
-        # A numeric request — argument or SGB_WORKERS alike — is honoured
-        # verbatim: oversubscribing cores is the caller's call (the forced-on
-        # CI job and single-core test boxes rely on the pool really running).
-        usable = resolve_workers(workers)
+        # A numeric request — argument or SGB_WORKERS alike — forces the
+        # parallel path, but resolve_workers clamps it to the machine's
+        # capacity (never below 2, so the forced-on CI job and single-core
+        # test boxes still really run the pool).
+        usable = resolve_workers(workers, cpu_count=cpu_count)
     if usable <= 1:
         return ShardPlan(workers=1, shards=1, parallel=False, reason="workers<=1")
     floor = _min_points()

@@ -1,0 +1,382 @@
+"""Lightweight per-batch statistics feeding the cost-based physical planner.
+
+A :class:`PointStats` summarises one point batch in O(n) with a fixed, small
+memory footprint: the count, the bounding box, and one fixed-width histogram
+per axis (:data:`STATS_BINS` bins over the axis extent).  Everything the cost
+model needs is derived from those histograms:
+
+* **pair selectivity** — the expected fraction of point pairs within ``eps``
+  (per-axis histogram self-convolution, combined across axes under an
+  independence assumption; exact for LINF boxes, a tight upper bound for L2);
+* **join selectivity** — the same convolution between *two* batches'
+  histograms, estimating how many cross pairs an eps-join will emit;
+* **partition-axis imbalance** — how unevenly the widest axis is populated,
+  which drives the adaptive shard fan-out (more shards than workers on skewed
+  inputs, so the worker pool can balance the uneven slabs).
+
+Statistics are cached on the :class:`PointSet` object itself (point sets are
+immutable, so the cache can never go stale); mutable relational tables cache
+their statistics keyed by a version counter that every insert/truncate bumps
+(see :meth:`repro.minidb.table.Table.point_stats`).
+
+Degenerate inputs are first-class: empty batches, single points, zero-width
+axes (all points sharing a coordinate), and duplicate-heavy batches all
+produce well-defined statistics without ever dividing by zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pointset import HAVE_NUMPY, NumpyPointSet, PointSet
+
+try:  # optional; the pure-Python fallback covers its absence
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the python backend
+    _np = None
+
+__all__ = [
+    "STATS_BINS",
+    "PointStats",
+    "collect_stats",
+    "stats_from_columns",
+    "synthetic_stats",
+]
+
+#: Number of fixed-width histogram bins per axis.  Small enough that the
+#: whole summary is a few KB, large enough to resolve the skew patterns the
+#: partitioner cares about (a handful of hot slabs along one axis).
+STATS_BINS = 64
+
+
+@dataclass(frozen=True)
+class PointStats:
+    """Summary statistics of one point batch.
+
+    ``histograms[axis][b]`` counts the points whose ``axis`` coordinate falls
+    into fixed-width bin ``b`` of the axis extent ``[low[axis], high[axis]]``.
+    A zero-width axis (all points share the coordinate) stores its whole
+    population in bin 0.
+    """
+
+    count: int
+    dims: int
+    low: Tuple[float, ...]
+    high: Tuple[float, ...]
+    histograms: Tuple[Tuple[int, ...], ...]
+
+    # -- geometry ----------------------------------------------------------
+
+    def extent(self, axis: int) -> float:
+        """Width of the bounding box along ``axis`` (0.0 when degenerate)."""
+        if not self.low:
+            return 0.0
+        return self.high[axis] - self.low[axis]
+
+    def widest_axis(self) -> int:
+        """The axis with the largest extent (the partitioner's cut axis)."""
+        if self.dims == 0:
+            return 0
+        return max(range(self.dims), key=self.extent)
+
+    def bin_width(self, axis: int) -> float:
+        """Width of one histogram bin along ``axis`` (0.0 when degenerate)."""
+        extent = self.extent(axis)
+        if extent <= 0.0 or not self.histograms:
+            return 0.0
+        return extent / len(self.histograms[axis])
+
+    # -- selectivity -------------------------------------------------------
+
+    def axis_pair_fraction(self, axis: int, eps: float) -> float:
+        """Estimated fraction of (ordered) point pairs within ``eps`` on ``axis``.
+
+        Histogram self-convolution: for every bin, the population of the bins
+        whose centres lie within ``eps``.  Degenerate axes (no width) return
+        1.0 — every pair trivially agrees along them.
+        """
+        if self.count == 0:
+            return 0.0
+        width = self.bin_width(axis)
+        if width <= 0.0:
+            return 1.0
+        histogram = self.histograms[axis]
+        radius = int(eps / width) + 1  # conservative: bin centres are coarse
+        total = 0
+        n_bins = len(histogram)
+        prefix = _prefix_sums(histogram)
+        for b, count in enumerate(histogram):
+            if not count:
+                continue
+            lo = max(0, b - radius)
+            hi = min(n_bins - 1, b + radius)
+            total += count * (prefix[hi + 1] - prefix[lo])
+        return min(1.0, total / (self.count * self.count))
+
+    def pair_fraction(self, eps: float) -> float:
+        """Estimated fraction of point pairs within ``eps`` under a box metric.
+
+        Product of the per-axis fractions (independence assumption).  Exact in
+        expectation for LINF; an upper bound for L2/L1, which is the right
+        bias for a cost model (never underestimates the verification work).
+        """
+        fraction = 1.0
+        for axis in range(self.dims):
+            fraction *= self.axis_pair_fraction(axis, eps)
+            if fraction == 0.0:
+                break
+        return fraction
+
+    def estimated_pairs(self, eps: float) -> float:
+        """Expected number of unordered within-eps pairs in the batch."""
+        if self.count < 2:
+            return 0.0
+        return self.pair_fraction(eps) * self.count * (self.count - 1) / 2.0
+
+    def estimated_groups(self, eps: float) -> int:
+        """Crude SGB group-count estimate: n over (1 + average eps-degree)."""
+        if self.count == 0:
+            return 0
+        degree = 2.0 * self.estimated_pairs(eps) / self.count
+        return max(1, round(self.count / (1.0 + degree)))
+
+    def cross_pair_fraction(self, other: "PointStats", axis: int, eps: float) -> float:
+        """Estimated fraction of cross pairs within ``eps`` along ``axis``."""
+        if self.count == 0 or other.count == 0:
+            return 0.0
+        width_a = self.bin_width(axis)
+        width_b = other.bin_width(axis)
+        if width_a <= 0.0 and width_b <= 0.0:
+            # Both axes are degenerate: compare the two shared coordinates.
+            return 1.0 if abs(self.low[axis] - other.low[axis]) <= eps else 0.0
+        hist_a = self.histograms[axis]
+        hist_b = other.histograms[axis]
+        centres_b = [
+            other.low[axis] + (b + 0.5) * width_b if width_b > 0.0 else other.low[axis]
+            for b in range(len(hist_b))
+        ]
+        prefix_b = _prefix_sums(hist_b)
+        reach = eps + 0.5 * (width_a + width_b)  # bin centres are coarse
+        total = 0
+        for b, count in enumerate(hist_a):
+            if not count:
+                continue
+            centre = (
+                self.low[axis] + (b + 0.5) * width_a if width_a > 0.0 else self.low[axis]
+            )
+            lo = _bisect_left(centres_b, centre - reach)
+            hi = _bisect_right(centres_b, centre + reach)
+            total += count * (prefix_b[hi] - prefix_b[lo])
+        return min(1.0, total / (self.count * other.count))
+
+    def estimated_join_pairs(self, other: "PointStats", eps: float) -> float:
+        """Expected eps-join output size against ``other`` (histogram overlap)."""
+        if self.count == 0 or other.count == 0:
+            return 0.0
+        fraction = 1.0
+        for axis in range(min(self.dims, other.dims)):
+            fraction *= self.cross_pair_fraction(other, axis, eps)
+            if fraction == 0.0:
+                break
+        return fraction * self.count * other.count
+
+    # -- skew --------------------------------------------------------------
+
+    def axis_imbalance(self, axis: Optional[int] = None) -> float:
+        """Skew of the (widest) axis: max occupied-bin load over the mean.
+
+        1.0 means perfectly uniform occupancy; large values mean a few bins
+        hold most of the points, so equal-width slabs would leave most
+        workers idle — the planner responds with a finer shard fan-out.
+        """
+        if self.count == 0 or not self.histograms:
+            return 1.0
+        if axis is None:
+            axis = self.widest_axis()
+        occupied = [c for c in self.histograms[axis] if c > 0]
+        if not occupied:
+            return 1.0
+        mean = sum(occupied) / len(occupied)
+        return max(occupied) / mean if mean > 0 else 1.0
+
+    def occupied_bins(self, axis: Optional[int] = None) -> int:
+        """Number of populated histogram bins along the (widest) axis."""
+        if not self.histograms:
+            return 0
+        if axis is None:
+            axis = self.widest_axis()
+        return sum(1 for c in self.histograms[axis] if c > 0)
+
+    def slab_loads(self, n_slabs: int, axis: Optional[int] = None) -> List[int]:
+        """Balanced-cut slab populations along the (widest) axis.
+
+        Mirrors the partitioner's cumulative-histogram cut placement on the
+        coarse statistics bins: walk the histogram, cutting whenever the
+        cumulative load reaches the next balanced target.  The result is what
+        the worker pool will actually have to schedule, so its maximum drives
+        the makespan estimate.
+        """
+        if self.count == 0 or n_slabs <= 1 or not self.histograms:
+            return [self.count]
+        if axis is None:
+            axis = self.widest_axis()
+        histogram = self.histograms[axis]
+        loads: List[int] = []
+        current = 0
+        done = 0
+        for count in histogram:
+            current += count
+            target = (len(loads) + 1) * self.count / n_slabs
+            if done + current >= target and len(loads) < n_slabs - 1:
+                loads.append(current)
+                done += current
+                current = 0
+        loads.append(current)
+        return [load for load in loads if load > 0] or [self.count]
+
+
+def _prefix_sums(values: Sequence[int]) -> List[int]:
+    out = [0]
+    for v in values:
+        out.append(out[-1] + v)
+    return out
+
+
+def _bisect_left(values: List[float], x: float) -> int:
+    from bisect import bisect_left
+
+    return bisect_left(values, x)
+
+
+def _bisect_right(values: List[float], x: float) -> int:
+    from bisect import bisect_right
+
+    return bisect_right(values, x)
+
+
+# ---------------------------------------------------------------------------
+# collection
+# ---------------------------------------------------------------------------
+
+
+def collect_stats(ps: PointSet, bins: int = STATS_BINS) -> PointStats:
+    """Collect (or fetch cached) statistics for one :class:`PointSet`.
+
+    Point sets are immutable, so the summary is computed once per object and
+    memoised on it; repeated planning of the same batch is free.
+    """
+    cached = getattr(ps, "_cached_stats", None)
+    if cached is not None and cached_bins(cached) == bins:
+        return cached
+    stats = _compute_stats(ps, bins)
+    try:
+        ps._cached_stats = stats  # type: ignore[attr-defined]
+    except AttributeError:  # pragma: no cover - slotted subclasses
+        pass
+    return stats
+
+
+def cached_bins(stats: PointStats) -> int:
+    """Bin count of a collected summary (bins of the first axis histogram)."""
+    if not stats.histograms:
+        return STATS_BINS
+    return len(stats.histograms[0])
+
+
+def _compute_stats(ps: PointSet, bins: int) -> PointStats:
+    n = len(ps)
+    if n == 0:
+        return PointStats(count=0, dims=ps.dims, low=(), high=(), histograms=())
+    dims = ps.dims
+    if HAVE_NUMPY and isinstance(ps, NumpyPointSet):
+        arr = ps.array
+        low = arr.min(axis=0)
+        high = arr.max(axis=0)
+        histograms = []
+        for axis in range(dims):
+            extent = float(high[axis] - low[axis])
+            if extent <= 0.0:
+                histogram = [0] * bins
+                histogram[0] = n
+            else:
+                slot = _np.clip(
+                    ((arr[:, axis] - low[axis]) / extent * bins).astype(_np.int64),
+                    0,
+                    bins - 1,
+                )
+                histogram = _np.bincount(slot, minlength=bins).tolist()
+            histograms.append(tuple(histogram))
+        return PointStats(
+            count=n,
+            dims=dims,
+            low=tuple(low.tolist()),
+            high=tuple(high.tolist()),
+            histograms=tuple(histograms),
+        )
+    tuples = ps.to_tuples()
+    low_list = list(tuples[0])
+    high_list = list(tuples[0])
+    for pt in tuples[1:]:
+        for axis, c in enumerate(pt):
+            if c < low_list[axis]:
+                low_list[axis] = c
+            elif c > high_list[axis]:
+                high_list[axis] = c
+    histogram_lists = [[0] * bins for _ in range(dims)]
+    extents = [high_list[a] - low_list[a] for a in range(dims)]
+    for pt in tuples:
+        for axis, c in enumerate(pt):
+            if extents[axis] <= 0.0:
+                histogram_lists[axis][0] += 1
+            else:
+                slot = int((c - low_list[axis]) / extents[axis] * bins)
+                histogram_lists[axis][min(max(slot, 0), bins - 1)] += 1
+    return PointStats(
+        count=n,
+        dims=dims,
+        low=tuple(low_list),
+        high=tuple(high_list),
+        histograms=tuple(tuple(h) for h in histogram_lists),
+    )
+
+
+def stats_from_columns(
+    columns: Sequence[Sequence[float]], bins: int = STATS_BINS
+) -> PointStats:
+    """Collect statistics directly from per-axis column vectors."""
+    if not columns or len(columns[0]) == 0:
+        return PointStats(count=0, dims=len(columns), low=(), high=(), histograms=())
+    return _compute_stats(PointSet.from_columns(columns), bins)
+
+
+def synthetic_stats(
+    count: int,
+    dims: int = 2,
+    low: float = 0.0,
+    high: float = 1.0,
+    bins: int = STATS_BINS,
+) -> PointStats:
+    """A uniform-occupancy summary for inputs whose data is not yet known.
+
+    The SQL ``EXPLAIN`` path uses this when an SGB/join input is a derived
+    relation (no base table to sample): the planner still gets a count and a
+    neutral skew of 1.0, it just cannot see histogram structure.
+    """
+    count = max(0, int(count))
+    if count == 0 or dims <= 0:
+        return PointStats(count=count, dims=max(dims, 0), low=(), high=(), histograms=())
+    base, extra = divmod(count, bins)
+    histogram = tuple(base + (1 if b < extra else 0) for b in range(bins))
+    return PointStats(
+        count=count,
+        dims=dims,
+        low=tuple([low] * dims),
+        high=tuple([high] * dims),
+        histograms=tuple([histogram] * dims),
+    )
+
+
+def stats_key(stats: PointStats) -> Tuple[int, int, Tuple[float, ...], Tuple[float, ...]]:
+    """A tiny hashable identity of a summary (used by plan caches and tests)."""
+    return (stats.count, stats.dims, stats.low, stats.high)

@@ -29,7 +29,7 @@ WITHIN eps`` (or ``... KNN k``) through :class:`repro.minidb.Database`.
 """
 
 from repro.join.api import sim_join
-from repro.join.epsilon import eps_join, eps_join_allpairs
+from repro.join.epsilon import JoinResult, eps_join, eps_join_allpairs
 from repro.join.fused import FusedJoinGroups, fused_join_group
 from repro.join.knn import knn_join
 from repro.join.knn_sharded import knn_join_sharded
@@ -37,6 +37,7 @@ from repro.join.sharded import eps_join_sharded
 
 __all__ = [
     "sim_join",
+    "JoinResult",
     "eps_join",
     "eps_join_allpairs",
     "eps_join_sharded",

@@ -30,9 +30,22 @@ try:  # optional; the scalar nested loop below covers its absence
 except ImportError:  # pragma: no cover - exercised via the python backend
     _np = None
 
-__all__ = ["eps_join", "eps_join_allpairs"]
+__all__ = ["JoinResult", "eps_join", "eps_join_allpairs"]
 
 JoinPairs = List[Tuple[int, int]]
+
+
+class JoinResult(List[Tuple[int, int]]):
+    """A join's pair list, annotated with the planner's choice.
+
+    Behaves exactly like the plain ``list`` the joins have always returned
+    (equality, ordering, slicing are inherited), plus a ``plan`` attribute
+    carrying the :class:`~repro.engine.cost.PhysicalPlan` when the caller
+    delegated the mode choice (``workers="auto"`` / no knob); ``None`` for
+    forced modes.  Purely informational — plans never change pairs.
+    """
+
+    plan = None
 
 #: Row-block size of the vectorised all-pairs baseline (bounds the size of
 #: the ``block x n_right`` distance temporaries).
@@ -69,19 +82,45 @@ def eps_join(
     yields, so the result is canonical regardless of the execution path.
 
     ``workers`` routes the join through the sharded engine partitioner
-    (:func:`repro.join.sharded.eps_join_sharded`): ``N > 1`` uses up to N
-    worker processes, ``0``/``"auto"`` uses every core, and ``None``
-    (default) defers to the ``SGB_WORKERS`` environment variable, staying
-    serial when it is unset.  The sharded result is bit-identical to the
-    serial one.
+    (:func:`repro.join.sharded.eps_join_sharded`): ``N > 1`` forces up to N
+    worker processes, while ``0`` / ``"auto"`` — or ``None`` with no numeric
+    ``SGB_WORKERS`` in the environment — delegates the all-pairs vs grid vs
+    sharded choice to the cost planner (:mod:`repro.engine.cost`), whose
+    selectivity estimate comes from the two sides' histogram overlap; the
+    chosen plan is recorded on the returned :class:`JoinResult`.  Every
+    path's pair list is bit-identical.
     """
     metric = resolve_metric(metric)
     eps = PointSet._check_eps(eps)
     left_ps, right_ps = _normalise_sides(left, right, backend)
     if len(left_ps) == 0 or len(right_ps) == 0:
         return []
+    from repro.engine.cost import planner_delegated
     from repro.engine.planner import resolve_workers
 
+    if planner_delegated(workers):
+        from repro.engine.cost import plan_eps_join
+        from repro.engine.stats import collect_stats
+
+        plan = plan_eps_join(collect_stats(left_ps), collect_stats(right_ps), eps)
+        if plan.mode == "sharded":
+            from repro.join.sharded import eps_join_sharded
+
+            pairs = eps_join_sharded(
+                left_ps,
+                right_ps,
+                eps,
+                metric=metric,
+                workers=plan.workers,
+                shards=plan.shards,
+            )
+        elif plan.mode == "allpairs":
+            pairs = eps_join_allpairs(left_ps, right_ps, eps, metric=metric)
+        else:
+            pairs = sorted(left_ps.cross_within(right_ps, eps, metric))
+        result = JoinResult(pairs)
+        result.plan = plan
+        return result
     if resolve_workers(workers) > 1:
         from repro.join.sharded import eps_join_sharded
 

@@ -159,19 +159,44 @@ def knn_join(
     never padding.
 
     ``workers`` shards the left relation through the engine partitioner
-    (:func:`repro.join.knn_sharded.knn_join_sharded`): ``N > 1`` uses up to
-    N worker processes, ``0``/``"auto"`` uses every core, and ``None``
-    (default) defers to the ``SGB_WORKERS`` environment variable, staying
-    serial when it is unset.  The sharded result is bit-identical to the
-    serial one.
+    (:func:`repro.join.knn_sharded.knn_join_sharded`): ``N > 1`` forces up
+    to N worker processes, while ``0`` / ``"auto"`` — or ``None`` with no
+    numeric ``SGB_WORKERS`` in the environment — delegates the serial vs
+    sharded choice to the cost planner (:mod:`repro.engine.cost`), recording
+    the chosen plan on the returned
+    :class:`~repro.join.epsilon.JoinResult`.  The sharded result is
+    bit-identical to the serial one.
     """
     k = _check_k(k)
     metric = resolve_metric(metric)
     left_ps, right_ps = _normalise_sides(left, right, backend)
     if len(left_ps) == 0 or len(right_ps) == 0:
         return []
+    from repro.engine.cost import planner_delegated
     from repro.engine.planner import resolve_workers
 
+    if planner_delegated(workers):
+        from repro.engine.cost import plan_knn_join
+        from repro.engine.stats import collect_stats
+        from repro.join.epsilon import JoinResult
+
+        plan = plan_knn_join(collect_stats(left_ps), collect_stats(right_ps), k)
+        if plan.mode == "sharded":
+            from repro.join.knn_sharded import knn_join_sharded
+
+            pairs = knn_join_sharded(
+                left_ps,
+                right_ps,
+                k,
+                metric=metric,
+                workers=plan.workers,
+                shards=plan.shards,
+            )
+        else:
+            pairs = _knn_serial(left_ps, right_ps, k, metric)
+        result = JoinResult(pairs)
+        result.plan = plan
+        return result
     if resolve_workers(workers) > 1:
         from repro.join.knn_sharded import knn_join_sharded
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import PlanningError
 from repro.minidb.catalog import Catalog
@@ -13,10 +13,14 @@ from repro.minidb.schema import Schema
 from repro.minidb.sql.ast import (
     CreateTableStatement,
     DropTableStatement,
+    ExplainStatement,
     InsertStatement,
     SelectStatement,
     Statement,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cost import PhysicalPlan
 from repro.minidb.sql.parser import parse_sql
 from repro.minidb.table import Table
 from repro.minidb.types import DataType
@@ -32,6 +36,10 @@ class QueryResult:
     rows: List[Tuple[object, ...]] = field(default_factory=list)
     rowcount: int = 0
     statement: str = ""
+    #: The cost planner's choice for the statement's similarity operator
+    #: (mode, worker/shard fan-out, estimated cost), when one delegated to
+    #: it at execution time; None for forced WORKERS paths and plain queries.
+    plan: "Optional[PhysicalPlan]" = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -58,6 +66,18 @@ class QueryResult:
     def to_dicts(self) -> List[dict]:
         """Return the rows as dictionaries keyed by column name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def _collect_last_plan(node) -> "Optional[PhysicalPlan]":
+    """The topmost similarity operator's executed plan, if any delegated."""
+    found = getattr(node, "last_plan", None)
+    if found is not None:
+        return found
+    for child in node.children():
+        found = _collect_last_plan(child)
+        if found is not None:
+            return found
+    return None
 
 
 class Database:
@@ -132,8 +152,15 @@ class Database:
         return self._execute_statement(statement, sql, sgb_strategy)
 
     def explain(self, sql: str, sgb_strategy: Optional[str] = None) -> str:
-        """Return the physical plan of a SELECT statement as text."""
+        """Return the physical plan of a SELECT statement as text.
+
+        Accepts either a bare ``SELECT ...`` or a full ``EXPLAIN SELECT ...``
+        statement; both show the tree with the cost planner's mode choices
+        and estimates, without executing the query.
+        """
         statement = parse_sql(sql)
+        if isinstance(statement, ExplainStatement):
+            statement = statement.query
         if not isinstance(statement, SelectStatement):
             raise PlanningError("EXPLAIN is only supported for SELECT statements")
         planner = self._planner(sgb_strategy)
@@ -156,6 +183,16 @@ class Database:
     def _execute_statement(
         self, statement: Statement, sql: str, sgb_strategy: Optional[str]
     ) -> QueryResult:
+        if isinstance(statement, ExplainStatement):
+            planner = self._planner(sgb_strategy)
+            plan = planner.plan_select(statement.query)
+            lines = plan.explain().splitlines()
+            return QueryResult(
+                columns=["QUERY PLAN"],
+                rows=[(line,) for line in lines],
+                rowcount=len(lines),
+                statement=sql,
+            )
         if isinstance(statement, SelectStatement):
             planner = self._planner(sgb_strategy)
             plan = planner.plan_select(statement)
@@ -165,6 +202,7 @@ class Database:
                 rows=rows,
                 rowcount=len(rows),
                 statement=sql,
+                plan=_collect_last_plan(plan),
             )
         if isinstance(statement, CreateTableStatement):
             self.catalog.create_table(statement.name, statement.columns)

@@ -12,12 +12,15 @@ row columns.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 from repro.core.pointset import PointSet
 from repro.exceptions import ExecutionError, InvalidParameterError
 from repro.minidb.exec.operators import PhysicalOperator, Row
 from repro.minidb.expressions import Expression, compile_expression
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cost import PhysicalPlan
 
 __all__ = ["SimilarityJoin"]
 
@@ -61,6 +64,9 @@ class SimilarityJoin(PhysicalOperator):
         self.schema = left.schema.concat(right.schema)
         self._left_fns = [compile_expression(e, left.schema) for e in left_exprs]
         self._right_fns = [compile_expression(e, right.schema) for e in right_exprs]
+        #: The physical plan the cost planner chose at execution time (None
+        #: until the join has run, and on the forced legacy WORKERS paths).
+        self.last_plan: "Optional[PhysicalPlan]" = None
 
     def rows(self) -> Iterator[Row]:
         pairs, left_rows, right_rows = self.materialize()
@@ -100,6 +106,7 @@ class SimilarityJoin(PhysicalOperator):
             # Surface core-layer validation (e.g. NaN join attributes) as an
             # executor error so engine callers see a DatabaseError.
             raise ExecutionError(f"invalid similarity join attributes: {exc}") from exc
+        self.last_plan = getattr(pairs, "plan", None)
         return pairs, left_rows, right_rows
 
     @staticmethod
@@ -113,6 +120,37 @@ class SimilarityJoin(PhysicalOperator):
             raise ExecutionError(
                 f"similarity join attribute value {value!r} is not numeric"
             ) from exc
+
+    def _static_plan(self) -> "Optional[PhysicalPlan]":
+        """The plan EXPLAIN shows, mirroring what execution would choose."""
+        from repro.engine.cost import plan_eps_join, plan_knn_join, planner_delegated
+        from repro.minidb.exec.statics import trace_point_stats
+
+        if not planner_delegated(self.workers):
+            return None
+        dims = len(self.left_exprs)
+        left_stats = trace_point_stats(self.left, self.left_exprs, dims)
+        right_stats = trace_point_stats(self.right, self.right_exprs, dims)
+        if self.eps is not None:
+            return plan_eps_join(left_stats, right_stats, self.eps)
+        return plan_knn_join(left_stats, right_stats, int(self.k or 1))
+
+    def annotations(self) -> List[str]:
+        if self.last_plan is not None:
+            return [self.last_plan.describe()]
+        from repro.engine.cost import planner_delegated
+        from repro.engine.planner import resolve_workers
+
+        if not planner_delegated(self.workers):
+            count = resolve_workers(self.workers)
+            mode = "sharded" if count > 1 else "serial"
+            return [f"mode={mode} workers={count} (forced by WORKERS)"]
+        plan = self._static_plan()
+        return [plan.describe()] if plan is not None else []
+
+    def estimated_rows(self) -> Optional[int]:
+        plan = self.last_plan if self.last_plan is not None else self._static_plan()
+        return plan.est_rows if plan is not None else None
 
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.left, self.right)

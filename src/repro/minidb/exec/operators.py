@@ -45,9 +45,20 @@ class PhysicalOperator(ABC):
         """Yield output rows."""
 
     def explain(self, indent: int = 0) -> str:
-        """Return a human-readable plan-tree fragment."""
+        """Return a human-readable plan-tree fragment.
+
+        Operators with planner estimates append their head line with
+        ``(est_rows=...)`` and indent one extra ``-> ...`` line per
+        :meth:`annotations` entry (mode choices, estimated costs).
+        """
         pad = "  " * indent
-        lines = [f"{pad}{self.describe()}"]
+        head = self.describe()
+        estimate = self.estimated_rows()
+        if estimate is not None:
+            head = f"{head}  (est_rows={estimate})"
+        lines = [f"{pad}{head}"]
+        for note in self.annotations():
+            lines.append(f"{pad}   -> {note}")
         for child in self.children():
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
@@ -55,6 +66,14 @@ class PhysicalOperator(ABC):
     def describe(self) -> str:
         """One-line description of the operator."""
         return type(self).__name__
+
+    def annotations(self) -> List[str]:
+        """Extra EXPLAIN detail lines (chosen mode, estimated cost); none by default."""
+        return []
+
+    def estimated_rows(self) -> "Optional[int]":
+        """The planner's output-cardinality estimate, when one is known."""
+        return None
 
     def children(self) -> Sequence["PhysicalOperator"]:
         """Return the child operators."""
@@ -80,6 +99,9 @@ class SeqScan(PhysicalOperator):
             return f"SeqScan({self.table.name} AS {self.alias})"
         return f"SeqScan({self.table.name})"
 
+    def estimated_rows(self) -> Optional[int]:
+        return len(self.table)
+
 
 class ValuesScan(PhysicalOperator):
     """Produce a fixed list of rows (used for materialised intermediate results)."""
@@ -93,6 +115,9 @@ class ValuesScan(PhysicalOperator):
 
     def describe(self) -> str:
         return f"ValuesScan({len(self._rows)} rows)"
+
+    def estimated_rows(self) -> Optional[int]:
+        return len(self._rows)
 
 
 class Rename(PhysicalOperator):

@@ -15,14 +15,16 @@ a single one.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 from repro.core.overlap import OverlapAction
 from repro.core.pointset import PointSet
 from repro.core.result import GroupingResult, canonicalize_groups
 from repro.core.sgb_all import SGBAllGrouper, SGBAllStrategy
 from repro.core.sgb_any import SGBAnyGrouper, SGBAnyStrategy
+from repro.engine.cost import plan_sgb_all, plan_sgb_any, planner_delegated
 from repro.engine.planner import resolve_workers
+from repro.engine.stats import collect_stats
 from repro.engine.workers import sgb_any_sharded
 from repro.exceptions import CatalogError, ExecutionError, InvalidParameterError
 from repro.minidb.exec.aggregate import AggregateSpec, _AggregateEvaluator
@@ -35,6 +37,9 @@ from repro.minidb.exec.pushdown import (
 from repro.minidb.expressions import ColumnRef, Expression, compile_expression
 from repro.minidb.schema import Column, Schema
 from repro.minidb.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cost import PhysicalPlan
 
 __all__ = ["SGBAggregate"]
 
@@ -76,6 +81,9 @@ class SGBAggregate(PhysicalOperator):
         self.slide = slide
         self.key_exprs = list(key_exprs)
         self.aggregates = list(aggregates)
+        #: The physical plan the cost planner chose at execution time (None
+        #: until rows() has run, and on the forced legacy WORKERS paths).
+        self.last_plan: "Optional[PhysicalPlan]" = None
         self._key_fns = [compile_expression(e, child.schema) for e in key_exprs]
         self._evaluator = _AggregateEvaluator(aggregates, child.schema)
         columns = (
@@ -107,6 +115,7 @@ class SGBAggregate(PhysicalOperator):
         return SGBAnyGrouper(eps=self.eps, metric=self.metric, strategy=strategy)
 
     def rows(self) -> Iterator[Row]:
+        self.last_plan = None
         fused = self._trace_fusable_join()
         if fused is not None:
             yield from self._fused_join_rows(*fused)
@@ -214,9 +223,13 @@ class SGBAggregate(PhysicalOperator):
     def _group(self, buffered: List[Row], columns: List[List[float]]) -> GroupingResult:
         """Group the buffered batch, in parallel shards when workers allow.
 
-        SGB-Any with ``WORKERS > 1`` (clause option, session default, or the
-        ``SGB_WORKERS`` environment variable) goes through the sharded engine;
-        SGB-All's arbitration is order-dependent, so it always runs serially.
+        Without an explicit worker count (no WORKERS clause and ``SGB_WORKERS``
+        unset or ``auto``) SGB-Any delegates the mode choice to the cost
+        planner, which scores serial vs sharded execution from the batch's
+        statistics.  SGB-Any with a numeric ``WORKERS > 1`` (clause option,
+        session default, or the environment variable) is forced through the
+        sharded engine; SGB-All's arbitration is order-dependent, so it
+        always runs serially regardless.
         """
         if not buffered:
             return GroupingResult.empty()
@@ -225,14 +238,30 @@ class SGBAggregate(PhysicalOperator):
         # The strategy gate mirrors _make_grouper: everything except
         # ALL_PAIRS maps onto the INDEX pipeline, which is exactly what the
         # sharded engine runs per shard.
-        parallel = (
+        shardable = (
             self.kind == "any"
             and SGBAllStrategy.parse(self.strategy) is not SGBAllStrategy.ALL_PAIRS
-            and resolve_workers(self.workers) > 1
+        )
+        delegated = shardable and planner_delegated(self.workers)
+        parallel = (
+            shardable and not delegated and resolve_workers(self.workers) > 1
         )
         try:
             points = PointSet.from_columns(columns)
-            if parallel:
+            if delegated:
+                plan = plan_sgb_any(collect_stats(points), self.eps)
+                self.last_plan = plan
+                if plan.mode == "sharded":
+                    result = sgb_any_sharded(
+                        points,
+                        eps=self.eps,
+                        metric=self.metric,
+                        workers=plan.workers,
+                        shards=plan.shards,
+                    )
+                    result.plan = plan
+                    return result
+            elif parallel:
                 return sgb_any_sharded(
                     points, eps=self.eps, metric=self.metric, workers=self.workers
                 )
@@ -244,7 +273,9 @@ class SGBAggregate(PhysicalOperator):
             raise ExecutionError(
                 f"invalid similarity grouping attributes: {exc}"
             ) from exc
-        return grouper.finalize()
+        result = grouper.finalize()
+        result.plan = self.last_plan
+        return result
 
     def _try_pushdown(self, buffered: List[Row], columns: List[List[float]]):
         """Shard-level aggregate push-down; ``None`` keeps the replay path.
@@ -252,17 +283,27 @@ class SGBAggregate(PhysicalOperator):
         Eligible only for the same parallel SGB-Any configurations
         :meth:`_group` shards, and only when merging worker-side partial
         aggregate states provably reproduces the coordinator replay (see
-        :mod:`repro.minidb.exec.pushdown`).  SGB-All — including its
-        ELIMINATE arbitration — never reaches this path: it always groups
-        serially and replays row-at-a-time.
+        :mod:`repro.minidb.exec.pushdown`).  Under a forced numeric WORKERS
+        count, every mergeable aggregate list qualifies (the legacy
+        behaviour); under cost-planner delegation only ``COUNT(*)``-style
+        star lists push down — no value columns are shipped, so the win is
+        unconditional — and only when the planner shards the grouping
+        anyway.  SGB-All — including its ELIMINATE arbitration — never
+        reaches this path: it always groups serially and replays
+        row-at-a-time.
         """
         if (
             not buffered
             or self.kind != "any"
             or SGBAllStrategy.parse(self.strategy) is SGBAllStrategy.ALL_PAIRS
-            or resolve_workers(self.workers) < 2
             or not pushdown_eligible(self.aggregates)
         ):
+            return None
+        delegated = planner_delegated(self.workers)
+        if delegated:
+            if not all(spec.star for spec in self.aggregates):
+                return None
+        elif resolve_workers(self.workers) < 2:
             return None
         agg_columns = self._evaluator.value_columns(buffered)
         if not columns_eligible(self.aggregates, agg_columns):
@@ -273,6 +314,23 @@ class SGBAggregate(PhysicalOperator):
             raise ExecutionError(
                 f"invalid similarity grouping attributes: {exc}"
             ) from exc
+        if delegated:
+            plan = plan_sgb_any(collect_stats(points), self.eps)
+            if plan.mode != "sharded":
+                return None
+            pushed = sgb_any_pushdown(
+                points,
+                self.eps,
+                self.metric,
+                plan.workers,
+                self.aggregates,
+                agg_columns,
+                shards=plan.shards,
+            )
+            if pushed is not None:
+                self.last_plan = plan
+                pushed[0].plan = plan
+            return pushed
         return sgb_any_pushdown(
             points, self.eps, self.metric, self.workers, self.aggregates, agg_columns
         )
@@ -432,6 +490,48 @@ class SGBAggregate(PhysicalOperator):
             raise ExecutionError(
                 f"similarity grouping attribute value {value!r} is not numeric"
             ) from exc
+
+    # ------------------------------------------------------------------
+    # EXPLAIN support
+    # ------------------------------------------------------------------
+
+    def _static_plan(self) -> "Optional[PhysicalPlan]":
+        """The plan EXPLAIN shows, mirroring what execution would choose.
+
+        Statistics come from :func:`trace_point_stats`: the base table's
+        cached summary when every grouping key traces to one of its columns,
+        a synthetic cardinality-only summary otherwise.
+        """
+        from repro.minidb.exec.statics import trace_point_stats
+
+        if self.window is not None or not planner_delegated(self.workers):
+            return None
+        stats = trace_point_stats(self.child, self.key_exprs, len(self.key_exprs))
+        if self.kind == "all":
+            return plan_sgb_all(stats, self.eps)
+        if SGBAllStrategy.parse(self.strategy) is SGBAllStrategy.ALL_PAIRS:
+            return None
+        return plan_sgb_any(stats, self.eps)
+
+    def annotations(self) -> List[str]:
+        if self.last_plan is not None:
+            return [self.last_plan.describe()]
+        if self.window is not None:
+            slide = self.slide if self.slide is not None else self.window
+            return [f"mode=streaming window={self.window} slide={slide}"]
+        if not planner_delegated(self.workers):
+            count = resolve_workers(self.workers)
+            if self.kind == "any" and count > 1:
+                return [f"mode=sharded workers={count} (forced by WORKERS)"]
+            return [f"mode=serial workers={count} (forced by WORKERS)"]
+        plan = self._static_plan()
+        if plan is not None:
+            return [plan.describe()]
+        return []
+
+    def estimated_rows(self) -> Optional[int]:
+        plan = self.last_plan if self.last_plan is not None else self._static_plan()
+        return plan.est_rows if plan is not None else None
 
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)

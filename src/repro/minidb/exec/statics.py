@@ -1,0 +1,83 @@
+"""Static (pre-execution) statistics tracing for EXPLAIN.
+
+``EXPLAIN`` must show the cost planner's mode choice without running the
+query, so the similarity operators trace their key/coordinate expressions
+down the operator tree to a base table and read that table's cached
+:meth:`~repro.minidb.table.Table.point_stats` summary.  Only
+column-preserving wrappers are walked through — ``Filter`` (pass-through
+schema) and ``Rename`` (positional re-qualification).  Anything else, or a
+key that is not a bare column reference, degrades to a uniform synthetic
+summary at the subtree's estimated cardinality; the planner then still has
+a count to reason from, just no skew information.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.exceptions import CatalogError
+from repro.minidb.expressions import ColumnRef, Expression
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.stats import PointStats
+    from repro.minidb.exec.operators import PhysicalOperator
+
+__all__ = ["estimated_subtree_rows", "trace_point_stats"]
+
+
+def estimated_subtree_rows(node: "PhysicalOperator") -> Optional[int]:
+    """First cardinality estimate found walking down the left spine."""
+    current: "Optional[PhysicalOperator]" = node
+    while current is not None:
+        estimate = current.estimated_rows()
+        if estimate is not None:
+            return estimate
+        children = current.children()
+        current = children[0] if children else None
+    return None
+
+
+def trace_point_stats(
+    node: "PhysicalOperator", exprs: Sequence[Expression], dims: int
+) -> "PointStats":
+    """Statistics for ``exprs`` evaluated over ``node``, without executing it."""
+    from repro.engine.stats import synthetic_stats
+    from repro.minidb.exec.operators import Filter, Rename, SeqScan
+
+    def fallback() -> "PointStats":
+        return synthetic_stats(estimated_subtree_rows(node) or 0, dims=dims)
+
+    current = node
+    refs: List[Expression] = list(exprs)
+    while True:
+        if not all(isinstance(e, ColumnRef) for e in refs):
+            return fallback()
+        if isinstance(current, SeqScan):
+            try:
+                positions = [
+                    current.schema.index_of(e.name, e.qualifier) for e in refs
+                ]
+            except CatalogError:
+                return fallback()
+            return current.table.point_stats(positions)
+        if isinstance(current, Filter):
+            current = current.child
+            continue
+        if isinstance(current, Rename):
+            try:
+                positions = [
+                    current.schema.index_of(e.name, e.qualifier) for e in refs
+                ]
+            except CatalogError:
+                return fallback()
+            child_schema = current.child.schema
+            refs = [
+                ColumnRef(
+                    child_schema.columns[p].name,
+                    child_schema.columns[p].qualifier,
+                )
+                for p in positions
+            ]
+            current = current.child
+            continue
+        return fallback()

@@ -21,6 +21,7 @@ __all__ = [
     "CreateTableStatement",
     "InsertStatement",
     "DropTableStatement",
+    "ExplainStatement",
 ]
 
 
@@ -159,3 +160,16 @@ class DropTableStatement(Statement):
     """``DROP TABLE name``."""
 
     name: str
+
+
+@dataclass(frozen=True)
+class ExplainStatement(Statement):
+    """``EXPLAIN SELECT ...``: show the chosen physical plan, don't run it.
+
+    The wrapped query is planned exactly as execution would plan it —
+    including the cost-based mode choices of the similarity operators — and
+    the plan tree is returned as rows, one line per row, with each
+    operator's estimated cost annotations.
+    """
+
+    query: SelectStatement

@@ -23,6 +23,7 @@ from repro.minidb.expressions import (
 from repro.minidb.sql.ast import (
     CreateTableStatement,
     DropTableStatement,
+    ExplainStatement,
     FromItem,
     GroupBySpec,
     InsertStatement,
@@ -141,6 +142,8 @@ class Parser:
         return statement
 
     def _parse_statement_body(self) -> Statement:
+        if self._check_keyword("EXPLAIN"):
+            return self._parse_explain()
         if self._check_keyword("SELECT"):
             return self.parse_select()
         if self._check_keyword("CREATE"):
@@ -154,6 +157,18 @@ class Parser:
             f"unsupported statement starting with {token.value!r}",
             position=token.position,
         )
+
+    # -- EXPLAIN ----------------------------------------------------------
+
+    def _parse_explain(self) -> ExplainStatement:
+        self._expect_keyword("EXPLAIN")
+        token = self._peek()
+        if not self._check_keyword("SELECT"):
+            raise SqlSyntaxError(
+                "EXPLAIN supports only SELECT statements",
+                position=token.position,
+            )
+        return ExplainStatement(query=self.parse_select())
 
     # -- CREATE TABLE -----------------------------------------------------
 

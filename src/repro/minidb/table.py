@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.exceptions import SchemaError
 from repro.minidb.schema import Schema
 from repro.minidb.types import coerce_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.stats import PointStats
 
 __all__ = ["Table"]
 
@@ -14,12 +17,21 @@ Row = Tuple[object, ...]
 
 
 class Table:
-    """An in-memory heap table."""
+    """An in-memory heap table.
+
+    ``version`` counts mutations (inserts and truncates); the per-column-set
+    statistics cache behind :meth:`point_stats` is keyed by it, so a summary
+    collected for the cost planner is reused until the table changes and
+    never served stale.
+    """
 
     def __init__(self, name: str, schema: Schema) -> None:
         self.name = name.lower()
         self.schema = schema
         self.rows: List[Row] = []
+        self.version = 0
+        #: column positions -> (version the summary was built at, summary)
+        self._stats_cache: "Dict[Tuple[int, ...], Tuple[int, PointStats]]" = {}
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -38,6 +50,7 @@ class Table:
             for value, column in zip(values, self.schema.columns)
         )
         self.rows.append(row)
+        self.version += 1
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
         """Validate and append many rows; return the number inserted."""
@@ -50,3 +63,29 @@ class Table:
     def truncate(self) -> None:
         """Remove every row, keeping the schema."""
         self.rows.clear()
+        self.version += 1
+
+    def point_stats(self, columns: Sequence[int]) -> "PointStats":
+        """Planner statistics over the numeric columns at ``columns``.
+
+        Collected lazily (one O(n) pass), cached per column set, and
+        invalidated by any mutation via the ``version`` counter.  Non-numeric
+        values in the selected columns make the summary degrade to a
+        count-only estimate rather than raising — the planner can always
+        fall back to cardinality alone.
+        """
+        key = tuple(columns)
+        cached = self._stats_cache.get(key)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        from repro.engine.stats import stats_from_columns, synthetic_stats
+
+        try:
+            vectors = [
+                [float(row[position]) for row in self.rows] for position in key
+            ]
+            stats = stats_from_columns(vectors)
+        except Exception:  # noqa: BLE001 - stats must never fail a query
+            stats = synthetic_stats(len(self.rows), dims=max(1, len(key)))
+        self._stats_cache[key] = (self.version, stats)
+        return stats

@@ -207,7 +207,20 @@ class StreamingSGB:
         then stays incremental, which is strictly cheaper.  Tick windows
         carry no point-count bound, so they keep the requested sharding and
         rely on the same per-flush planner check inside the engine.
+
+        A delegated mode choice (``workers="auto"`` / no knob) instead asks
+        the cost planner (:func:`repro.engine.cost.plan_stream_flush`) to
+        price the incremental forest read against a sharded per-flush
+        regroup of the window; the chosen plan is kept on ``self.plan``.
+        Both modes flush bit-identical results.
         """
+        from repro.engine.cost import plan_stream_flush, planner_delegated
+
+        self.plan = None
+        if planner_delegated(workers):
+            window_points = self.policy.size if self.policy.kind == "count" else 0
+            self.plan = plan_stream_flush(window_points, self.eps)
+            return self.plan.mode == "sharded-flush"
         if resolve_workers(workers) <= 1:
             return False
         if self.policy.kind != "count":

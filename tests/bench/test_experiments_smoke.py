@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bench.experiments import (
+    planner_adaptive,
     fig9_sgb_all_epsilon,
     fig9_sgb_any_epsilon,
     fig10_sgb_all_scale,
@@ -151,6 +152,22 @@ class TestFigureRunners:
         pair_counts = {r["pairs"] for r in rows}
         assert len(pair_counts) == 1 and pair_counts.pop() == 600 // 2 * 2
         assert all(r["cpu_count"] >= 1 for r in rows)
+
+    def test_planner_adaptive_compares_three_arms_per_workload(self, monkeypatch):
+        monkeypatch.setenv("SGB_COST_PROFILE", "off")
+        rows = planner_adaptive(sizes=(400,), workers=2)
+        by_workload = {}
+        for r in rows:
+            by_workload.setdefault(r["workload"], []).append(r)
+        assert set(by_workload) == {"uniform", "skewed"}
+        for workload, arm_rows in by_workload.items():
+            paths = {r["path"] for r in arm_rows}
+            assert paths == {"serial", "one-slab-per-worker (2w)", "auto (planner)"}
+            # All three arms return the identical grouping.
+            assert len({r["groups"] for r in arm_rows}) == 1
+            auto = [r for r in arm_rows if r["path"] == "auto (planner)"][0]
+            assert auto["plan"] and auto["plan"].startswith("sgb_any:")
+            assert all(r["speedup"] is not None for r in arm_rows)
 
     def test_fig12_reports_overhead_per_panel(self):
         rows = fig12_overhead(scale_factors=(0.0005,))

@@ -75,3 +75,37 @@ class TestFigurePins:
         # Both arms pin workers=1: the experiment owns batch-vs-scalar, the
         # engine comparison (parallel_vs_serial) owns the worker sweep.
         assert all(kwargs.get("workers") == 1 for kwargs in any_calls)
+
+
+class TestPlannerBypass:
+    """The figure/table runners must never consult the cost planner.
+
+    The paper figures pin ``batch=False`` / ``workers=1``, which keeps
+    :func:`repro.engine.cost.plan_sgb_any` (and friends) out of the loop —
+    a runner that delegated would measure whatever mode this machine's
+    planner happens to pick instead of the pinned configuration.
+    """
+
+    @pytest.fixture()
+    def planner_spy(self, monkeypatch):
+        import repro.engine.cost as cost_mod
+
+        calls = []
+        for name in ("plan_sgb_any", "plan_sgb_all", "plan_eps_join", "plan_knn_join"):
+            real = getattr(cost_mod, name)
+
+            def spy(*args, _real=real, _name=name, **kwargs):
+                calls.append(_name)
+                return _real(*args, **kwargs)
+
+            monkeypatch.setattr(cost_mod, name, spy)
+        return calls
+
+    def test_figure_runners_bypass_planner(self, planner_spy, monkeypatch):
+        monkeypatch.setenv("SGB_COST_PROFILE", "off")
+        E.fig9_sgb_any_epsilon(n=120, eps_values=(0.3,), strategies=("index",))
+        E.fig9_sgb_all_epsilon(n=120, eps_values=(0.3,), strategies=("index",))
+        E.fig10_sgb_any_scale(sizes=(120,), strategies=("index",))
+        E.table1_scaling_exponents(sizes=(100, 200))
+        E.batch_vs_scalar(sizes=(150,))
+        assert planner_spy == [], f"planner engaged by a pinned runner: {planner_spy}"

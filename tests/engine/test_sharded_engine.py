@@ -119,8 +119,8 @@ class TestPartitioner:
 class TestPlanner:
     def test_explicit_workers_win_over_environment(self, monkeypatch):
         monkeypatch.setenv(ENV_WORKERS, "8")
-        assert resolve_workers(3) == 3
-        assert resolve_workers(None) == 8
+        assert resolve_workers(3, cpu_count=8) == 3
+        assert resolve_workers(None, cpu_count=8) == 8
 
     def test_environment_default_and_serial_fallback(self, monkeypatch):
         monkeypatch.delenv(ENV_WORKERS, raising=False)
@@ -145,17 +145,17 @@ class TestPlanner:
 
     def test_small_payloads_stay_serial(self, monkeypatch):
         monkeypatch.delenv(ENV_MIN_POINTS, raising=False)
-        plan = plan_shards(10, eps=0.5, workers=4)
+        plan = plan_shards(10, eps=0.5, workers=4, cpu_count=8)
         assert not plan.parallel and plan.workers == 1
 
     def test_min_points_environment_override(self, monkeypatch):
         monkeypatch.setenv(ENV_MIN_POINTS, "5")
-        plan = plan_shards(10, eps=0.5, workers=4)
+        plan = plan_shards(10, eps=0.5, workers=4, cpu_count=8)
         assert plan.parallel
 
     def test_parallel_plan_shape(self, monkeypatch):
         monkeypatch.delenv(ENV_MIN_POINTS, raising=False)
-        plan = plan_shards(10_000, eps=0.5, workers=4)
+        plan = plan_shards(10_000, eps=0.5, workers=4, cpu_count=8)
         assert plan.parallel and plan.workers == 4 and plan.shards == 4
 
     def test_auto_is_capped_by_cpu_count(self):

@@ -1,0 +1,174 @@
+"""Planner statistics: degenerate inputs, selectivity, skew, and caching."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pointset import PointSet
+from repro.engine.stats import (
+    STATS_BINS,
+    PointStats,
+    collect_stats,
+    stats_from_columns,
+    synthetic_stats,
+)
+
+
+def _uniform(n, seed=0, dims=2):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(dims)) for _ in range(n)]
+
+
+class TestDegenerateInputs:
+    def test_empty_batch(self):
+        stats = stats_from_columns([[], []])
+        assert stats.count == 0
+        assert stats.pair_fraction(0.5) == 0.0
+        assert stats.estimated_pairs(0.5) == 0.0
+        assert stats.estimated_groups(0.5) == 0
+        assert stats.axis_imbalance() == 1.0
+        assert stats.slab_loads(4) == [0]
+
+    def test_empty_pointset(self):
+        stats = collect_stats(PointSet.from_any([]))
+        assert stats.count == 0 and stats.histograms == ()
+
+    def test_single_point(self):
+        stats = collect_stats(PointSet.from_any([(3.0, 4.0)]))
+        assert stats.count == 1
+        assert stats.low == (3.0, 4.0) and stats.high == (3.0, 4.0)
+        # Zero-width axes: the whole population sits in bin 0 and every pair
+        # (there are none) trivially agrees.
+        assert stats.histograms[0][0] == 1
+        assert stats.pair_fraction(0.1) == 1.0
+        assert stats.estimated_pairs(0.1) == 0.0
+        assert stats.axis_imbalance() == 1.0
+
+    def test_duplicate_heavy_batch(self):
+        stats = collect_stats(PointSet.from_any([(1.0, 2.0)] * 50))
+        assert stats.count == 50
+        assert stats.extent(0) == 0.0 and stats.extent(1) == 0.0
+        assert stats.pair_fraction(0.01) == 1.0
+        assert stats.estimated_pairs(0.01) == pytest.approx(50 * 49 / 2)
+        assert stats.estimated_groups(0.01) == 1
+        assert stats.slab_loads(4) == [50]
+
+    def test_zero_width_single_axis(self):
+        # x varies, y is constant: y contributes fraction 1.0, x decides.
+        pts = [(float(i), 5.0) for i in range(100)]
+        stats = collect_stats(PointSet.from_any(pts))
+        assert stats.extent(1) == 0.0
+        assert stats.axis_pair_fraction(1, 0.5) == 1.0
+        assert 0.0 < stats.pair_fraction(0.5) < 1.0
+
+    def test_no_zero_division_anywhere(self):
+        for pts in ([], [(0.0,)], [(2.0, 2.0)] * 3, [(0.0, 0.0), (0.0, 0.0)]):
+            stats = collect_stats(PointSet.from_any(pts)) if pts else stats_from_columns([])
+            stats.pair_fraction(0.1)
+            stats.estimated_groups(0.1)
+            stats.axis_imbalance()
+            stats.slab_loads(8)
+            stats.widest_axis() if stats.dims else None
+
+
+class TestSelectivity:
+    def test_histogram_shape(self):
+        stats = collect_stats(PointSet.from_any(_uniform(1000)))
+        assert stats.dims == 2
+        assert len(stats.histograms) == 2
+        assert all(len(h) == STATS_BINS for h in stats.histograms)
+        assert sum(stats.histograms[0]) == 1000
+
+    def test_pair_fraction_tracks_eps(self):
+        stats = collect_stats(PointSet.from_any(_uniform(2000)))
+        small = stats.pair_fraction(0.01)
+        large = stats.pair_fraction(0.3)
+        assert 0.0 <= small < large <= 1.0
+
+    def test_pair_fraction_upper_bounds_truth(self):
+        # The independence-product estimate must never underestimate the
+        # box-metric pair count (that is the bias the cost model relies on).
+        pts = _uniform(400, seed=3)
+        stats = collect_stats(PointSet.from_any(pts))
+        eps = 0.1
+        truth = sum(
+            1
+            for i in range(len(pts))
+            for j in range(i + 1, len(pts))
+            if max(abs(pts[i][0] - pts[j][0]), abs(pts[i][1] - pts[j][1])) <= eps
+        )
+        assert stats.estimated_pairs(eps) >= truth * 0.9
+
+    def test_cross_pair_fraction_disjoint(self):
+        left = collect_stats(PointSet.from_any(_uniform(200, seed=1)))
+        far = [(x + 100.0, y + 100.0) for x, y in _uniform(200, seed=2)]
+        right = collect_stats(PointSet.from_any(far))
+        assert left.estimated_join_pairs(right, 0.1) == 0.0
+
+    def test_cross_pair_fraction_identical(self):
+        pts = _uniform(300, seed=4)
+        a = collect_stats(PointSet.from_any(pts))
+        b = collect_stats(PointSet.from_any(list(pts)))
+        assert a.estimated_join_pairs(b, 0.2) > 0.0
+
+    def test_cross_pair_degenerate_both_flat(self):
+        a = collect_stats(PointSet.from_any([(1.0, 1.0)] * 5))
+        b = collect_stats(PointSet.from_any([(1.05, 1.0)] * 7))
+        assert a.cross_pair_fraction(b, 0, eps=0.1) == 1.0
+        assert a.cross_pair_fraction(b, 0, eps=0.01) == 0.0
+
+
+class TestSkew:
+    def test_uniform_is_balanced(self):
+        stats = collect_stats(PointSet.from_any(_uniform(5000)))
+        assert stats.axis_imbalance() < 1.5
+
+    def test_hot_cluster_is_skewed(self):
+        rng = random.Random(7)
+        pts = [(rng.gauss(0.5, 0.005), rng.random()) for _ in range(4000)]
+        pts += [(rng.random() * 10.0, rng.random()) for _ in range(1000)]
+        stats = collect_stats(PointSet.from_any(pts))
+        assert stats.axis_imbalance(0) > 3.0
+
+    def test_slab_loads_partition_the_count(self):
+        stats = collect_stats(PointSet.from_any(_uniform(1000)))
+        loads = stats.slab_loads(8)
+        assert sum(loads) == 1000
+        assert all(load > 0 for load in loads)
+        assert len(loads) <= 8
+
+
+class TestCollection:
+    def test_cached_on_pointset(self):
+        ps = PointSet.from_any(_uniform(100))
+        assert collect_stats(ps) is collect_stats(ps)
+
+    def test_backends_agree(self):
+        pts = _uniform(500, seed=9)
+        fast = collect_stats(PointSet.from_any(pts))
+        slow = collect_stats(PointSet.from_any(pts, backend="python"))
+        assert fast.count == slow.count
+        assert fast.low == pytest.approx(slow.low)
+        assert fast.high == pytest.approx(slow.high)
+        assert fast.histograms == slow.histograms
+
+    def test_synthetic_stats_uniform(self):
+        stats = synthetic_stats(640, dims=3)
+        assert stats.count == 640 and stats.dims == 3
+        assert sum(stats.histograms[0]) == 640
+        assert stats.axis_imbalance() == 1.0
+
+    def test_synthetic_stats_empty(self):
+        assert synthetic_stats(0).count == 0
+        assert synthetic_stats(-5).count == 0
+
+    def test_frozen(self):
+        stats = synthetic_stats(10)
+        with pytest.raises(AttributeError):
+            stats.count = 11  # type: ignore[misc]
+
+    def test_is_dataclass_summary(self):
+        stats = collect_stats(PointSet.from_any(_uniform(10)))
+        assert isinstance(stats, PointStats)
