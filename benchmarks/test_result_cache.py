@@ -1,0 +1,86 @@
+"""Result-cache acceptance: warm repeats are ≥5x faster and bit-identical.
+
+The ISSUE acceptance bar for the tiered cache — a warm (cached) repeat of
+``sgb_any`` and of the eps-``sim_join`` must be at least 5x faster than the
+cold run on a 25k-point workload, with results that compare bit-identical.
+Measured locally the warm path is 2-3 orders of magnitude faster (a cache
+hit deserialises one pickle instead of grouping 25k points), so 5x leaves
+wide headroom for slow CI machines while still catching a cache that quietly
+recomputes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.api import sgb_any, sim_join
+from repro.core.pointset import PointSet
+from repro.storage.cache import ResultCache, reset_default_cache
+from repro.workloads.synthetic import clustered_points
+
+N = 25_000
+EPS = 0.3
+JOIN_EPS = 0.02
+SPEEDUP_FLOOR = 5.0
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_env(monkeypatch):
+    """A set SGB_CACHE (e.g. the CI off-smoke tier) must not skew the timing."""
+    monkeypatch.delenv("SGB_CACHE", raising=False)
+    reset_default_cache()
+    yield
+    reset_default_cache()
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_warm_sgb_any_beats_cold_by_5x():
+    points = clustered_points(N, clusters=40, spread=0.02, seed=31)
+    cache = ResultCache.memory()
+    cold_s, cold = _timed(lambda: sgb_any(points, eps=EPS, cache=cache, workers=1))
+    warm_s, warm = _timed(lambda: sgb_any(points, eps=EPS, cache=cache, workers=1))
+    assert cache.hits == 1 and cache.puts == 1
+    assert warm.groups == cold.groups
+    assert warm.eliminated == cold.eliminated
+    assert warm.points == cold.points
+    assert cold_s >= SPEEDUP_FLOOR * warm_s, (
+        f"warm SGB-Any {warm_s:.4f}s vs cold {cold_s:.4f}s: "
+        f"{cold_s / warm_s:.1f}x < {SPEEDUP_FLOOR}x"
+    )
+
+
+def test_warm_eps_join_beats_cold_by_5x():
+    # PointSets built once, as a repeated-query workload would hold them; the
+    # join eps is far below the grouping EPS so the pair list stays a small
+    # multiple of n and the cold grid sweep dominates both runs.
+    left = PointSet.from_any(clustered_points(N // 2, clusters=40, spread=0.02, seed=32))
+    right = PointSet.from_any(clustered_points(N // 2, clusters=40, spread=0.02, seed=33))
+    cache = ResultCache.memory()
+    cold_s, cold = _timed(lambda: sim_join(left, right, eps=JOIN_EPS, cache=cache, workers=1))
+    warm_s, warm = _timed(lambda: sim_join(left, right, eps=JOIN_EPS, cache=cache, workers=1))
+    assert cache.hits == 1 and cache.puts == 1
+    assert list(warm) == list(cold)
+    assert cold_s >= SPEEDUP_FLOOR * warm_s, (
+        f"warm eps-join {warm_s:.4f}s vs cold {cold_s:.4f}s: "
+        f"{cold_s / warm_s:.1f}x < {SPEEDUP_FLOOR}x"
+    )
+
+
+def test_tiered_cache_warm_across_processes_shape(tmp_path):
+    """The spill tier serves a cold process: a fresh ResultCache over the same
+    directory hits without recomputing (the cross-process warm-start shape)."""
+    points = clustered_points(5_000, clusters=20, spread=0.02, seed=34)
+    first = ResultCache.tiered(str(tmp_path))
+    cold = sgb_any(points, eps=EPS, cache=first, workers=1)
+    fresh = ResultCache.tiered(str(tmp_path))  # simulates a new process
+    warm_s, warm = _timed(lambda: sgb_any(points, eps=EPS, cache=fresh, workers=1))
+    assert fresh.hits == 1 and fresh.puts == 0
+    assert warm.groups == cold.groups
+    assert warm.points == cold.points

@@ -26,6 +26,7 @@ from repro.workloads.tpch import load_tpch
 
 __all__ = [
     "batch_vs_scalar",
+    "cache_warm_vs_cold",
     "parallel_vs_serial",
     "planner_adaptive",
     "streaming_window",
@@ -101,6 +102,80 @@ def batch_vs_scalar(
                         "groups": m.value.group_count,
                         "seconds": m.seconds,
                         "speedup": m.params.get("speedup"),
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Tiered result cache: cold compute vs warm replay
+# ---------------------------------------------------------------------------
+
+
+def cache_warm_vs_cold(
+    sizes: Sequence[int] = (10_000, 25_000),
+    eps: float = 0.3,
+    metric: "Metric | str" = Metric.L2,
+    seed: int = 23,
+) -> List[Dict[str, object]]:
+    """Cold compute vs warm cache replay for SGB-Any and the eps-join.
+
+    Each size runs the operator twice against a fresh in-memory
+    :class:`repro.storage.ResultCache`: the first (cold) run computes and
+    stores, the second (warm) run replays the stored result.  Rows carry the
+    warm speedup and an ``identical`` flag confirming the replay was
+    bit-identical — the cache is a pure memoisation, never an approximation.
+    """
+    from repro.core.api import sim_join
+    from repro.storage import ResultCache
+
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        points = clustered_points(
+            n, clusters=max(20, n // 250), spread=0.005, low=0.0, high=100.0, seed=seed
+        )
+        half = clustered_points(
+            max(2, n // 2), clusters=max(10, n // 500), spread=0.005,
+            low=0.0, high=100.0, seed=seed + 1,
+        )
+        runners = {
+            # workers=1 pins the serial batch pipeline so cold timings are
+            # stable; the cache key ignores worker counts anyway.
+            "SGB-Any": lambda cache: sgb_any(
+                points, eps=eps, metric=metric, cache=cache, workers=1
+            ),
+            "eps-join": lambda cache: sim_join(
+                points, half, eps=eps, metric=metric, cache=cache, workers=1
+            ),
+        }
+        for operator, run in runners.items():
+            cache = ResultCache.memory()
+            cold = measure(lambda run=run, cache=cache: run(cache))
+            warm = measure(lambda run=run, cache=cache: run(cache))
+            if operator == "SGB-Any":
+                identical = (
+                    cold.value.groups == warm.value.groups
+                    and cold.value.eliminated == warm.value.eliminated
+                )
+            else:
+                identical = list(cold.value) == list(warm.value)
+            for phase, m in (("cold", cold), ("warm", warm)):
+                rows.append(
+                    {
+                        "experiment": "cache-warm-vs-cold",
+                        "operator": operator,
+                        "phase": phase,
+                        "n": n,
+                        "eps": eps,
+                        "backend": "numpy" if HAVE_NUMPY else "python",
+                        "seconds": m.seconds,
+                        "speedup": (
+                            round(cold.seconds / warm.seconds, 2)
+                            if phase == "warm" and warm.seconds
+                            else None
+                        ),
+                        "cache_hits": cache.hits,
+                        "identical": identical,
                     }
                 )
     return rows

@@ -37,6 +37,51 @@ def _normalise_points(points: Sequence[Sequence[float]]) -> PointSet:
     return PointSet.from_any(points)
 
 
+def _grouping_cache_key(
+    points: PointSet,
+    cache: object,
+    kind: str,
+    eps: float,
+    metric: "Metric | str",
+    strategy: str,
+    on_overlap: Optional[str] = None,
+    seed: int = 0,
+):
+    """Resolve the result cache and the batch's grouping key, or ``(None, None)``.
+
+    Parameters that cannot be canonicalised (a bad eps or metric) simply
+    disable caching for the call: the grouping itself then raises the proper
+    validation error.
+    """
+    from repro.storage.cache import resolve_cache, sgb_all_key, sgb_any_key
+
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return None, None
+    from repro.core.distance import resolve_metric
+    from repro.core.fingerprint import fingerprint_points
+
+    try:
+        metric_name = resolve_metric(metric).value
+        eps_value = float(eps)
+    except Exception:  # noqa: BLE001 - let the grouping surface the error
+        return None, None
+    fingerprint = fingerprint_points(points)
+    if kind == "any":
+        return resolved, sgb_any_key(
+            fingerprint, eps_value, metric_name, strategy, points.backend
+        )
+    return resolved, sgb_all_key(
+        fingerprint,
+        eps_value,
+        metric_name,
+        strategy,
+        str(on_overlap),
+        int(seed),
+        points.backend,
+    )
+
+
 def sgb_all(
     points: Sequence[Sequence[float]],
     eps: float,
@@ -48,6 +93,7 @@ def sgb_all(
     batch: bool = True,
     frontier: bool = True,
     planner: bool = True,
+    cache: object = None,
 ) -> GroupingResult:
     """Run the SGB-All (distance-to-all / clique) operator over ``points``.
 
@@ -85,14 +131,36 @@ def sgb_all(
         ``result.plan``).  ``False`` pins exactly the path the flags name —
         the benchmark runners use this so measurements stay comparable
         across machines.
+    cache:
+        Result cache for repeated groupings of identical data: ``True`` (the
+        process-wide default cache), a spill-directory path, or a
+        :class:`repro.storage.ResultCache`; ``None`` defers to the
+        ``SGB_CACHE`` environment variable and ``SGB_CACHE=off`` disables
+        caching regardless.  Hits are bit-identical to recomputing (the
+        advisory ``plan`` is not cached).
 
     Returns
     -------
     GroupingResult
         Group membership by input row index, plus any eliminated rows.
     """
-    return sgb_all_grouping(
-        _normalise_points(points),
+    normalised = _normalise_points(points)
+    resolved, key = _grouping_cache_key(
+        normalised,
+        cache,
+        kind="all",
+        eps=eps,
+        metric=metric,
+        strategy=SGBAllStrategy.parse(strategy).value,
+        on_overlap=OverlapAction.parse(on_overlap).value,
+        seed=seed,
+    )
+    if resolved is not None:
+        hit = resolved.get_grouping(key)
+        if hit is not None:
+            return hit
+    result = sgb_all_grouping(
+        normalised,
         eps=eps,
         metric=metric,
         on_overlap=on_overlap,
@@ -103,6 +171,9 @@ def sgb_all(
         frontier=frontier,
         planner=planner,
     )
+    if resolved is not None:
+        resolved.put_grouping(key, result)
+    return result
 
 
 def sgb_any(
@@ -113,6 +184,7 @@ def sgb_any(
     index_factory: Optional[IndexFactory] = None,
     batch: bool = True,
     workers: "Optional[int | str]" = None,
+    cache: object = None,
 ) -> GroupingResult:
     """Run the SGB-Any (distance-to-any / connectivity) operator over ``points``.
 
@@ -130,9 +202,26 @@ def sgb_any(
     sharded execution and the shard fan-out from the input's cached
     statistics and records its choice on ``result.plan``.  Every mode
     returns group assignments identical to the serial and scalar paths.
+
+    ``cache`` memoises the grouping under a content digest of the batch
+    (see :func:`sgb_all`); worker counts are execution detail and never part
+    of the key, so serial and sharded runs share entries.
     """
-    return sgb_any_grouping(
-        _normalise_points(points),
+    normalised = _normalise_points(points)
+    resolved, key = _grouping_cache_key(
+        normalised,
+        cache,
+        kind="any",
+        eps=eps,
+        metric=metric,
+        strategy=SGBAnyStrategy.parse(strategy).value,
+    )
+    if resolved is not None:
+        hit = resolved.get_grouping(key)
+        if hit is not None:
+            return hit
+    result = sgb_any_grouping(
+        normalised,
         eps=eps,
         metric=metric,
         strategy=strategy,
@@ -140,6 +229,9 @@ def sgb_any(
         batch=batch,
         workers=workers,
     )
+    if resolved is not None:
+        resolved.put_grouping(key, result)
+    return result
 
 
 def sgb_any_stream(
@@ -199,6 +291,7 @@ def sim_join(
     metric: "Metric | str" = Metric.L2,
     workers: "Optional[int | str]" = None,
     backend: Optional[str] = None,
+    cache: object = None,
 ) -> "list[tuple[int, int]]":
     """Similarity-join two point relations; returns ``(left, right)`` index pairs.
 
@@ -209,7 +302,8 @@ def sim_join(
     :func:`sgb_any`'s: a numeric value forces the sharded engine, while
     ``"auto"``/``0``/unset delegates the serial-vs-sharded choice to the
     cost planner — either way the result is bit-identical to the serial
-    join.
+    join.  ``cache`` memoises the pair list under content digests of both
+    relations (see :func:`sgb_all`).
 
     SQL-level access is the ``FROM a SIMILARITY JOIN b ON DISTANCE(...)
     WITHIN eps`` / ``KNN k`` clause of :class:`repro.minidb.Database`; see
@@ -218,7 +312,14 @@ def sim_join(
     from repro.join.api import sim_join as _sim_join
 
     return _sim_join(
-        left, right, eps=eps, k=k, metric=metric, workers=workers, backend=backend
+        left,
+        right,
+        eps=eps,
+        k=k,
+        metric=metric,
+        workers=workers,
+        backend=backend,
+        cache=cache,
     )
 
 

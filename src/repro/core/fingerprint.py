@@ -1,0 +1,94 @@
+"""Content fingerprints for point batches and grouping results.
+
+The tiered result cache (:mod:`repro.storage.cache`) is *content-addressed*:
+two runs over bit-identical input data with the same operator parameters map
+to the same cache key, no matter which process, backend, or session produced
+them.  The fingerprint of a batch is a BLAKE2b digest over its shape and the
+little-endian IEEE-754 bytes of every coordinate — the same bytes regardless
+of whether the batch lives in a NumPy array or a list of Python tuples, so
+both :class:`~repro.core.pointset.PointSet` backends agree on every digest.
+
+Mutable relational tables never re-hash their columns per query: they memoise
+the digest keyed by their mutation ``version`` counter (see
+:meth:`repro.minidb.table.Table.point_fingerprint`), which makes the version
+counter the cache's invalidation token — any insert or truncate bumps it, the
+memo misses, and the fresh content produces a fresh key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Sequence
+
+from repro.core.pointset import PointSet
+
+try:  # optional fast path; the struct-based packing covers its absence
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the python backend
+    _np = None
+
+__all__ = ["fingerprint_points", "fingerprint_columns", "fingerprint_bytes"]
+
+#: Digest size in bytes; 16 (128 bits) is far beyond collision concerns for a
+#: local result cache while keeping keys short enough for filenames.
+_DIGEST_SIZE = 16
+
+
+def fingerprint_bytes(*chunks: bytes) -> str:
+    """Hex BLAKE2b digest over the concatenation of ``chunks``."""
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for chunk in chunks:
+        digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _pack_rows(rows: Sequence[Sequence[float]], dims: int) -> bytes:
+    """Row-major little-endian float64 bytes of ``rows``."""
+    packer = struct.Struct("<%dd" % dims) if dims else None
+    if packer is None:
+        return b""
+    return b"".join(packer.pack(*row) for row in rows)
+
+
+def fingerprint_points(points: "PointSet | Sequence[Sequence[float]]") -> str:
+    """Content fingerprint of a point batch.
+
+    The digest covers ``(count, dims)`` and the row-major float64 coordinate
+    bytes, so batches of different shapes can never collide through
+    coincidentally equal flat payloads.  NumPy-backed sets hash their array
+    buffer directly; the result is byte-identical to the struct-packed tuples
+    of the pure-Python backend.
+    """
+    ps = points if isinstance(points, PointSet) else PointSet.from_any(points)
+    n = len(ps)
+    dims = ps.dims if n else 0
+    header = struct.pack("<qq", n, dims)
+    if n == 0:
+        return fingerprint_bytes(header)
+    array = getattr(ps, "array", None)
+    if _np is not None and array is not None:
+        payload = _np.ascontiguousarray(array, dtype="<f8").tobytes()
+        return fingerprint_bytes(header, payload)
+    return fingerprint_bytes(header, _pack_rows(ps.to_tuples(), dims))
+
+
+def fingerprint_columns(columns: Sequence[Sequence[float]]) -> str:
+    """Content fingerprint of column vectors, equal to the row-major digest.
+
+    ``fingerprint_columns(cols) == fingerprint_points(zip(*cols))`` — the
+    minidb executors buffer grouping attributes column-wise and must land on
+    the same key a caller hashing the equivalent point rows would produce.
+    """
+    dims = len(columns)
+    n = len(columns[0]) if dims else 0
+    header = struct.pack("<qq", n, dims)
+    if n == 0:
+        return fingerprint_bytes(header)
+    if _np is not None:
+        stacked = _np.ascontiguousarray(
+            _np.column_stack([_np.asarray(c, dtype="<f8") for c in columns])
+        )
+        return fingerprint_bytes(header, stacked.tobytes())
+    rows = zip(*[[float(v) for v in column] for column in columns])
+    return fingerprint_bytes(header, _pack_rows(list(rows), dims))

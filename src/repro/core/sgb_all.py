@@ -75,6 +75,11 @@ class SGBAllStrategy(Enum):
 IndexFactory = Callable[[], SpatialIndex]
 
 
+def _default_index_factory() -> SpatialIndex:
+    """Default spatial index; a named function so groupers stay picklable."""
+    return RTree(max_entries=8)
+
+
 class SGBAllGrouper:
     """Stateful SGB-All operator: feed points one at a time, then finalise.
 
@@ -98,7 +103,7 @@ class SGBAllGrouper:
         self.strategy = SGBAllStrategy.parse(strategy)
         self._rng = random.Random(seed)
         self._seed = seed
-        self._index_factory = index_factory or (lambda: RTree(max_entries=8))
+        self._index_factory = index_factory or _default_index_factory
         self._groups: List[Group] = []
         self._group_index: Optional[SpatialIndex] = (
             self._index_factory() if self.strategy is SGBAllStrategy.INDEX else None

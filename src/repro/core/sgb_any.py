@@ -42,6 +42,12 @@ Point = Tuple[float, ...]
 __all__ = ["SGBAnyStrategy", "SGBAnyGrouper", "sgb_any_grouping"]
 
 
+def _default_index_factory() -> SpatialIndex:
+    """Default spatial index; a named function so groupers stay picklable
+    (streaming checkpoints serialise live sessions holding groupers)."""
+    return RTree(max_entries=8)
+
+
 class SGBAnyStrategy(Enum):
     """Neighbour discovery strategy used by SGB-Any."""
 
@@ -86,7 +92,7 @@ class SGBAnyGrouper:
         #: True when the caller picked the access method (index ablations);
         #: add_batch then routes batch-internal discovery through it as well.
         self._explicit_index = index_factory is not None
-        self._index_factory = index_factory or (lambda: RTree(max_entries=8))
+        self._index_factory = index_factory or _default_index_factory
         self._points: List[Point] = []
         self._indices: List[int] = []
         self._point_by_index: dict[int, Point] = {}

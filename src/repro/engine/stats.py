@@ -66,6 +66,33 @@ class PointStats:
     high: Tuple[float, ...]
     histograms: Tuple[Tuple[int, ...], ...]
 
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot; the durable catalog persists these
+        alongside the table version so reopened databases keep their warm
+        planner statistics (see :mod:`repro.storage.catalog`)."""
+        return {
+            "count": self.count,
+            "dims": self.dims,
+            "low": list(self.low),
+            "high": list(self.high),
+            "histograms": [list(h) for h in self.histograms],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PointStats":
+        """Inverse of :meth:`to_dict`; raises on malformed payloads."""
+        return PointStats(
+            count=int(payload["count"]),
+            dims=int(payload["dims"]),
+            low=tuple(float(v) for v in payload["low"]),
+            high=tuple(float(v) for v in payload["high"]),
+            histograms=tuple(
+                tuple(int(c) for c in h) for h in payload["histograms"]
+            ),
+        )
+
     # -- geometry ----------------------------------------------------------
 
     def extent(self, axis: int) -> float:

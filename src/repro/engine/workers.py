@@ -40,14 +40,24 @@ __all__ = [
 
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
 
+#: Set once interpreter shutdown begins: spawning a pool (or submitting to a
+#: cached one) after ``atexit`` started tearing the process down raises
+#: RuntimeError deep inside concurrent.futures, so late callers — a flushed
+#: Database.close() in someone's atexit hook, a cached warm-start replay —
+#: get the serial fallback instead.
+_SHUTTING_DOWN = False
+
 
 def get_worker_pool(workers: int) -> Optional[ProcessPoolExecutor]:
     """Return the cached pool for ``workers`` processes, creating it lazily.
 
     Shared by every sharded consumer (the SGB engine and the similarity-join
     subsystem) so one query workload never spawns two pools of the same size.
-    Returns ``None`` when no pool can be created (serial fallback).
+    Returns ``None`` when no pool can be created (serial fallback), and
+    always ``None`` once interpreter shutdown has begun.
     """
+    if _SHUTTING_DOWN:
+        return None
     pool = _POOLS.get(workers)
     if pool is None:
         try:
@@ -70,13 +80,25 @@ def drop_worker_pool(workers: int) -> None:
 
 
 def shutdown_worker_pools() -> None:
-    """Shut down every cached worker pool (registered via ``atexit``)."""
+    """Shut down every cached worker pool; safe to call at any time.
+
+    Explicit calls leave the layer usable (the next ``get_worker_pool``
+    simply builds a fresh pool); the ``atexit`` hook additionally flips the
+    shutdown flag first so nothing respawns workers while the interpreter
+    tears down.
+    """
     while _POOLS:
         _, pool = _POOLS.popitem()
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-atexit.register(shutdown_worker_pools)
+def _atexit_shutdown() -> None:
+    global _SHUTTING_DOWN
+    _SHUTTING_DOWN = True
+    shutdown_worker_pools()
+
+
+atexit.register(_atexit_shutdown)
 
 
 def _group_shard(points: Any, eps: float, metric_value: str) -> Dict[int, int]:

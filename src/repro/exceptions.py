@@ -36,6 +36,15 @@ class UnionFindError(ReproError):
     """An element was used with a Union-Find forest it was never added to."""
 
 
+class StorageError(ReproError):
+    """A durable-storage operation failed (corrupt file, closed store, ...).
+
+    Raised by :mod:`repro.storage` when an on-disk table or catalog cannot be
+    read or written.  Cache-file corruption never raises this — the result
+    cache degrades to a recompute instead.
+    """
+
+
 # --- relational engine (minidb) errors -------------------------------------
 
 

@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 from repro.core.distance import Metric
 from repro.core.pointset import PointSet
 from repro.exceptions import InvalidParameterError
-from repro.join.epsilon import JoinPairs, eps_join
+from repro.join.epsilon import JoinPairs, JoinResult, eps_join
 from repro.join.knn import knn_join
 
 __all__ = ["sim_join"]
@@ -27,6 +27,7 @@ def sim_join(
     metric: "Metric | str" = Metric.L2,
     workers: "Optional[int | str]" = None,
     backend: Optional[str] = None,
+    cache: object = None,
 ) -> JoinPairs:
     """Similarity-join two point relations; returns ``(left, right)`` index pairs.
 
@@ -57,13 +58,65 @@ def sim_join(
     backend:
         Optional :class:`PointSet` backend override (``"python"`` forces
         the pure-Python kernels).
+    cache:
+        Result cache for repeated joins of identical relations: ``True``
+        (the process-wide default), a spill-directory path, or a
+        :class:`repro.storage.ResultCache`; ``None`` defers to the
+        ``SGB_CACHE`` environment variable, and ``SGB_CACHE=off`` disables
+        caching regardless.  Hits return the bit-identical pair list;
+        worker counts are never part of the key.
     """
     if (eps is None) == (k is None):
         raise InvalidParameterError(
             "sim_join requires exactly one of eps (epsilon-join) or k (kNN-join)"
         )
+    resolved, key = _join_cache_key(left, right, eps, k, metric, backend, cache)
+    if resolved is not None:
+        hit = resolved.get_pairs(key)
+        if hit is not None:
+            return JoinResult(hit)
     if eps is not None:
-        return eps_join(
+        pairs = eps_join(
             left, right, eps, metric=metric, workers=workers, backend=backend
         )
-    return knn_join(left, right, k, metric=metric, workers=workers, backend=backend)
+    else:
+        pairs = knn_join(
+            left, right, k, metric=metric, workers=workers, backend=backend
+        )
+    if resolved is not None:
+        resolved.put_pairs(key, pairs)
+    return pairs
+
+
+def _join_cache_key(left, right, eps, k, metric, backend, cache):
+    """Resolve the result cache and the join's key, or ``(None, None)``.
+
+    Fingerprinting normalises both sides into :class:`PointSet`\\ s — the
+    same normalisation the joins perform — so the digests match whatever
+    container the caller handed in; uncanonicalisable parameters disable
+    caching for the call and let the join raise its own validation error.
+    """
+    from repro.storage.cache import join_key, resolve_cache
+
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return None, None
+    from repro.core.distance import resolve_metric
+    from repro.core.fingerprint import fingerprint_points
+
+    try:
+        metric_name = resolve_metric(metric).value
+        left_ps = PointSet.from_any(left, backend=backend)
+        right_ps = PointSet.from_any(right, backend=backend)
+        eps_value = None if eps is None else float(eps)
+        k_value = None if k is None else int(k)
+    except Exception:  # noqa: BLE001 - let the join surface the error
+        return None, None
+    return resolved, join_key(
+        fingerprint_points(left_ps),
+        fingerprint_points(right_ps),
+        eps_value,
+        k_value,
+        metric_name,
+        left_ps.backend,
+    )

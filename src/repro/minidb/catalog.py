@@ -19,14 +19,21 @@ class Catalog:
         self._tables: Dict[str, Table] = {}
 
     def create_table(
-        self, name: str, columns: Iterable[Tuple[str, "DataType | str"]]
+        self,
+        name: str,
+        columns: Iterable[Tuple[str, "DataType | str"]],
+        persistent: bool = False,
     ) -> Table:
-        """Create an empty table; raises if the name is already in use."""
+        """Create an empty table; raises if the name is already in use.
+
+        ``persistent`` marks the table for the durable catalog (written by
+        ``Database.save()`` when the database is bound to a storage path).
+        """
         key = name.lower()
         if key in self._tables:
             raise CatalogError(f"table {name!r} already exists")
         schema = Schema.from_pairs(columns, qualifier=key)
-        table = Table(key, schema)
+        table = Table(key, schema, persistent=persistent)
         self._tables[key] = table
         return table
 

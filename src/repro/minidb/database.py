@@ -1,11 +1,11 @@
-"""The user-facing database facade: DDL, DML, queries, and EXPLAIN."""
+"""The user-facing database facade: DDL, DML, queries, persistence, EXPLAIN."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import PlanningError
+from repro.exceptions import CatalogError, PlanningError, StorageError
 from repro.minidb.catalog import Catalog
 from repro.minidb.expressions import Literal, compile_expression
 from repro.minidb.plan.planner import Planner, PlannerSettings
@@ -81,7 +81,14 @@ def _collect_last_plan(node) -> "Optional[PhysicalPlan]":
 
 
 class Database:
-    """An in-memory relational database with similarity group-by support.
+    """A relational database with similarity group-by support.
+
+    Tables live in memory; bind the database to a storage directory
+    (:meth:`open`, or ``path=``) and tables marked persistent —
+    ``CREATE TABLE ... PERSISTENT`` or ``create_table(..., persistent=True)``
+    — survive process restarts through :meth:`save` / :meth:`close`.  The
+    instance is a context manager: leaving the ``with`` block flushes the
+    durable catalog and releases its sqlite handle.
 
     Parameters
     ----------
@@ -94,6 +101,16 @@ class Database:
         Session default for the SGB clause's ``WORKERS`` option (worker
         processes for sharded SGB-Any execution); ``None`` defers to the
         ``SGB_WORKERS`` environment variable and otherwise stays serial.
+    path:
+        Optional storage directory for persistent tables; created on demand.
+        Stored tables found there are loaded immediately (bit-identical to
+        the rows that were saved), along with their planner statistics.
+    cache:
+        Result-cache knob for the SGB and similarity-join executors:
+        ``True`` (process-wide default cache), a directory path (tiered
+        mem → local-file cache), a :class:`repro.storage.ResultCache`, or
+        ``None``/``False`` (off unless ``SGB_CACHE`` enables it).
+        ``SGB_CACHE=off`` bypasses the cache regardless.
     """
 
     def __init__(
@@ -101,25 +118,136 @@ class Database:
         sgb_strategy: str = "index",
         sgb_seed: int = 0,
         sgb_workers: "Optional[int | str]" = None,
+        path: Optional[str] = None,
+        cache: object = None,
     ) -> None:
         self.catalog = Catalog()
         self.settings = PlannerSettings(
-            sgb_strategy=sgb_strategy, sgb_seed=sgb_seed, sgb_workers=sgb_workers
+            sgb_strategy=sgb_strategy,
+            sgb_seed=sgb_seed,
+            sgb_workers=sgb_workers,
+            cache=cache,
         )
+        self.store = None
+        #: table name -> version last written to (or loaded from) the store
+        self._saved_versions: dict[str, int] = {}
+        if path is not None:
+            from repro.storage.catalog import TableStore
+
+            self.store = TableStore(path)
+            self._load_stored_tables()
+
+    @classmethod
+    def open(cls, path: str, **kwargs) -> "Database":
+        """Open (or create) a database bound to storage directory ``path``.
+
+        Every table previously saved there is loaded back — rows, mutation
+        version, and cached planner statistics — so a reopened database
+        answers the same SQL bit-identically to the process that saved it.
+        """
+        return cls(path=path, **kwargs)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _load_stored_tables(self) -> None:
+        assert self.store is not None
+        from repro.engine.stats import PointStats
+
+        for name in self.store.table_names():
+            schema_pairs, rows, version, stats = self.store.load_table(name)
+            table = self.catalog.create_table(name, schema_pairs, persistent=True)
+            table.adopt_rows(rows, version)
+            for columns_key, (stats_version, payload) in stats.items():
+                try:
+                    positions = tuple(
+                        int(p) for p in columns_key.split(",") if p != ""
+                    )
+                    summary = PointStats.from_dict(payload)
+                except Exception:  # noqa: BLE001 - stats are advisory
+                    continue
+                table._stats_cache[positions] = (stats_version, summary)
+            self._saved_versions[name] = version
+
+    def save(self) -> int:
+        """Flush every dirty persistent table to the storage directory.
+
+        A table is dirty when its mutation ``version`` differs from the last
+        version written to (or loaded from) disk — the same counter that
+        invalidates planner statistics and result-cache fingerprints.
+        Returns the number of tables written.  Raises
+        :class:`~repro.exceptions.StorageError` when the database has no
+        storage path or was already closed.
+        """
+        if self.store is None:
+            raise StorageError("this database has no storage path; use Database.open")
+        written = 0
+        for name in self.catalog.table_names():
+            table = self.catalog.get_table(name)
+            if not table.persistent:
+                continue
+            if self._saved_versions.get(name) == table.version:
+                continue
+            stats = {
+                ",".join(str(p) for p in positions): (entry_version, summary.to_dict())
+                for positions, (entry_version, summary) in table._stats_cache.items()
+            }
+            self.store.save_table(
+                name,
+                [(c.name, c.dtype) for c in table.schema.columns],
+                table.rows,
+                table.version,
+                stats=stats,
+            )
+            self._saved_versions[name] = table.version
+            written += 1
+        return written
+
+    def close(self) -> None:
+        """Flush persistent tables and release the sqlite handle (idempotent).
+
+        The in-memory tables stay queryable after ``close()``; only the
+        durable side is detached.
+        """
+        if self.store is None or self.store.closed:
+            return
+        try:
+            self.save()
+        finally:
+            self.store.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # programmatic DDL / DML (used by the data generators)
     # ------------------------------------------------------------------
 
     def create_table(
-        self, name: str, columns: Iterable[Tuple[str, "DataType | str"]]
+        self,
+        name: str,
+        columns: Iterable[Tuple[str, "DataType | str"]],
+        persistent: bool = False,
     ) -> Table:
         """Create a table from ``(name, type)`` pairs."""
-        return self.catalog.create_table(name, columns)
+        if persistent and self.store is None:
+            raise CatalogError(
+                "PERSISTENT tables need a storage path; open the database with "
+                "Database.open(path)"
+            )
+        return self.catalog.create_table(name, columns, persistent=persistent)
 
     def drop_table(self, name: str) -> None:
-        """Drop a table."""
+        """Drop a table (and its stored files, if it was persistent)."""
+        table = self.catalog.get_table(name)
         self.catalog.drop_table(name)
+        if table.persistent and self.store is not None and not self.store.closed:
+            self.store.remove_table(table.name)
+            self._saved_versions.pop(table.name, None)
 
     def has_table(self, name: str) -> bool:
         """Return True if the table exists."""
@@ -177,6 +305,7 @@ class Database:
                 sgb_strategy=sgb_strategy,
                 sgb_seed=self.settings.sgb_seed,
                 sgb_workers=self.settings.sgb_workers,
+                cache=self.settings.cache,
             )
         return Planner(self.catalog, settings)
 
@@ -205,10 +334,12 @@ class Database:
                 plan=_collect_last_plan(plan),
             )
         if isinstance(statement, CreateTableStatement):
-            self.catalog.create_table(statement.name, statement.columns)
+            self.create_table(
+                statement.name, statement.columns, persistent=statement.persistent
+            )
             return QueryResult(statement=sql)
         if isinstance(statement, DropTableStatement):
-            self.catalog.drop_table(statement.name)
+            self.drop_table(statement.name)
             return QueryResult(statement=sql)
         if isinstance(statement, InsertStatement):
             return self._execute_insert(statement, sql)

@@ -44,6 +44,7 @@ class SimilarityJoin(PhysicalOperator):
         eps: Optional[float] = None,
         k: Optional[int] = None,
         workers: "Optional[int | str]" = None,
+        cache: object = None,
     ) -> None:
         if len(left_exprs) != len(right_exprs) or not left_exprs:
             raise ExecutionError(
@@ -61,6 +62,7 @@ class SimilarityJoin(PhysicalOperator):
         self.eps = float(eps) if eps is not None else None
         self.k = k
         self.workers = workers
+        self.cache = cache
         self.schema = left.schema.concat(right.schema)
         self._left_fns = [compile_expression(e, left.schema) for e in left_exprs]
         self._right_fns = [compile_expression(e, right.schema) for e in right_exprs]
@@ -93,6 +95,12 @@ class SimilarityJoin(PhysicalOperator):
         right_columns = [
             [self._coordinate(fn, row) for row in right_rows] for fn in self._right_fns
         ]
+        cache, cache_key = self._cache_lookup(left_columns, right_columns)
+        if cache is not None:
+            hit = cache.get_pairs(cache_key)
+            if hit is not None:
+                self.last_plan = None
+                return hit, left_rows, right_rows
         try:
             pairs = sim_join(
                 PointSet.from_columns(left_columns),
@@ -107,7 +115,38 @@ class SimilarityJoin(PhysicalOperator):
             # executor error so engine callers see a DatabaseError.
             raise ExecutionError(f"invalid similarity join attributes: {exc}") from exc
         self.last_plan = getattr(pairs, "plan", None)
+        if cache is not None:
+            cache.put_pairs(cache_key, pairs)
         return pairs, left_rows, right_rows
+
+    def _cache_lookup(self, left_columns, right_columns):
+        """Resolve the result cache and this join's pair-list key.
+
+        Each side's fingerprint prefers its base table's version-memoised
+        digest (strict Rename-only trace) and otherwise hashes the buffered
+        coordinate columns; either way the digest is content-addressed, so
+        SQL joins and direct :func:`repro.join.sim_join` calls over the same
+        relations share entries.
+        """
+        from repro.storage.cache import join_key, resolve_cache
+
+        cache = resolve_cache(self.cache)
+        if cache is None:
+            return None, None
+        from repro.core.fingerprint import fingerprint_columns
+        from repro.core.pointset import HAVE_NUMPY
+        from repro.minidb.exec.statics import trace_base_fingerprint
+
+        left_fp = trace_base_fingerprint(self.left, self.left_exprs)
+        if left_fp is None:
+            left_fp = fingerprint_columns(left_columns)
+        right_fp = trace_base_fingerprint(self.right, self.right_exprs)
+        if right_fp is None:
+            right_fp = fingerprint_columns(right_columns)
+        backend = "numpy" if HAVE_NUMPY else "python"
+        return cache, join_key(
+            left_fp, right_fp, self.eps, self.k, self.metric, backend
+        )
 
     @staticmethod
     def _coordinate(fn, row: Row) -> float:

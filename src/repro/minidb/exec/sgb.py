@@ -62,6 +62,7 @@ class SGBAggregate(PhysicalOperator):
         workers: "Optional[int | str]" = None,
         window: Optional[int] = None,
         slide: Optional[int] = None,
+        cache: object = None,
     ) -> None:
         if kind not in ("all", "any"):
             raise ExecutionError(f"unknown SGB kind {kind!r}")
@@ -79,6 +80,7 @@ class SGBAggregate(PhysicalOperator):
         self.workers = workers
         self.window = window
         self.slide = slide
+        self.cache = cache
         self.key_exprs = list(key_exprs)
         self.aggregates = list(aggregates)
         #: The physical plan the cost planner chose at execution time (None
@@ -233,6 +235,59 @@ class SGBAggregate(PhysicalOperator):
         """
         if not buffered:
             return GroupingResult.empty()
+        cache, cache_key = self._cache_lookup(columns)
+        if cache is not None:
+            hit = cache.get_grouping(cache_key)
+            if hit is not None:
+                return hit
+        result = self._group_uncached(columns)
+        if cache is not None:
+            cache.put_grouping(cache_key, result)
+        return result
+
+    def _cache_lookup(self, columns: List[List[float]]):
+        """Resolve the result cache and this batch's grouping key.
+
+        The fingerprint prefers the base table's version-memoised digest
+        (:func:`trace_base_fingerprint`; exact only through Rename wrappers)
+        and otherwise hashes the buffered column vectors — both produce the
+        same content digest for the same data, so SQL queries and direct
+        core-API calls over identical batches share cache entries.
+        """
+        from repro.storage.cache import resolve_cache, sgb_all_key, sgb_any_key
+
+        cache = resolve_cache(self.cache)
+        if cache is None:
+            return None, None
+        from repro.core.fingerprint import fingerprint_columns
+        from repro.minidb.exec.statics import trace_base_fingerprint
+
+        from repro.core.pointset import HAVE_NUMPY
+
+        fingerprint = trace_base_fingerprint(self.child, self.key_exprs)
+        if fingerprint is None:
+            fingerprint = fingerprint_columns(columns)
+        backend = "numpy" if HAVE_NUMPY else "python"
+        if self.kind == "any":
+            strategy = (
+                SGBAnyStrategy.ALL_PAIRS
+                if SGBAllStrategy.parse(self.strategy) is SGBAllStrategy.ALL_PAIRS
+                else SGBAnyStrategy.INDEX
+            ).value
+            key = sgb_any_key(fingerprint, self.eps, self.metric, strategy, backend)
+        else:
+            key = sgb_all_key(
+                fingerprint,
+                self.eps,
+                self.metric,
+                SGBAllStrategy.parse(self.strategy).value,
+                str(self.on_overlap or OverlapAction.JOIN_ANY.value),
+                self.seed,
+                backend,
+            )
+        return cache, key
+
+    def _group_uncached(self, columns: List[List[float]]) -> GroupingResult:
         # Resolve outside the try below: a bad SGB_WORKERS value is a
         # configuration error and must not be re-labelled as a data error.
         # The strategy gate mirrors _make_grouper: everything except

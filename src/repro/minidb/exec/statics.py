@@ -22,7 +22,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.stats import PointStats
     from repro.minidb.exec.operators import PhysicalOperator
 
-__all__ = ["estimated_subtree_rows", "trace_point_stats"]
+__all__ = [
+    "estimated_subtree_rows",
+    "trace_base_fingerprint",
+    "trace_point_stats",
+]
 
 
 def estimated_subtree_rows(node: "PhysicalOperator") -> Optional[int]:
@@ -35,6 +39,57 @@ def estimated_subtree_rows(node: "PhysicalOperator") -> Optional[int]:
         children = current.children()
         current = children[0] if children else None
     return None
+
+
+def trace_base_fingerprint(
+    node: "PhysicalOperator", exprs: Sequence[Expression]
+) -> Optional[str]:
+    """Base-table content fingerprint for ``exprs`` over ``node``, if exact.
+
+    Unlike :func:`trace_point_stats` this trace is *strict*: it walks through
+    ``Rename`` only (a positional re-qualification never changes the rows)
+    and refuses ``Filter`` — a filtered scan produces a different point batch
+    than the base table, so reusing the table's memoised digest there would
+    poison the result cache.  Returns ``None`` whenever the subtree is not
+    provably identical to scanning base-table columns; callers then hash the
+    column vectors they actually buffered.
+    """
+    from repro.minidb.exec.operators import Rename, SeqScan
+
+    current = node
+    refs: List[Expression] = list(exprs)
+    while True:
+        if not all(isinstance(e, ColumnRef) for e in refs):
+            return None
+        if isinstance(current, SeqScan):
+            try:
+                positions = [
+                    current.schema.index_of(e.name, e.qualifier) for e in refs
+                ]
+            except CatalogError:
+                return None
+            try:
+                return current.table.point_fingerprint(positions)
+            except Exception:  # noqa: BLE001 - non-numeric column: hash the buffer
+                return None
+        if isinstance(current, Rename):
+            try:
+                positions = [
+                    current.schema.index_of(e.name, e.qualifier) for e in refs
+                ]
+            except CatalogError:
+                return None
+            child_schema = current.child.schema
+            refs = [
+                ColumnRef(
+                    child_schema.columns[p].name,
+                    child_schema.columns[p].qualifier,
+                )
+                for p in positions
+            ]
+            current = current.child
+            continue
+        return None
 
 
 def trace_point_stats(

@@ -86,12 +86,16 @@ class PlannerSettings:
     (``"all-pairs"``, ``"bounds-checking"``, or ``"index"``); ``sgb_seed``
     seeds the JOIN-ANY arbitration so plans are reproducible; ``sgb_workers``
     is the session default for the SGB clause's ``WORKERS`` option (``None``
-    defers to the ``SGB_WORKERS`` environment variable, then serial).
+    defers to the ``SGB_WORKERS`` environment variable, then serial);
+    ``cache`` is the result-cache knob handed to the similarity operators
+    (resolved at execution time by :func:`repro.storage.resolve_cache`, so
+    ``SGB_CACHE=off`` always wins).
     """
 
     sgb_strategy: str = "index"
     sgb_seed: int = 0
     sgb_workers: "Optional[int | str]" = None
+    cache: object = None
     extra: Dict[str, object] = field(default_factory=dict)
 
 
@@ -293,6 +297,7 @@ class Planner:
             eps=eps,
             k=k,
             workers=workers,
+            cache=self.settings.cache,
         )
 
     # ------------------------------------------------------------------
@@ -476,6 +481,7 @@ class Planner:
             workers=workers,
             window=window,
             slide=slide,
+            cache=self.settings.cache,
         )
 
     def _window_spec(self, sgb: "SGBSpec") -> "tuple[Optional[int], Optional[int]]":

@@ -140,10 +140,16 @@ class SelectStatement(Statement):
 
 @dataclass(frozen=True)
 class CreateTableStatement(Statement):
-    """``CREATE TABLE name (col type, ...)``."""
+    """``CREATE TABLE name (col type, ...) [PERSISTENT]``.
+
+    ``persistent`` marks the table for the durable catalog; executing it
+    requires the database to be bound to a storage path
+    (:meth:`repro.minidb.Database.open`).
+    """
 
     name: str
     columns: Tuple[Tuple[str, str], ...]
+    persistent: bool = False
 
 
 @dataclass(frozen=True)

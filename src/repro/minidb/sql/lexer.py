@@ -50,6 +50,7 @@ _KEYWORDS = {
     "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "IS", "NULL", "TRUE", "FALSE",
     "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "USING",
     "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "DROP", "DELETE", "EXPLAIN",
+    "PERSISTENT",
     "DISTINCT", "ASC", "DESC", "DATE", "INTERVAL", "CASE", "WHEN", "THEN",
     "ELSE", "END", "WITHIN", "OVERLAP", "ELIMINATE", "LIKE", "EXISTS",
     # Similarity group-by keywords (single-word forms).

@@ -196,7 +196,10 @@ class Parser:
             if not self._accept(TokenType.PUNCTUATION, ","):
                 break
         self._expect(TokenType.PUNCTUATION, ")")
-        return CreateTableStatement(name=name, columns=tuple(columns))
+        persistent = bool(self._accept_keyword("PERSISTENT"))
+        return CreateTableStatement(
+            name=name, columns=tuple(columns), persistent=persistent
+        )
 
     # -- INSERT -----------------------------------------------------------
 

@@ -19,19 +19,29 @@ Row = Tuple[object, ...]
 class Table:
     """An in-memory heap table.
 
-    ``version`` counts mutations (inserts and truncates); the per-column-set
-    statistics cache behind :meth:`point_stats` is keyed by it, so a summary
-    collected for the cost planner is reused until the table changes and
-    never served stale.
+    ``version`` counts mutations (inserts and truncates) and is the single
+    invalidation token for everything derived from the table's content: the
+    per-column-set statistics cache behind :meth:`point_stats`, the content
+    fingerprints behind :meth:`point_fingerprint` that key the tiered result
+    cache, and the durable catalog's dirty check (a persistent table is
+    rewritten on ``save()`` only when its version moved).  Every mutation
+    path MUST bump it — the staleness regression suite enforces this.
+
+    ``persistent`` marks the table for the durable catalog; a
+    :class:`~repro.minidb.database.Database` opened on a storage path writes
+    persistent tables to disk on ``save()``/``close()``.
     """
 
-    def __init__(self, name: str, schema: Schema) -> None:
+    def __init__(self, name: str, schema: Schema, persistent: bool = False) -> None:
         self.name = name.lower()
         self.schema = schema
         self.rows: List[Row] = []
         self.version = 0
+        self.persistent = persistent
         #: column positions -> (version the summary was built at, summary)
         self._stats_cache: "Dict[Tuple[int, ...], Tuple[int, PointStats]]" = {}
+        #: column positions -> (version the digest was built at, digest)
+        self._fingerprint_cache: Dict[Tuple[int, ...], Tuple[int, str]] = {}
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -65,6 +75,22 @@ class Table:
         self.rows.clear()
         self.version += 1
 
+    def adopt_rows(self, rows: Iterable[Row], version: int) -> None:
+        """Install already-typed rows loaded from durable storage.
+
+        The columnar files persist exactly the coerced Python values a prior
+        :meth:`insert` produced, so reloading must NOT re-coerce (that is
+        what keeps the round trip bit-identical) and must restore the stored
+        mutation ``version`` rather than counting the load as new mutations.
+        Only :class:`repro.minidb.database.Database` restore paths call this.
+        """
+        if self.rows:
+            raise SchemaError(
+                f"table {self.name!r} is not empty; adopt_rows is a load-time API"
+            )
+        self.rows.extend(tuple(row) for row in rows)
+        self.version = version
+
     def point_stats(self, columns: Sequence[int]) -> "PointStats":
         """Planner statistics over the numeric columns at ``columns``.
 
@@ -89,3 +115,26 @@ class Table:
             stats = synthetic_stats(len(self.rows), dims=max(1, len(key)))
         self._stats_cache[key] = (self.version, stats)
         return stats
+
+    def point_fingerprint(self, columns: Sequence[int]) -> str:
+        """Content fingerprint of the numeric columns at ``columns``.
+
+        The digest is content-addressed (identical column data gives the
+        identical digest in any process), but it is *memoised by the mutation
+        version* so repeated queries over an unchanged table never re-hash
+        the data — the version counter is the result cache's invalidation
+        token.  Raises if a selected value is not numeric; callers fall back
+        to hashing the columns they actually buffered.
+        """
+        key = tuple(columns)
+        cached = self._fingerprint_cache.get(key)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        from repro.core.fingerprint import fingerprint_columns
+
+        vectors = [
+            [float(row[position]) for row in self.rows] for position in key
+        ]
+        digest = fingerprint_columns(vectors)
+        self._fingerprint_cache[key] = (self.version, digest)
+        return digest

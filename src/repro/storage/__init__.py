@@ -1,0 +1,42 @@
+"""repro.storage — durable tables, stores, and the tiered result cache.
+
+Three cooperating layers turn the in-memory engine into a restartable system:
+
+* :mod:`repro.storage.columnar` — an on-disk columnar table format (one file
+  per column, fixed-width binary payloads with null bitmaps) that round-trips
+  every :class:`repro.minidb.types.DataType` bit-identically;
+* :mod:`repro.storage.catalog` — a sqlite-backed durable catalog mapping
+  table schemas, mutation versions, and planner statistics to the column
+  files, behind :meth:`repro.minidb.Database.open` / ``db.save()`` and the
+  ``CREATE TABLE ... PERSISTENT`` DDL;
+* :mod:`repro.storage.store` + :mod:`repro.storage.cache` — an abstract
+  byte-store interface with memory → local-file tiers underneath a
+  content-addressed result cache for SGB groupings and similarity-join pair
+  lists, wired into ``sgb_any`` / ``sgb_all`` / ``sim_join`` and the minidb
+  executors behind the ``cache=`` / ``SGB_CACHE`` knob;
+* :mod:`repro.storage.checkpoint` — warm-start helpers used by streaming
+  sessions and the experiment runners.
+"""
+
+from repro.storage.cache import ResultCache, default_cache, resolve_cache
+from repro.storage.catalog import TableStore
+from repro.storage.checkpoint import load_checkpoint, save_checkpoint
+from repro.storage.store import (
+    AbstractStore,
+    LocalFileStore,
+    MemStore,
+    TieredStore,
+)
+
+__all__ = [
+    "AbstractStore",
+    "MemStore",
+    "LocalFileStore",
+    "TieredStore",
+    "ResultCache",
+    "resolve_cache",
+    "default_cache",
+    "TableStore",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,260 @@
+"""The durable catalog: sqlite metadata over per-column data files.
+
+A :class:`TableStore` owns one storage directory::
+
+    <root>/
+      catalog.sqlite          table schemas, versions, planner statistics
+      tables/<name>/col_*.col one columnar file per column (repro.storage.columnar)
+
+sqlite holds everything *about* the tables — the schema mapping from
+:class:`repro.minidb.types.DataType` to column files, the mutation
+``version`` counter (the durable invalidation token for statistics and the
+result cache), and the serialized :class:`repro.engine.stats.PointStats`
+summaries the cost planner collected — while the row data itself lives in
+the columnar files, which round-trip bit-identically.
+
+The store is deliberately engine-agnostic: it reads and writes
+``(name, schema pairs, rows, version, stats)`` bundles and knows nothing
+about :class:`~repro.minidb.database.Database`, which layers ``open`` /
+``save`` / ``close`` semantics on top.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import StorageError
+from repro.minidb.types import DataType
+from repro.storage.columnar import column_filename, read_column, write_column
+
+__all__ = ["TableStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tables (
+    name     TEXT PRIMARY KEY,
+    version  INTEGER NOT NULL,
+    rowcount INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS columns (
+    table_name TEXT NOT NULL,
+    position   INTEGER NOT NULL,
+    name       TEXT NOT NULL,
+    dtype      TEXT NOT NULL,
+    PRIMARY KEY (table_name, position)
+);
+CREATE TABLE IF NOT EXISTS stats (
+    table_name TEXT NOT NULL,
+    columns    TEXT NOT NULL,
+    version    INTEGER NOT NULL,
+    payload    TEXT NOT NULL,
+    PRIMARY KEY (table_name, columns)
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+_FORMAT_VERSION = "1"
+
+
+class TableStore:
+    """Durable storage for a set of named, versioned columnar tables."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        os.makedirs(self._tables_dir, exist_ok=True)
+        try:
+            self._conn: Optional[sqlite3.Connection] = sqlite3.connect(
+                os.path.join(self.root, "catalog.sqlite")
+            )
+            self._conn.executescript(_SCHEMA)
+            self._init_meta()
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot open catalog at {self.root!r}: {exc}") from exc
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def _tables_dir(self) -> str:
+        return os.path.join(self.root, "tables")
+
+    def _init_meta(self) -> None:
+        assert self._conn is not None
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'format'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('format', ?)",
+                (_FORMAT_VERSION,),
+            )
+        elif row[0] != _FORMAT_VERSION:
+            raise StorageError(
+                f"storage directory {self.root!r} uses format {row[0]!r}, "
+                f"this build reads format {_FORMAT_VERSION!r}"
+            )
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the sqlite handle."""
+        return self._conn is None
+
+    def close(self) -> None:
+        """Commit and release the sqlite connection (idempotent)."""
+        if self._conn is not None:
+            try:
+                self._conn.commit()
+            finally:
+                self._conn.close()
+                self._conn = None
+
+    def _cursor(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise StorageError(f"storage at {self.root!r} is closed")
+        return self._conn
+
+    # -- tables ------------------------------------------------------------
+
+    def table_names(self) -> List[str]:
+        """Names of every stored table, sorted."""
+        rows = self._cursor().execute("SELECT name FROM tables ORDER BY name")
+        return [r[0] for r in rows.fetchall()]
+
+    def table_version(self, name: str) -> Optional[int]:
+        """The stored mutation version of ``name`` (``None`` if absent)."""
+        row = (
+            self._cursor()
+            .execute("SELECT version FROM tables WHERE name = ?", (name,))
+            .fetchone()
+        )
+        return None if row is None else int(row[0])
+
+    def save_table(
+        self,
+        name: str,
+        schema_pairs: Sequence[Tuple[str, DataType]],
+        rows: Sequence[Tuple[object, ...]],
+        version: int,
+        stats: Optional[Dict[str, Tuple[int, dict]]] = None,
+    ) -> None:
+        """Persist one table: column files first, then the catalog rows.
+
+        ``stats`` maps a comma-joined column-position key to ``(version,
+        PointStats dict)``; only summaries matching ``version`` are written,
+        so a reopened database never resurrects a stale planner summary.
+        """
+        conn = self._cursor()
+        table_dir = os.path.join(self._tables_dir, name)
+        os.makedirs(table_dir, exist_ok=True)
+        for position, (col_name, dtype) in enumerate(schema_pairs):
+            values = [row[position] for row in rows]
+            write_column(
+                os.path.join(table_dir, column_filename(position, col_name)),
+                col_name,
+                dtype,
+                values,
+            )
+        # Remove files of columns beyond the current schema (re-created table).
+        expected = {
+            column_filename(p, c) for p, (c, _) in enumerate(schema_pairs)
+        }
+        for entry in os.listdir(table_dir):
+            if entry.endswith(".col") and entry not in expected:
+                try:
+                    os.unlink(os.path.join(table_dir, entry))
+                except OSError:
+                    pass
+        try:
+            conn.execute(
+                "INSERT INTO tables (name, version, rowcount) VALUES (?, ?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET version = ?, rowcount = ?",
+                (name, version, len(rows), version, len(rows)),
+            )
+            conn.execute("DELETE FROM columns WHERE table_name = ?", (name,))
+            conn.executemany(
+                "INSERT INTO columns (table_name, position, name, dtype) "
+                "VALUES (?, ?, ?, ?)",
+                [
+                    (name, position, col_name, dtype.value)
+                    for position, (col_name, dtype) in enumerate(schema_pairs)
+                ],
+            )
+            conn.execute("DELETE FROM stats WHERE table_name = ?", (name,))
+            for columns_key, (stats_version, payload) in (stats or {}).items():
+                if stats_version != version:
+                    continue
+                conn.execute(
+                    "INSERT INTO stats (table_name, columns, version, payload) "
+                    "VALUES (?, ?, ?, ?)",
+                    (name, columns_key, stats_version, json.dumps(payload)),
+                )
+            conn.commit()
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot save table {name!r}: {exc}") from exc
+
+    def load_table(
+        self, name: str
+    ) -> Tuple[List[Tuple[str, DataType]], List[Tuple[object, ...]], int, Dict[str, Tuple[int, dict]]]:
+        """Load ``(schema pairs, rows, version, stats)`` for one table."""
+        conn = self._cursor()
+        meta = conn.execute(
+            "SELECT version, rowcount FROM tables WHERE name = ?", (name,)
+        ).fetchone()
+        if meta is None:
+            raise StorageError(f"stored table {name!r} does not exist")
+        version, rowcount = int(meta[0]), int(meta[1])
+        column_rows = conn.execute(
+            "SELECT position, name, dtype FROM columns WHERE table_name = ? "
+            "ORDER BY position",
+            (name,),
+        ).fetchall()
+        schema_pairs: List[Tuple[str, DataType]] = []
+        columns: List[List[object]] = []
+        table_dir = os.path.join(self._tables_dir, name)
+        for position, col_name, dtype_name in column_rows:
+            dtype = DataType.parse(dtype_name)
+            path = os.path.join(table_dir, column_filename(position, col_name))
+            stored_name, stored_dtype, values = read_column(path)
+            if stored_name != col_name or stored_dtype is not dtype:
+                raise StorageError(
+                    f"column file {path!r} does not match the catalog "
+                    f"({stored_name!r}:{stored_dtype.value} vs "
+                    f"{col_name!r}:{dtype.value})"
+                )
+            if len(values) != rowcount:
+                raise StorageError(
+                    f"column file {path!r} holds {len(values)} rows, "
+                    f"catalog expects {rowcount}"
+                )
+            schema_pairs.append((col_name, dtype))
+            columns.append(values)
+        rows = [tuple(col[i] for col in columns) for i in range(rowcount)]
+        stats: Dict[str, Tuple[int, dict]] = {}
+        for columns_key, stats_version, payload in conn.execute(
+            "SELECT columns, version, payload FROM stats WHERE table_name = ?",
+            (name,),
+        ).fetchall():
+            try:
+                stats[columns_key] = (int(stats_version), json.loads(payload))
+            except (ValueError, json.JSONDecodeError):
+                continue  # stats are advisory; a bad row is just dropped
+        return schema_pairs, rows, version, stats
+
+    def remove_table(self, name: str) -> None:
+        """Drop a stored table's catalog rows and column files."""
+        conn = self._cursor()
+        try:
+            conn.execute("DELETE FROM tables WHERE name = ?", (name,))
+            conn.execute("DELETE FROM columns WHERE table_name = ?", (name,))
+            conn.execute("DELETE FROM stats WHERE table_name = ?", (name,))
+            conn.commit()
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot remove table {name!r}: {exc}") from exc
+        shutil.rmtree(os.path.join(self._tables_dir, name), ignore_errors=True)

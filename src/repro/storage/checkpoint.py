@@ -1,0 +1,41 @@
+"""Warm-start checkpoints: pickle a resumable object to disk, tolerantly.
+
+Streaming sessions (:meth:`repro.stream.session.StreamingSGB.checkpoint`)
+and the experiment runner use these helpers to persist epoch state between
+processes.  The format is a magic prefix plus a pickle; loading anything
+damaged, truncated, or from a different format version returns ``None`` —
+warm-start is an optimisation, so a broken checkpoint means "start cold",
+never a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Optional
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_MAGIC = b"RPCKPT1"
+
+
+def save_checkpoint(obj: object, path: str) -> None:
+    """Atomically write a checkpoint of ``obj`` to ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(_MAGIC)
+        pickle.dump(obj, fh, protocol=4)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Optional[object]:
+    """Load a checkpoint, or ``None`` if missing, damaged, or unreadable."""
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(len(_MAGIC)) != _MAGIC:
+                return None
+            return pickle.load(fh)
+    except Exception:  # noqa: BLE001 - cold start beats a crash, always
+        return None

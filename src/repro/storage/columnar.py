@@ -1,0 +1,238 @@
+"""On-disk columnar table format: one binary file per column.
+
+Every column file is self-describing::
+
+    b"RPCOL1\\n"  magic
+    <u32 header length> <JSON header>   name, dtype, count, encoding, crc32
+    <payload>
+
+Payloads are fixed-width binary with a leading null bitmap (one bit per row,
+LSB-first), so the format needs neither NumPy nor any serialisation library:
+
+* ``FLOAT`` — IEEE-754 little-endian doubles (``struct '<d'``); round-trips
+  are bit-identical, including signed zeros and subnormals;
+* ``INT``   — little-endian int64 when every value fits, else a framed
+  decimal-text escape (Python ints are unbounded);
+* ``BOOL``  — a second bitmap;
+* ``DATE``  — proleptic-Gregorian ordinals as int64;
+* ``TEXT``  — length-framed UTF-8 (``surrogatepass`` so any str survives).
+
+Nulls are stored positionally in the bitmap and *not* in the payload, keeping
+files compact for sparse columns.  A CRC-32 of the payload is kept in the
+header; any mismatch (truncation, bit rot) raises
+:class:`~repro.exceptions.StorageError` — durable tables fail loudly, unlike
+cache entries, which silently fall back to a recompute.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import os
+import struct
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import StorageError
+from repro.minidb.types import DataType
+
+__all__ = ["write_column", "read_column", "read_column_header", "column_filename"]
+
+MAGIC = b"RPCOL1\n"
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def column_filename(position: int, name: str) -> str:
+    """Stable on-disk filename for column ``name`` at ``position``."""
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+    return f"col_{position:03d}_{safe}.col"
+
+
+# ---------------------------------------------------------------------------
+# bitmaps
+# ---------------------------------------------------------------------------
+
+
+def _pack_bitmap(flags: Sequence[bool]) -> bytes:
+    out = bytearray((len(flags) + 7) // 8)
+    for i, flag in enumerate(flags):
+        if flag:
+            out[i >> 3] |= 1 << (i & 7)
+    return bytes(out)
+
+
+def _unpack_bitmap(data: bytes, count: int) -> List[bool]:
+    return [bool(data[i >> 3] & (1 << (i & 7))) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_payload(dtype: DataType, values: Sequence[object]) -> Tuple[str, bytes]:
+    """Return ``(encoding, payload)`` for ``values`` of ``dtype``."""
+    nulls = _pack_bitmap([v is None for v in values])
+    present = [v for v in values if v is not None]
+    if dtype is DataType.FLOAT:
+        body = b"".join(_F64.pack(v) for v in present)
+        return "f64", nulls + body
+    if dtype is DataType.INT:
+        if all(_I64_MIN <= v <= _I64_MAX for v in present):
+            body = b"".join(_I64.pack(v) for v in present)
+            return "i64", nulls + body
+        frames = [str(v).encode("ascii") for v in present]
+        body = b"".join(_U32.pack(len(f)) + f for f in frames)
+        return "dec", nulls + body
+    if dtype is DataType.BOOL:
+        return "bit", nulls + _pack_bitmap([bool(v) for v in present])
+    if dtype is DataType.DATE:
+        body = b"".join(_I64.pack(v.toordinal()) for v in present)
+        return "ord", nulls + body
+    if dtype is DataType.TEXT:
+        frames = [v.encode("utf-8", "surrogatepass") for v in present]
+        body = b"".join(_U32.pack(len(f)) + f for f in frames)
+        return "utf8", nulls + body
+    raise StorageError(f"unsupported column type {dtype!r}")
+
+
+def _decode_payload(
+    dtype: DataType, encoding: str, payload: bytes, count: int
+) -> List[object]:
+    """Inverse of :func:`_encode_payload`; raises ``StorageError`` on damage."""
+    bitmap_len = (count + 7) // 8
+    if len(payload) < bitmap_len:
+        raise StorageError("column payload shorter than its null bitmap")
+    nulls = _unpack_bitmap(payload[:bitmap_len], count)
+    body = payload[bitmap_len:]
+    n_present = count - sum(nulls)
+    present: List[object]
+    if encoding == "f64":
+        _expect_len(body, 8 * n_present)
+        present = [_F64.unpack_from(body, 8 * i)[0] for i in range(n_present)]
+    elif encoding == "i64":
+        _expect_len(body, 8 * n_present)
+        present = [_I64.unpack_from(body, 8 * i)[0] for i in range(n_present)]
+    elif encoding == "ord":
+        _expect_len(body, 8 * n_present)
+        present = [
+            dt.date.fromordinal(_I64.unpack_from(body, 8 * i)[0])
+            for i in range(n_present)
+        ]
+    elif encoding == "bit":
+        _expect_len(body, (n_present + 7) // 8)
+        present = list(_unpack_bitmap(body, n_present))
+    elif encoding in ("utf8", "dec"):
+        present = []
+        offset = 0
+        for _ in range(n_present):
+            if offset + 4 > len(body):
+                raise StorageError("truncated framed column payload")
+            (length,) = _U32.unpack_from(body, offset)
+            offset += 4
+            if offset + length > len(body):
+                raise StorageError("truncated framed column payload")
+            frame = body[offset : offset + length]
+            offset += length
+            if encoding == "utf8":
+                present.append(frame.decode("utf-8", "surrogatepass"))
+            else:
+                present.append(int(frame.decode("ascii")))
+        if offset != len(body):
+            raise StorageError("trailing bytes after framed column payload")
+    else:
+        raise StorageError(f"unknown column encoding {encoding!r}")
+    out: List[object] = []
+    it = iter(present)
+    for is_null in nulls:
+        out.append(None if is_null else next(it))
+    return out
+
+
+def _expect_len(body: bytes, expected: int) -> None:
+    if len(body) != expected:
+        raise StorageError(
+            f"column payload length {len(body)} != expected {expected}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# files
+# ---------------------------------------------------------------------------
+
+
+def write_column(
+    path: str, name: str, dtype: DataType, values: Sequence[object]
+) -> None:
+    """Write one column to ``path`` atomically (temp file + rename)."""
+    encoding, payload = _encode_payload(dtype, values)
+    header = json.dumps(
+        {
+            "name": name,
+            "dtype": dtype.value,
+            "count": len(values),
+            "encoding": encoding,
+            "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(_U32.pack(len(header)))
+        fh.write(header)
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
+def read_column(path: str) -> Tuple[str, DataType, List[object]]:
+    """Read one column file; returns ``(name, dtype, values)``.
+
+    Raises :class:`~repro.exceptions.StorageError` on any structural damage:
+    bad magic, unparsable header, payload checksum mismatch, or truncation.
+    """
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        raise StorageError(f"cannot read column file {path!r}: {exc}") from exc
+    if not blob.startswith(MAGIC):
+        raise StorageError(f"column file {path!r} has a bad magic header")
+    offset = len(MAGIC)
+    if len(blob) < offset + 4:
+        raise StorageError(f"column file {path!r} is truncated")
+    (header_len,) = _U32.unpack_from(blob, offset)
+    offset += 4
+    if len(blob) < offset + header_len:
+        raise StorageError(f"column file {path!r} is truncated")
+    try:
+        header = json.loads(blob[offset : offset + header_len].decode("utf-8"))
+        name = header["name"]
+        dtype = DataType.parse(header["dtype"])
+        count = int(header["count"])
+        encoding = str(header["encoding"])
+        crc = int(header["crc32"])
+    except Exception as exc:  # noqa: BLE001 - any malformed header is damage
+        raise StorageError(f"column file {path!r} has a bad header: {exc}") from exc
+    payload = blob[offset + header_len :]
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise StorageError(f"column file {path!r} failed its payload checksum")
+    return name, dtype, _decode_payload(dtype, encoding, payload, count)
+
+
+def read_column_header(path: str) -> Optional[dict]:
+    """Best-effort header peek (``None`` on damage); used by tooling/tests."""
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                return None
+            (header_len,) = _U32.unpack(fh.read(4))
+            return json.loads(fh.read(header_len).decode("utf-8"))
+    except Exception:  # noqa: BLE001 - peek must never raise
+        return None

@@ -1,0 +1,234 @@
+"""Byte stores: the abstract interface and the memory / local-file tiers.
+
+A store is a flat ``key -> bytes`` namespace with size-capped LRU eviction.
+The result cache composes them into tiers (:class:`TieredStore`): a hot
+in-process :class:`MemStore` in front of a spill :class:`LocalFileStore`
+directory, so warm entries survive process restarts while repeat hits stay
+memory-speed.  Keys are filesystem-safe tokens (the cache uses hex digests);
+values are opaque byte payloads.
+
+Every store degrades gracefully: a read that fails for any reason behaves as
+a miss, and eviction never raises — a cache must never be the reason a query
+fails.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+__all__ = ["AbstractStore", "MemStore", "LocalFileStore", "TieredStore"]
+
+
+class AbstractStore:
+    """Minimal byte-store contract shared by every tier."""
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Return the payload stored under ``key``, or ``None`` on a miss."""
+        raise NotImplementedError
+
+    def put(self, key: str, value: bytes) -> None:
+        """Store ``value`` under ``key`` (replacing any prior payload)."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` if present (no-op otherwise)."""
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """Return the currently stored keys (order unspecified)."""
+        raise NotImplementedError
+
+    def total_bytes(self) -> int:
+        """Return the summed payload size currently held."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        for key in self.keys():
+            self.delete(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+
+class MemStore(AbstractStore):
+    """In-process LRU byte store with a byte-size cap.
+
+    ``get`` and ``put`` both refresh recency; inserting past ``max_bytes``
+    evicts least-recently-used entries until the store fits.  A single
+    payload larger than the whole cap is simply not retained.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._total = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: bytes) -> None:
+        if key in self._entries:
+            self.delete(key)
+        if len(value) > self.max_bytes:
+            return
+        self._entries[key] = value
+        self._total += len(value)
+        while self._total > self.max_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._total -= len(evicted)
+
+    def delete(self, key: str) -> None:
+        value = self._entries.pop(key, None)
+        if value is not None:
+            self._total -= len(value)
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def total_bytes(self) -> int:
+        return self._total
+
+
+class LocalFileStore(AbstractStore):
+    """One file per key inside a spill directory, LRU-evicted by mtime.
+
+    Writes are atomic (temp file + ``os.replace``) so a crashed process can
+    never leave a half-written payload under a live key, and reads bump the
+    file's mtime so eviction approximates LRU across processes.  All I/O
+    errors degrade to misses / no-ops — the cache layer treats this tier as
+    best-effort.
+    """
+
+    _SUFFIX = ".bin"
+
+    def __init__(self, root: str, max_bytes: int = 1024 * 1024 * 1024) -> None:
+        self.root = os.fspath(root)
+        self.max_bytes = int(max_bytes)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + self._SUFFIX)
+
+    def get(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = fh.read()
+            os.utime(path)  # refresh LRU recency for eviction
+            return value
+        except OSError:
+            return None
+
+    def put(self, key: str, value: bytes) -> None:
+        if len(value) > self.max_bytes:
+            return
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(value)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self._evict()
+
+    def delete(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
+    def keys(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return [n[: -len(self._SUFFIX)] for n in names if n.endswith(self._SUFFIX)]
+
+    def total_bytes(self) -> int:
+        total = 0
+        for key in self.keys():
+            try:
+                total += os.path.getsize(self._path(key))
+            except OSError:
+                continue
+        return total
+
+    def _evict(self) -> None:
+        """Delete oldest-read files until the directory fits the cap."""
+        entries = []
+        total = 0
+        for key in self.keys():
+            path = self._path(key)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+
+
+class TieredStore(AbstractStore):
+    """Memory tier in front of a durable tier.
+
+    Reads check the tiers in order and promote hits into every faster tier;
+    writes go to all tiers.  The composition is what the result cache calls
+    "mem → localfile": repeat hits are served from memory, cold processes
+    refill from disk.
+    """
+
+    def __init__(self, *tiers: AbstractStore) -> None:
+        if not tiers:
+            raise ValueError("TieredStore needs at least one tier")
+        self.tiers = list(tiers)
+
+    def get(self, key: str) -> Optional[bytes]:
+        for i, tier in enumerate(self.tiers):
+            value = tier.get(key)
+            if value is not None:
+                for faster in self.tiers[:i]:
+                    faster.put(key, value)
+                return value
+        return None
+
+    def put(self, key: str, value: bytes) -> None:
+        for tier in self.tiers:
+            tier.put(key, value)
+
+    def delete(self, key: str) -> None:
+        for tier in self.tiers:
+            tier.delete(key)
+
+    def keys(self) -> List[str]:
+        seen: "dict[str, None]" = {}
+        for tier in self.tiers:
+            for key in tier.keys():
+                seen.setdefault(key)
+        return list(seen)
+
+    def total_bytes(self) -> int:
+        return max(tier.total_bytes() for tier in self.tiers)

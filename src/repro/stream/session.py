@@ -54,6 +54,10 @@ Point = Tuple[float, ...]
 
 __all__ = ["StreamingSGB", "WindowResult", "stream_groups"]
 
+#: Checkpoint payload tag; bump when the session's pickled layout changes so
+#: stale checkpoint files read as "start fresh" instead of mis-restoring.
+_CHECKPOINT_FORMAT = "streaming-sgb/1"
+
 
 @dataclass
 class WindowResult:
@@ -285,6 +289,35 @@ class StreamingSGB:
                 "ticks are only meaningful with a tick-based window policy"
             )
         return self._ingest_counted(tuples)
+
+    def checkpoint(self, path: str) -> None:
+        """Persist the complete session state to ``path`` (atomic write).
+
+        Everything the session holds — the live epoch ring with its
+        incremental groupers, the window forest, the retained cross-epoch
+        edges, counters, and the previous flush's groups — is serialised, so
+        a :meth:`resume`\\ d session continues the stream exactly where this
+        one stopped and flushes bit-identical windows from then on.
+        """
+        from repro.storage.checkpoint import save_checkpoint
+
+        save_checkpoint({"format": _CHECKPOINT_FORMAT, "session": self}, path)
+
+    @staticmethod
+    def resume(path: str) -> "Optional[StreamingSGB]":
+        """Rebuild a session from a :meth:`checkpoint` file.
+
+        Returns ``None`` when the file is missing, truncated, or from an
+        incompatible format version — callers then start a fresh session and
+        re-ingest; a damaged checkpoint never raises.
+        """
+        from repro.storage.checkpoint import load_checkpoint
+
+        payload = load_checkpoint(path)
+        if not isinstance(payload, dict) or payload.get("format") != _CHECKPOINT_FORMAT:
+            return None
+        session = payload.get("session")
+        return session if isinstance(session, StreamingSGB) else None
 
     def close(self) -> List[WindowResult]:
         """Flush the final partial epoch (if any) and end the session."""

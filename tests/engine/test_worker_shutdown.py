@@ -1,0 +1,45 @@
+"""Worker-pool lifecycle: explicit shutdown is reusable, atexit is terminal."""
+
+from __future__ import annotations
+
+from repro.engine import workers as W
+
+
+class TestExplicitShutdown:
+    def test_shutdown_then_reuse_builds_a_fresh_pool(self):
+        pool = W.get_worker_pool(2)
+        if pool is None:  # single-core machine: nothing to shut down
+            return
+        W.shutdown_worker_pools()
+        again = W.get_worker_pool(2)
+        assert again is not None
+        assert again is not pool
+        W.shutdown_worker_pools()
+
+
+class TestInterpreterExit:
+    def test_atexit_flag_degrades_to_serial(self, monkeypatch):
+        """After the atexit hook ran, pool requests return None (serial path)
+
+        instead of racing ProcessPoolExecutor against interpreter teardown —
+        the scenario a Database.close() inside someone's atexit hook hits.
+        """
+        W._atexit_shutdown()
+        try:
+            assert W.get_worker_pool(2) is None
+            assert W.get_worker_pool(8) is None
+        finally:
+            W._SHUTTING_DOWN = False
+
+    def test_sharded_sgb_falls_back_to_serial_during_shutdown(self):
+        from repro.core.api import sgb_any
+
+        points = [(0.0, 0.0), (0.1, 0.1), (5.0, 5.0), (5.1, 5.1)]
+        serial = sgb_any(points, eps=1.0)
+        W._atexit_shutdown()
+        try:
+            during = sgb_any(points, eps=1.0, workers=2)
+        finally:
+            W._SHUTTING_DOWN = False
+        assert during.groups == serial.groups
+        assert during.eliminated == serial.eliminated

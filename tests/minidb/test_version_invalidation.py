@@ -1,0 +1,169 @@
+"""Every mutation path bumps Table.version; staleness regressions.
+
+The mutation counter is the single invalidation token for three derived
+artifacts: the planner-statistics cache, the content fingerprints keying the
+tiered result cache, and the durable catalog's dirty check.  A mutation path
+that forgets to bump it would silently serve stale results — these tests pin
+each of those failure modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minidb import Database
+from repro.storage.cache import ResultCache, reset_default_cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_env(monkeypatch):
+    monkeypatch.delenv("SGB_CACHE", raising=False)
+    reset_default_cache()
+    yield
+    reset_default_cache()
+
+
+def points_db(cache=None):
+    db = Database(cache=cache)
+    db.execute("CREATE TABLE pts (x FLOAT, y FLOAT)")
+    db.execute("INSERT INTO pts VALUES (0.0, 0.0), (0.5, 0.5), (5.0, 5.0)")
+    return db
+
+
+SGB_SQL = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1"
+
+
+class TestEveryMutationPathBumpsVersion:
+    def test_insert(self):
+        db = points_db()
+        table = db.table("pts")
+        before = table.version
+        table.insert((9.0, 9.0))
+        assert table.version == before + 1
+
+    def test_insert_many(self):
+        db = points_db()
+        table = db.table("pts")
+        before = table.version
+        table.insert_many([(9.0, 9.0), (9.1, 9.1)])
+        assert table.version == before + 2
+
+    def test_sql_insert(self):
+        db = points_db()
+        before = db.table("pts").version
+        db.execute("INSERT INTO pts VALUES (9.0, 9.0), (8.0, 8.0)")
+        assert db.table("pts").version == before + 2
+
+    def test_insert_rows_facade(self):
+        db = points_db()
+        before = db.table("pts").version
+        db.insert_rows("pts", [(1.0, 1.0)])
+        assert db.table("pts").version == before + 1
+
+    def test_truncate(self):
+        db = points_db()
+        table = db.table("pts")
+        before = table.version
+        table.truncate()
+        assert table.version == before + 1
+
+    def test_adopt_rows_restores_not_counts(self):
+        db = Database()
+        table = db.create_table("t", [("x", "FLOAT")])
+        table.adopt_rows([(1.0,), (2.0,)], version=17)
+        assert table.version == 17
+
+    def test_failed_insert_does_not_bump(self):
+        db = points_db()
+        table = db.table("pts")
+        before = table.version
+        with pytest.raises(Exception):
+            table.insert((1.0,))  # arity mismatch
+        assert table.version == before
+
+
+class TestStaleStatsRegression:
+    def test_stats_recollected_after_insert(self):
+        db = points_db()
+        table = db.table("pts")
+        assert table.point_stats((0, 1)).count == 3
+        table.insert((9.0, 9.0))
+        assert table.point_stats((0, 1)).count == 4
+
+    def test_stats_recollected_after_truncate(self):
+        db = points_db()
+        table = db.table("pts")
+        table.point_stats((0, 1))
+        table.truncate()
+        assert table.point_stats((0, 1)).count == 0
+
+    def test_unchanged_table_reuses_cached_stats(self):
+        db = points_db()
+        table = db.table("pts")
+        first = table.point_stats((0, 1))
+        assert table.point_stats((0, 1)) is first
+
+
+class TestStaleFingerprintRegression:
+    def test_fingerprint_changes_after_insert(self):
+        db = points_db()
+        table = db.table("pts")
+        before = table.point_fingerprint((0, 1))
+        assert table.point_fingerprint((0, 1)) == before  # memoised
+        table.insert((9.0, 9.0))
+        assert table.point_fingerprint((0, 1)) != before
+
+    def test_fingerprint_changes_after_truncate(self):
+        db = points_db()
+        table = db.table("pts")
+        before = table.point_fingerprint((0, 1))
+        table.truncate()
+        assert table.point_fingerprint((0, 1)) != before
+
+
+class TestStaleCacheRegression:
+    def test_insert_between_identical_queries_misses(self):
+        """The stale-cache scenario: mutate, re-ask, and the answer must move."""
+        cache = ResultCache.memory()
+        db = points_db(cache=cache)
+        first = db.execute(SGB_SQL).rows
+        db.execute("INSERT INTO pts VALUES (0.2, 0.2)")
+        second = db.execute(SGB_SQL).rows
+        assert cache.hits == 0 and cache.puts == 2  # no false hit across versions
+        assert sorted(first) != sorted(second)
+
+    def test_unchanged_table_hits(self):
+        cache = ResultCache.memory()
+        db = points_db(cache=cache)
+        first = db.execute(SGB_SQL).rows
+        second = db.execute(SGB_SQL).rows
+        assert cache.hits == 1
+        assert first == second
+
+    def test_truncate_and_reinsert_same_rows_hits_again(self):
+        """Content addressing: identical content maps back to the same key."""
+        cache = ResultCache.memory()
+        db = points_db(cache=cache)
+        first = db.execute(SGB_SQL).rows
+        db.table("pts").truncate()
+        db.execute("INSERT INTO pts VALUES (0.0, 0.0), (0.5, 0.5), (5.0, 5.0)")
+        second = db.execute(SGB_SQL).rows
+        assert cache.hits == 1  # same bytes, same key, legitimate hit
+        assert first == second
+
+    def test_join_cache_invalidated_by_either_side(self):
+        cache = ResultCache.memory()
+        db = Database(cache=cache)
+        db.execute("CREATE TABLE a (x FLOAT, y FLOAT)")
+        db.execute("CREATE TABLE b (x FLOAT, y FLOAT)")
+        db.execute("INSERT INTO a VALUES (0.0, 0.0), (1.0, 1.0)")
+        db.execute("INSERT INTO b VALUES (0.1, 0.1), (5.0, 5.0)")
+        sql = (
+            "SELECT count(*) FROM a SIMILARITY JOIN b "
+            "ON DISTANCE(a.x, a.y, b.x, b.y) WITHIN 0.5"
+        )
+        first = db.execute(sql).scalar()
+        db.execute("INSERT INTO b VALUES (1.05, 1.05)")
+        second = db.execute(sql).scalar()
+        assert cache.hits == 0 and cache.puts == 2
+        assert second == first + 1

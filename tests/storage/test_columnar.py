@@ -1,0 +1,141 @@
+"""Round-trip and damage tests for the on-disk columnar format."""
+
+from __future__ import annotations
+
+import datetime as dt
+import math
+import os
+import struct
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.minidb.types import DataType
+from repro.storage.columnar import (
+    column_filename,
+    read_column,
+    read_column_header,
+    write_column,
+)
+
+
+def roundtrip(tmp_path, dtype, values, name="c"):
+    path = os.path.join(tmp_path, "col.col")
+    write_column(path, name, dtype, values)
+    stored_name, stored_dtype, out = read_column(path)
+    assert stored_name == name
+    assert stored_dtype is dtype
+    return out
+
+
+class TestFloatColumns:
+    def test_plain_values(self, tmp_path):
+        values = [0.0, 1.5, -2.25, 1e300, -1e-300]
+        assert roundtrip(tmp_path, DataType.FLOAT, values) == values
+
+    def test_signed_zero_survives_bit_identically(self, tmp_path):
+        out = roundtrip(tmp_path, DataType.FLOAT, [0.0, -0.0])
+        assert [math.copysign(1.0, v) for v in out] == [1.0, -1.0]
+
+    def test_subnormals_and_extremes_bit_identical(self, tmp_path):
+        values = [
+            5e-324,  # smallest positive subnormal
+            -5e-324,
+            2.2250738585072014e-308,  # smallest normal
+            1.7976931348623157e308,  # largest finite
+            math.pi,
+        ]
+        out = roundtrip(tmp_path, DataType.FLOAT, values)
+        assert [struct.pack("<d", v) for v in out] == [
+            struct.pack("<d", v) for v in values
+        ]
+
+    def test_nulls_interleaved(self, tmp_path):
+        values = [None, 1.0, None, None, 2.5, None]
+        assert roundtrip(tmp_path, DataType.FLOAT, values) == values
+
+
+class TestIntColumns:
+    def test_int64_range(self, tmp_path):
+        values = [0, 1, -1, 2**63 - 1, -(2**63)]
+        assert roundtrip(tmp_path, DataType.INT, values) == values
+
+    def test_bigints_escape_to_decimal_frames(self, tmp_path):
+        values = [2**63, -(2**100), 10**40, 7]
+        out = roundtrip(tmp_path, DataType.INT, values)
+        assert out == values
+        assert all(isinstance(v, int) for v in out)
+
+    def test_nulls(self, tmp_path):
+        values = [None, 5, None, -9]
+        assert roundtrip(tmp_path, DataType.INT, values) == values
+
+
+class TestOtherTypes:
+    def test_bool(self, tmp_path):
+        values = [True, False, None, True, True, False, None, False, True]
+        assert roundtrip(tmp_path, DataType.BOOL, values) == values
+
+    def test_date(self, tmp_path):
+        values = [dt.date(1, 1, 1), dt.date(2026, 8, 8), None, dt.date(9999, 12, 31)]
+        assert roundtrip(tmp_path, DataType.DATE, values) == values
+
+    def test_text_unicode_and_empty(self, tmp_path):
+        values = ["", "plain", "éèê", "\U0001f600 emoji", None, "line\nbreak\ttab"]
+        assert roundtrip(tmp_path, DataType.TEXT, values) == values
+
+    def test_text_lone_surrogates_survive(self, tmp_path):
+        values = ["ok", "\ud800bad\udfff"]
+        assert roundtrip(tmp_path, DataType.TEXT, values) == values
+
+    def test_empty_column(self, tmp_path):
+        assert roundtrip(tmp_path, DataType.FLOAT, []) == []
+        assert roundtrip(tmp_path, DataType.TEXT, []) == []
+
+    def test_all_null_column(self, tmp_path):
+        values = [None, None, None]
+        assert roundtrip(tmp_path, DataType.INT, values) == values
+
+
+class TestDamage:
+    def write(self, tmp_path, values=(1.0, 2.0, 3.0)):
+        path = os.path.join(tmp_path, "col.col")
+        write_column(path, "x", DataType.FLOAT, list(values))
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self.write(tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(b"NOTCOL!" + blob[7:])
+        with pytest.raises(StorageError):
+            read_column(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = self.write(tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-5])
+        with pytest.raises(StorageError):
+            read_column(path)
+
+    def test_flipped_payload_byte_fails_checksum(self, tmp_path):
+        path = self.write(tmp_path)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(StorageError):
+            read_column(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_column(os.path.join(tmp_path, "absent.col"))
+
+    def test_header_peek_tolerates_damage(self, tmp_path):
+        path = self.write(tmp_path)
+        header = read_column_header(path)
+        assert header is not None and header["name"] == "x" and header["count"] == 3
+        open(path, "wb").write(b"garbage")
+        assert read_column_header(path) is None
+
+
+def test_column_filename_sanitises():
+    assert column_filename(2, "x y/z") == "col_002_x_y_z.col"

@@ -1,0 +1,177 @@
+"""Durable tables: save/reopen round trips, DDL, and the context manager."""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import CatalogError, StorageError
+from repro.minidb import Database
+from repro.storage.catalog import TableStore
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+ROWS = [
+    (1, 2.0, 8.0, "a1"),
+    (2, 3.0, 7.0, "a2"),
+    (3, 7.0, 5.0, "a3"),
+    (4, 8.0, 4.0, "a4"),
+    (5, 5.0, 6.5, "bridge"),
+    (6, -0.0, 5e-324, None),  # signed zero, subnormal, SQL NULL
+]
+
+SGB_SQL = (
+    "SELECT count(*) FROM pts "
+    "GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE"
+)
+
+
+def build_db(path):
+    db = Database.open(str(path))
+    db.create_table(
+        "pts", [("id", "INT"), ("x", "FLOAT"), ("y", "FLOAT"), ("tag", "TEXT")],
+        persistent=True,
+    )
+    db.insert_rows("pts", ROWS)
+    return db
+
+
+class TestRoundTrip:
+    def test_rows_version_and_schema_survive_reopen(self, tmp_path):
+        db = build_db(tmp_path)
+        version = db.table("pts").version
+        db.close()
+
+        reopened = Database.open(str(tmp_path))
+        table = reopened.table("pts")
+        assert table.rows == [tuple(r) for r in ROWS]
+        assert table.version == version
+        assert table.persistent
+        assert [c.name for c in table.schema.columns] == ["id", "x", "y", "tag"]
+        # Bit-level checks the tuple equality above cannot see.
+        assert math.copysign(1.0, table.rows[5][1]) == -1.0
+        assert table.rows[5][2] == 5e-324
+        reopened.close()
+
+    def test_sql_answers_bit_identically_after_reopen(self, tmp_path):
+        db = build_db(tmp_path)
+        before = db.execute(SGB_SQL).rows
+        db.close()
+        reopened = Database.open(str(tmp_path))
+        assert reopened.execute(SGB_SQL).rows == before
+        reopened.close()
+
+    def test_fresh_subprocess_answers_identically(self, tmp_path):
+        """The acceptance check: a brand-new interpreter reads the same answer."""
+        db = build_db(tmp_path)
+        expected = db.execute(SGB_SQL).rows
+        db.close()
+        script = (
+            "import json, sys\n"
+            "from repro.minidb import Database\n"
+            f"db = Database.open({str(tmp_path)!r})\n"
+            f"rows = db.execute({SGB_SQL!r}).rows\n"
+            "print(json.dumps(rows))\n"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert json.loads(out.stdout) == [list(r) for r in expected]
+
+    def test_sql_persistent_ddl_round_trips(self, tmp_path):
+        with Database.open(str(tmp_path)) as db:
+            db.execute("CREATE TABLE t (a INT, b TEXT) PERSISTENT")
+            db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+        with Database.open(str(tmp_path)) as db:
+            assert db.execute("SELECT a, b FROM t").rows == [(1, "one"), (2, "two")]
+
+    def test_restored_stats_cache_is_reused(self, tmp_path):
+        db = build_db(tmp_path)
+        stats = db.table("pts").point_stats((1, 2))  # populate the cache
+        db.close()
+        reopened = Database.open(str(tmp_path))
+        table = reopened.table("pts")
+        assert table._stats_cache  # restored from sqlite, not recollected
+        restored = table.point_stats((1, 2))
+        assert restored.count == stats.count
+        assert restored.low == stats.low
+        assert restored.high == stats.high
+        assert restored.histograms == stats.histograms
+        reopened.close()
+
+
+class TestSaveSemantics:
+    def test_save_skips_clean_tables(self, tmp_path):
+        db = build_db(tmp_path)
+        assert db.save() == 1
+        assert db.save() == 0  # version unchanged: nothing rewritten
+        db.table("pts").insert((7, 1.0, 1.0, "late"))
+        assert db.save() == 1
+        db.close()
+
+    def test_transient_tables_never_hit_disk(self, tmp_path):
+        db = Database.open(str(tmp_path))
+        db.create_table("scratch", [("v", "INT")])
+        db.insert_rows("scratch", [(1,)])
+        db.save()
+        db.close()
+        reopened = Database.open(str(tmp_path))
+        assert not reopened.has_table("scratch")
+        reopened.close()
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(StorageError):
+            Database().save()
+
+    def test_persistent_without_path_raises(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.create_table("t", [("a", "INT")], persistent=True)
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (a INT) PERSISTENT")
+
+    def test_drop_removes_stored_files(self, tmp_path):
+        db = build_db(tmp_path)
+        db.save()
+        assert os.path.isdir(tmp_path / "tables" / "pts")
+        db.execute("DROP TABLE pts")
+        assert not os.path.isdir(tmp_path / "tables" / "pts")
+        db.close()
+        reopened = Database.open(str(tmp_path))
+        assert not reopened.has_table("pts")
+        reopened.close()
+
+
+class TestLifecycle:
+    def test_context_manager_flushes_and_releases(self, tmp_path):
+        with Database.open(str(tmp_path)) as db:
+            db.execute("CREATE TABLE t (a INT) PERSISTENT")
+            db.execute("INSERT INTO t VALUES (42)")
+            store = db.store
+        assert store.closed
+        with pytest.raises(StorageError):
+            store.table_names()
+        assert TableStore(str(tmp_path)).table_names() == ["t"]
+
+    def test_close_is_idempotent_and_keeps_memory_queryable(self, tmp_path):
+        db = build_db(tmp_path)
+        db.close()
+        db.close()
+        assert db.execute("SELECT count(*) FROM pts").scalar() == len(ROWS)
+
+    def test_format_version_mismatch_fails_loudly(self, tmp_path):
+        db = Database.open(str(tmp_path))
+        conn = db.store._conn
+        conn.execute("UPDATE meta SET value = '999' WHERE key = 'format'")
+        conn.commit()
+        db.close()
+        with pytest.raises(StorageError):
+            Database.open(str(tmp_path))

@@ -1,0 +1,95 @@
+"""Eviction and tiering behaviour of the byte stores behind the result cache."""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.store import LocalFileStore, MemStore, TieredStore
+
+
+class TestMemStore:
+    def test_roundtrip_and_miss(self):
+        store = MemStore(max_bytes=1024)
+        store.put("a", b"payload")
+        assert store.get("a") == b"payload"
+        assert store.get("missing") is None
+
+    def test_lru_eviction_under_tiny_cap(self):
+        store = MemStore(max_bytes=30)
+        store.put("a", b"x" * 10)
+        store.put("b", b"y" * 10)
+        store.put("c", b"z" * 10)
+        assert sorted(store.keys()) == ["a", "b", "c"]
+        store.get("a")  # refresh recency; "b" is now the LRU entry
+        store.put("d", b"w" * 10)
+        assert sorted(store.keys()) == ["a", "c", "d"]
+        assert store.total_bytes() == 30
+
+    def test_oversized_payload_not_retained(self):
+        store = MemStore(max_bytes=8)
+        store.put("big", b"x" * 64)
+        assert store.get("big") is None
+        assert store.total_bytes() == 0
+
+    def test_replace_accounts_bytes(self):
+        store = MemStore(max_bytes=100)
+        store.put("a", b"x" * 60)
+        store.put("a", b"y" * 10)
+        assert store.total_bytes() == 10
+        store.delete("a")
+        assert store.total_bytes() == 0
+
+
+class TestLocalFileStore:
+    def test_roundtrip_and_delete(self, tmp_path):
+        store = LocalFileStore(str(tmp_path), max_bytes=1024)
+        store.put("k1", b"hello")
+        assert store.get("k1") == b"hello"
+        assert store.keys() == ["k1"]
+        store.delete("k1")
+        assert store.get("k1") is None
+
+    def test_eviction_under_tiny_cap(self, tmp_path):
+        store = LocalFileStore(str(tmp_path), max_bytes=25)
+        store.put("a", b"x" * 10)
+        os.utime(store._path("a"), (1, 1))  # force "a" to be the oldest
+        store.put("b", b"y" * 10)
+        store.put("c", b"z" * 10)  # 30 bytes > cap: the oldest file goes
+        assert "a" not in store.keys()
+        assert store.total_bytes() <= 25
+
+    def test_oversized_payload_not_written(self, tmp_path):
+        store = LocalFileStore(str(tmp_path), max_bytes=4)
+        store.put("big", b"x" * 64)
+        assert store.keys() == []
+
+    def test_survives_process_restart(self, tmp_path):
+        LocalFileStore(str(tmp_path)).put("k", b"persisted")
+        assert LocalFileStore(str(tmp_path)).get("k") == b"persisted"
+
+
+class TestTieredStore:
+    def test_writes_reach_both_tiers(self, tmp_path):
+        mem = MemStore(max_bytes=1024)
+        disk = LocalFileStore(str(tmp_path), max_bytes=1024)
+        tiered = TieredStore(mem, disk)
+        tiered.put("k", b"v")
+        assert mem.get("k") == b"v"
+        assert disk.get("k") == b"v"
+
+    def test_disk_hit_promotes_into_memory(self, tmp_path):
+        mem = MemStore(max_bytes=1024)
+        disk = LocalFileStore(str(tmp_path), max_bytes=1024)
+        disk.put("cold", b"from-disk")
+        tiered = TieredStore(mem, disk)
+        assert tiered.get("cold") == b"from-disk"
+        assert mem.get("cold") == b"from-disk"
+
+    def test_delete_hits_every_tier(self, tmp_path):
+        mem = MemStore(max_bytes=1024)
+        disk = LocalFileStore(str(tmp_path), max_bytes=1024)
+        tiered = TieredStore(mem, disk)
+        tiered.put("k", b"v")
+        tiered.delete("k")
+        assert mem.get("k") is None and disk.get("k") is None
+        assert tiered.get("k") is None

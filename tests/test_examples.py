@@ -49,6 +49,14 @@ class TestExamples:
         assert "fused join->group" in output
         assert "identical to the two-step pipeline" in output
 
+    def test_persistent_checkins(self):
+        output = run_example("persistent_checkins.py")
+        assert "PERSISTENT" not in output  # the SQL stays inside the script
+        assert "reloaded 4000 rows at mutation version 4000" in output
+        assert "cold query" in output and "warm query" in output
+        assert "1 hits" in output
+        assert "the next query recomputed" in output
+
     def test_location_privacy_groups(self):
         output = run_example("location_privacy_groups.py")
         assert "ON-OVERLAP JOIN-ANY" in output
