@@ -453,6 +453,41 @@ def main(path: str) -> None:
         add("```")
         add("")
 
+    # ---------------- serving overhead ----------------
+    if "serving_overhead" in data:
+        add("## HTTP serving overhead vs the in-process call (beyond the paper)")
+        add("")
+        add("The same SGB-Any batch through `POST /v1/sgb` of `repro.server` — a")
+        add("single sequential client and N concurrent keep-alive clients against")
+        add("the in-process `sgb_any` baseline (result cache pinned off on both")
+        add("sides, `workers=1`).  The `identical` column asserts the service")
+        add("contract: every HTTP response decodes back bit-identical to the")
+        add("in-process payload.  The overhead factor is per-request latency over")
+        add("the bare call — transport + JSON on one client; at 8 clients the")
+        add("request thread pool serialises the CPU-bound groupings, so latency")
+        add("grows while aggregate throughput holds (see README, \"Serving\").")
+        add("")
+        rows = data["serving_overhead"]
+        add("```")
+        add(format_table(
+            [
+                {
+                    "clients": r["clients"],
+                    "requests": r["requests"],
+                    "n": r["n"],
+                    "backend": r["backend"],
+                    "in-process s": round(r["in_process_s"], 4),
+                    "mean request s": r["mean_request_s"],
+                    "throughput rps": r["throughput_rps"],
+                    "overhead vs in-process": r["overhead_factor"],
+                    "identical": r["identical"],
+                }
+                for r in rows
+            ]
+        ))
+        add("```")
+        add("")
+
     # ---------------- fidelity notes ----------------
     add("## Fidelity notes (where the measured shape deviates from the paper)")
     add("")

@@ -1,0 +1,112 @@
+"""CI boot-and-probe smoke: start the real server, hit it, shut it down.
+
+Run with::
+
+    PYTHONPATH=src python scripts/server_smoke.py
+
+Spawns ``python -m repro.server --port 0`` as a genuine subprocess, parses
+the listen banner for the bound port, probes ``/v1/health``, creates a table
+and runs one SGB query over HTTP, then sends SIGTERM and asserts the drain
+completes with exit code 0.  Exits non-zero (with the server's output) on
+any failure — this is the deploy-shaped check the unit suites cannot give.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import NoReturn
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def fail(message: str, output: str = "") -> NoReturn:
+    print(f"SMOKE FAILED: {message}", file=sys.stderr)
+    if output:
+        print(output, file=sys.stderr)
+    sys.exit(1)
+
+
+def request(host: str, port: int, method: str, path: str, payload=None):
+    conn = http.client.HTTPConnection(host, port, timeout=15)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn.request(method, path, body=body, headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 30
+        banner = ""
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line and proc.poll() is not None:
+                fail(f"server exited early with {proc.returncode}")
+            if "listening on" in line:
+                banner = line.strip()
+                break
+        if not banner:
+            proc.kill()
+            fail("server never printed its listen banner")
+        host, _, port = banner.rsplit("http://", 1)[1].partition(":")
+        port = int(port)
+        print(f"server up on {host}:{port}")
+
+        status, health = request(host, port, "GET", "/v1/health")
+        if status != 200 or health.get("status") != "ok":
+            fail(f"health probe failed: {status} {health}")
+        print("health ok")
+
+        status, _ = request(
+            host, port, "POST", "/v1/query",
+            {"sql": "CREATE TABLE pts (x DOUBLE, y DOUBLE)"},
+        )
+        if status != 200:
+            fail(f"CREATE TABLE failed: {status}")
+        status, _ = request(
+            host, port, "POST", "/v1/load",
+            {"table": "pts", "rows": [[0.0, 0.0], [0.1, 0.1], [5.0, 5.0]]},
+        )
+        if status != 200:
+            fail(f"load failed: {status}")
+        status, result = request(
+            host, port, "POST", "/v1/query",
+            {"sql": "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5"},
+        )
+        if status != 200 or result.get("rowcount") != 2:
+            fail(f"SGB query over HTTP wrong: {status} {result}")
+        print(f"SGB query ok: {result['rows']}")
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+        if proc.returncode != 0:
+            fail(f"drain exited {proc.returncode}", out)
+        if "stopped cleanly" not in out:
+            fail("drain did not report a clean stop", out)
+        print("clean shutdown ok")
+        return 0
+    except Exception:
+        proc.kill()
+        raise
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ __all__ = [
     "batch_vs_scalar",
     "cache_warm_vs_cold",
     "parallel_vs_serial",
+    "serving_overhead",
     "planner_adaptive",
     "streaming_window",
     "join_vs_allpairs",
@@ -176,6 +177,109 @@ def cache_warm_vs_cold(
                         ),
                         "cache_hits": cache.hits,
                         "identical": identical,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# HTTP serving overhead vs the in-process call
+# ---------------------------------------------------------------------------
+
+
+def serving_overhead(
+    sizes: Sequence[int] = (2_000, 5_000),
+    eps: float = 0.3,
+    requests_per_client: int = 4,
+    concurrencies: Sequence[int] = (1, 8),
+    seed: int = 5,
+) -> List[Dict[str, object]]:
+    """HTTP request latency vs the in-process call, at 1 and N clients.
+
+    Boots the :mod:`repro.server` service in-process (ephemeral port) and
+    runs the same SGB-Any batch through ``POST /v1/sgb`` — once with a single
+    sequential client and once with ``N`` concurrent clients (one keep-alive
+    connection per thread, the client contract).  Rows carry the mean
+    per-request latency, the aggregate throughput, the overhead factor
+    against the bare :func:`repro.sgb_any` call, and an ``identical`` flag:
+    every HTTP response decoded back equal to the in-process payload.
+
+    The result cache is pinned off on both sides (``cache=False``): with a
+    warm cache the repeated requests would measure a cache probe instead of
+    the grouping, and cached results drop the advisory ``plan``, breaking
+    the bit-identity comparison.
+    """
+    import json
+    import threading
+    import time as _time
+
+    from repro.server.jsonio import grouping_result_payload
+    from repro.server.testing import running_server
+
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        points = [
+            list(p)
+            for p in clustered_points(
+                n, clusters=max(10, n // 200), spread=0.01, seed=seed
+            )
+        ]
+        # workers=1 pins the serial batch pipeline on both sides, so the
+        # measured gap is transport + JSON, not a scheduling difference.
+        in_process = measure(
+            lambda: sgb_any(points, eps=eps, workers=1, cache=False), repeat=2
+        )
+        expected = json.loads(
+            json.dumps(grouping_result_payload(in_process.value))
+        )
+        with running_server(cache=False) as server:
+            for clients in concurrencies:
+                latencies: List[float] = []
+                mismatches: List[int] = []
+                lock = threading.Lock()
+
+                def worker() -> None:
+                    client = server.client()
+                    try:
+                        for _ in range(requests_per_client):
+                            start = _time.perf_counter()
+                            got = client.sgb(points, eps, kind="any", workers=1)
+                            elapsed = _time.perf_counter() - start
+                            with lock:
+                                latencies.append(elapsed)
+                                if got != expected:
+                                    mismatches.append(1)
+                    finally:
+                        client.close()
+
+                wall_start = _time.perf_counter()
+                threads = [
+                    threading.Thread(target=worker) for _ in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = _time.perf_counter() - wall_start
+                total = clients * requests_per_client
+                mean_latency = sum(latencies) / len(latencies)
+                rows.append(
+                    {
+                        "experiment": "serving-overhead",
+                        "n": n,
+                        "eps": eps,
+                        "clients": clients,
+                        "requests": total,
+                        "backend": "numpy" if HAVE_NUMPY else "python",
+                        "in_process_s": in_process.seconds,
+                        "mean_request_s": round(mean_latency, 6),
+                        "throughput_rps": round(total / wall, 2) if wall else None,
+                        "overhead_factor": (
+                            round(mean_latency / in_process.seconds, 2)
+                            if in_process.seconds
+                            else None
+                        ),
+                        "identical": not mismatches,
                     }
                 )
     return rows

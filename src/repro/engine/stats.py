@@ -291,7 +291,10 @@ def collect_stats(ps: PointSet, bins: int = STATS_BINS) -> PointStats:
     """Collect (or fetch cached) statistics for one :class:`PointSet`.
 
     Point sets are immutable, so the summary is computed once per object and
-    memoised on it; repeated planning of the same batch is free.
+    memoised on it; repeated planning of the same batch is free.  Thread-safe
+    without a lock: the memo is one attribute assignment of a deterministic
+    value, so the worst concurrent interleaving is two threads computing the
+    same summary and one (equal) result winning the write.
     """
     cached = getattr(ps, "_cached_stats", None)
     if cached is not None and cached_bins(cached) == bins:

@@ -36,6 +36,8 @@ __all__ = [
     "get_worker_pool",
     "drop_worker_pool",
     "shutdown_worker_pools",
+    "begin_shutdown",
+    "pool_stats",
 ]
 
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
@@ -92,13 +94,30 @@ def shutdown_worker_pools() -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _atexit_shutdown() -> None:
+def begin_shutdown() -> None:
+    """Enter the terminal shutting-down state and tear down every pool.
+
+    After this, :func:`get_worker_pool` returns ``None`` forever, so any
+    still-running query falls back to its serial path instead of respawning
+    worker processes.  This is the drain the server's SIGTERM handler (and
+    the ``atexit`` hook) runs — it is process-wide and irreversible, which
+    is exactly right for a process that is about to exit and wrong for
+    anything else (in-process test servers must not call it).
+    """
     global _SHUTTING_DOWN
     _SHUTTING_DOWN = True
     shutdown_worker_pools()
 
 
-atexit.register(_atexit_shutdown)
+def pool_stats() -> Dict[str, object]:
+    """Observable pool-layer state (the server's ``/v1/stats`` surface)."""
+    return {
+        "pools": sorted(_POOLS),
+        "shutting_down": _SHUTTING_DOWN,
+    }
+
+
+atexit.register(begin_shutdown)
 
 
 def _group_shard(points: Any, eps: float, metric_value: str) -> Dict[int, int]:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.exceptions import SchemaError
@@ -42,6 +43,12 @@ class Table:
         self._stats_cache: "Dict[Tuple[int, ...], Tuple[int, PointStats]]" = {}
         #: column positions -> (version the digest was built at, digest)
         self._fingerprint_cache: Dict[Tuple[int, ...], Tuple[int, str]] = {}
+        #: guards the two derived caches — concurrent server requests hit one
+        #: table; the dict check/compute/store must not interleave with a
+        #: mutation's version bump mid-entry.  Derived values are recomputed
+        #: outside the lock (they are deterministic, so a duplicated compute
+        #: is wasted work, never a wrong answer).
+        self._derived_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -101,19 +108,21 @@ class Table:
         fall back to cardinality alone.
         """
         key = tuple(columns)
-        cached = self._stats_cache.get(key)
-        if cached is not None and cached[0] == self.version:
-            return cached[1]
+        with self._derived_lock:
+            version = self.version
+            cached = self._stats_cache.get(key)
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            rows = list(self.rows)
         from repro.engine.stats import stats_from_columns, synthetic_stats
 
         try:
-            vectors = [
-                [float(row[position]) for row in self.rows] for position in key
-            ]
+            vectors = [[float(row[position]) for row in rows] for position in key]
             stats = stats_from_columns(vectors)
         except Exception:  # noqa: BLE001 - stats must never fail a query
-            stats = synthetic_stats(len(self.rows), dims=max(1, len(key)))
-        self._stats_cache[key] = (self.version, stats)
+            stats = synthetic_stats(len(rows), dims=max(1, len(key)))
+        with self._derived_lock:
+            self._stats_cache[key] = (version, stats)
         return stats
 
     def point_fingerprint(self, columns: Sequence[int]) -> str:
@@ -127,14 +136,16 @@ class Table:
         to hashing the columns they actually buffered.
         """
         key = tuple(columns)
-        cached = self._fingerprint_cache.get(key)
-        if cached is not None and cached[0] == self.version:
-            return cached[1]
+        with self._derived_lock:
+            version = self.version
+            cached = self._fingerprint_cache.get(key)
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            rows = list(self.rows)
         from repro.core.fingerprint import fingerprint_columns
 
-        vectors = [
-            [float(row[position]) for row in self.rows] for position in key
-        ]
+        vectors = [[float(row[position]) for row in rows] for position in key]
         digest = fingerprint_columns(vectors)
-        self._fingerprint_cache[key] = (self.version, digest)
+        with self._derived_lock:
+            self._fingerprint_cache[key] = (version, digest)
         return digest

@@ -1,0 +1,43 @@
+"""SGB as a service: an asynchronous HTTP/1.1 front-end for the engine.
+
+The package turns the in-process library into a network service with zero
+third-party dependencies — the protocol layer is a hand-rolled HTTP/1.1
+implementation on :func:`asyncio.start_server`, so the no-NumPy CI tier runs
+the whole service too.  The layout follows the app-factory pattern:
+
+* :mod:`repro.server.settings` — :class:`ServerSettings`, resolved from
+  keyword arguments and ``SGB_SERVER_*`` environment variables;
+* :mod:`repro.server.app`      — :func:`create_app` builds an :class:`App`
+  binding one :class:`~repro.minidb.database.Database` to a request
+  thread-pool, a background job executor, and per-route metrics;
+* :mod:`repro.server.routes`   — one handler module per domain (SQL queries,
+  direct point-batch operators, background jobs, ops endpoints);
+* :mod:`repro.server.protocol` — the HTTP request parser / response writer;
+* :mod:`repro.server.auth`     — bearer-token authentication;
+* :mod:`repro.server.jobs`     — the background executor spooling results
+  through :class:`repro.storage.store.LocalFileStore`;
+* :mod:`repro.server.client`   — a stdlib (``http.client``) client used by
+  the tests, the example, and the serving benchmark;
+* :mod:`repro.server.testing`  — run a server in a background thread of the
+  current process (tests and notebooks).
+
+Every response body is the JSON rendering produced by
+:mod:`repro.server.jsonio`; the equivalence suite proves each route returns
+results bit-identical (after a JSON round trip) to the corresponding
+in-process call.  ``python -m repro.server`` starts a standalone server.
+"""
+
+from repro.server.app import App, create_app
+from repro.server.client import ServerClient, ServerError
+from repro.server.settings import ServerSettings
+from repro.server.testing import ServerThread, running_server
+
+__all__ = [
+    "App",
+    "create_app",
+    "ServerSettings",
+    "ServerClient",
+    "ServerError",
+    "ServerThread",
+    "running_server",
+]

@@ -1,0 +1,94 @@
+"""Standalone entry point: ``python -m repro.server``.
+
+Boots one app from the command line (flags override ``SGB_SERVER_*``
+environment variables), prints the bound address, and serves until SIGTERM
+or SIGINT — either triggers the graceful drain: in-flight requests finish,
+new ones get 503, background jobs complete, the engine's shared worker
+pools shut down through the interpreter-shutdown path, and persistent
+tables flush.  Exit code 0 means the drain completed.
+
+Multi-worker deploys run several of these processes behind any TCP load
+balancer — see the README's "Serving" section.  State that must be shared
+across workers (persistent tables, the spill tier of the result cache)
+lives in directories; point every worker at the same ``--data`` /
+``SGB_CACHE`` paths and at distinct ``--port``\\ s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.server.app import create_app
+from repro.server.settings import ServerSettings
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve the SGB engine over HTTP (stdlib only).",
+    )
+    parser.add_argument("--host", default=None, help="listen address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=None, help="listen port; 0 binds an ephemeral port"
+    )
+    parser.add_argument("--token", default=None, help="require this bearer token")
+    parser.add_argument(
+        "--data", default=None, help="storage directory (persistent tables load on boot)"
+    )
+    parser.add_argument("--spool", default=None, help="job result spool directory")
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="result cache: a spill directory, or unset to follow SGB_CACHE",
+    )
+    parser.add_argument(
+        "--request-workers", type=int, default=None, help="request thread-pool size"
+    )
+    parser.add_argument(
+        "--job-workers", type=int, default=None, help="background job threads"
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    return parser.parse_args(argv)
+
+
+async def _serve(settings: ServerSettings) -> None:
+    app = create_app(settings)
+    loop = asyncio.get_running_loop()
+    stop_event = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop_event.set)
+    await app.start()
+    print(f"repro.server listening on http://{app.host}:{app.port}", flush=True)
+    await stop_event.wait()
+    print("repro.server draining (in-flight requests finish, new ones get 503)", flush=True)
+    await app.stop(drain_engine=True)
+    print("repro.server stopped cleanly", flush=True)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    settings = ServerSettings.resolve(
+        host=args.host,
+        port=args.port,
+        auth_token=args.token,
+        data_path=args.data,
+        spool_dir=args.spool,
+        cache=args.cache,
+        request_workers=args.request_workers,
+        job_workers=args.job_workers,
+        drain_timeout=args.drain_timeout,
+    )
+    asyncio.run(_serve(settings))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""The app factory: one :class:`App` binds the engine to the HTTP front-end.
+
+``create_app(settings)`` wires together a shared
+:class:`~repro.minidb.database.Database` (optionally opened on a storage
+directory), a request thread pool that runs engine work off the event loop,
+the background job executor with its result spool, per-route metrics, and
+the route table.  The app owns the full request lifecycle:
+
+1. parse (``protocol.read_request``) — size-limited, keep-alive aware;
+2. authenticate (``auth.authenticate``) — every route but the health probe;
+3. dispatch to the matched handler, counting the request as in-flight;
+4. map failures to JSON errors (``HttpError`` → its status, every
+   :class:`~repro.exceptions.ReproError` → 400, anything else → 500);
+5. record latency per route template.
+
+Graceful shutdown (:meth:`App.stop`) drains rather than drops: new requests
+are rejected with 503 (health keeps answering, reporting ``draining``),
+in-flight requests finish within ``drain_timeout``, the job executor stops
+accepting and finishes running jobs, and — when the process is really going
+away — the engine's shared worker pools are torn down through
+:func:`repro.engine.workers.begin_shutdown` so nothing respawns processes
+mid-exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import time
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+from repro.exceptions import ReproError
+from repro.minidb.database import Database
+from repro.server.auth import authenticate
+from repro.server.jobs import Job, JobExecutor
+from repro.server.metrics import RouteMetrics
+from repro.server.protocol import (
+    HttpError,
+    Request,
+    Response,
+    StreamingResponse,
+    error_response,
+    read_request,
+    write_response,
+)
+from repro.server.routes import build_router
+from repro.server.settings import ServerSettings
+from repro.storage.store import LocalFileStore
+
+__all__ = ["App", "create_app"]
+
+_UNAUTHENTICATED_TEMPLATES = {"/v1/health"}
+
+
+def create_app(
+    settings: Optional[ServerSettings] = None,
+    database: Optional[Database] = None,
+    **overrides,
+) -> "App":
+    """Build an :class:`App` from settings (or the environment).
+
+    ``database`` injects an already-populated engine — tests and the
+    examples load tables in-process and then serve them; without it the app
+    opens ``settings.data_path`` (persistent tables load back) or starts an
+    empty in-memory database.
+    """
+    if settings is None:
+        settings = ServerSettings.resolve(**overrides)
+    return App(settings, database=database)
+
+
+class App:
+    """One configured server instance (see module docstring)."""
+
+    def __init__(
+        self, settings: ServerSettings, database: Optional[Database] = None
+    ) -> None:
+        self.settings = settings
+        if database is not None:
+            self.db = database
+            self._owns_db = False
+        elif settings.data_path is not None:
+            self.db = Database.open(
+                settings.data_path,
+                cache=settings.cache,
+                sgb_workers=settings.sgb_workers,
+            )
+            self._owns_db = True
+        else:
+            self.db = Database(cache=settings.cache, sgb_workers=settings.sgb_workers)
+            self._owns_db = True
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(1, settings.request_workers),
+            thread_name_prefix="repro-req",
+        )
+        if settings.spool_dir is not None:
+            spool_dir = settings.spool_dir
+            self._owned_spool_dir: Optional[str] = None
+        else:
+            spool_dir = tempfile.mkdtemp(prefix="repro-server-spool-")
+            self._owned_spool_dir = spool_dir
+        self.jobs = JobExecutor(LocalFileStore(spool_dir), workers=settings.job_workers)
+        self.metrics = RouteMetrics()
+        self.router = build_router()
+        self.started_at = time.time()
+        self.host = settings.host
+        self.port = settings.port
+        self.draining = False
+        self._inflight = 0
+        self._state_lock = threading.Lock()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: "set[asyncio.StreamWriter]" = set()
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._state_lock:
+            return self._inflight
+
+    async def run_sync(self, fn: Callable[[], object]) -> object:
+        """Run blocking engine work on the request thread pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.executor, fn)
+
+    def submit_job(self, kind: str, fn: Callable[[], dict]) -> Job:
+        """Queue background work; 503 once the executor is draining."""
+        try:
+            return self.jobs.submit(kind, fn)
+        except RuntimeError as exc:
+            raise HttpError(503, "server is draining; not accepting new jobs") from exc
+
+    @property
+    def result_cache(self):
+        """The resolved result cache the engine routes share (or ``None``)."""
+        from repro.storage.cache import resolve_cache
+
+        try:
+            return resolve_cache(self.settings.cache)
+        except TypeError:
+            return None
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    async def dispatch(self, request: Request) -> "Response | StreamingResponse":
+        """Route one parsed request to its handler and map failures."""
+        start = time.perf_counter()
+        template = request.path
+        status = 500
+        try:
+            route, params = self.router.match(request.method, request.path)
+            template = route.template
+            if self.draining and template not in _UNAUTHENTICATED_TEMPLATES:
+                response: "Response | StreamingResponse" = error_response(
+                    503, "server is draining"
+                )
+                response.headers["Retry-After"] = "1"
+                status = 503
+                return response
+            if template not in _UNAUTHENTICATED_TEMPLATES:
+                authenticate(request, self.settings.auth_token)
+            with self._state_lock:
+                self._inflight += 1
+            try:
+                response = await route.handler(self, request, params)
+            finally:
+                with self._state_lock:
+                    self._inflight -= 1
+            status = response.status
+            return response
+        except HttpError as exc:
+            status = exc.status
+            return error_response(exc.status, exc.message)
+        except ReproError as exc:
+            status = 400
+            return error_response(400, str(exc), error_type=type(exc).__name__)
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the server
+            status = 500
+            return error_response(500, f"internal error: {exc}", type(exc).__name__)
+        finally:
+            self.metrics.record(
+                request.method, template, status, time.perf_counter() - start
+            )
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader,
+                        max_header_bytes=self.settings.max_header_bytes,
+                        max_body_bytes=self.settings.max_body_bytes,
+                    )
+                except HttpError as exc:
+                    # The stream position is unknown after a parse error;
+                    # answer and close.
+                    await write_response(
+                        writer, error_response(exc.status, exc.message), keep_alive=False
+                    )
+                    return
+                if request is None:
+                    return
+                response = await self.dispatch(request)
+                keep_alive = request.keep_alive
+                await write_response(writer, response, keep_alive=keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # peer went away; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already-dead transports
+                pass
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listen socket and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.settings.host,
+            port=self.settings.port,
+            limit=max(64 * 1024, self.settings.max_header_bytes),
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+
+    def begin_drain(self) -> None:
+        """Flip into draining mode: new requests get 503, health reports it."""
+        self.draining = True
+
+    async def _wait_drained(self, timeout: float) -> bool:
+        """Wait for in-flight requests to finish; True when fully drained."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.inflight == 0:
+                return True
+            await asyncio.sleep(0.02)
+        return self.inflight == 0
+
+    async def stop(self, drain_engine: bool = False) -> None:
+        """Graceful shutdown: drain, close, release (idempotent).
+
+        ``drain_engine=True`` additionally tears down the engine's shared
+        worker pools through :func:`repro.engine.workers.begin_shutdown` —
+        only the standalone ``python -m repro.server`` path does this, since
+        the flag is process-wide and in-process test servers must leave the
+        pools usable for the rest of the suite.
+        """
+        self.begin_drain()
+        await self._wait_drained(self.settings.drain_timeout)
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already-dead transports
+                pass
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover - lingering handler
+                pass
+            self._server = None
+        self.jobs.shutdown(wait=True)
+        self.executor.shutdown(wait=True)
+        if drain_engine:
+            from repro.engine.workers import begin_shutdown
+
+            begin_shutdown()
+        if self._owns_db:
+            self.db.close()
+        if self._owned_spool_dir is not None:
+            shutil.rmtree(self._owned_spool_dir, ignore_errors=True)
+            self._owned_spool_dir = None
+
+    async def serve_forever(self, stop_event: Optional[asyncio.Event] = None) -> None:
+        """Start and serve until ``stop_event`` fires (``__main__`` path)."""
+        await self.start()
+        if stop_event is None:  # pragma: no cover - interactive use
+            stop_event = asyncio.Event()
+        await stop_event.wait()
+
+    def client(self):
+        """A :class:`~repro.server.client.ServerClient` bound to this app."""
+        from repro.server.client import ServerClient
+
+        return ServerClient(self.host, self.port, token=self.settings.auth_token)

@@ -1,0 +1,49 @@
+"""Bearer-token authentication for the service.
+
+One static token guards every route except the health probe.  The comparison
+is constant-time (:func:`hmac.compare_digest`) so the token cannot be
+recovered byte-by-byte from response timing.  Missing credentials map to
+401, a wrong token to 403 — the distinction keeps misconfigured clients
+(no token plumbed through) distinguishable from bad ones in the logs.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Optional
+
+from repro.server.protocol import HttpError, Request
+
+__all__ = ["authenticate", "extract_token"]
+
+
+def extract_token(request: Request) -> Optional[str]:
+    """The credential presented by a request, or ``None``.
+
+    ``Authorization: Bearer <token>`` is the canonical spelling; the
+    ``X-Auth-Token`` header is accepted as the curl-friendly alternative.
+    """
+    header = request.headers.get("authorization", "")
+    if header:
+        scheme, _, credential = header.partition(" ")
+        if scheme.lower() == "bearer" and credential.strip():
+            return credential.strip()
+        return header.strip() or None
+    alt = request.headers.get("x-auth-token", "")
+    return alt.strip() or None
+
+
+def authenticate(request: Request, auth_token: Optional[str]) -> None:
+    """Raise 401/403 unless the request satisfies the configured token.
+
+    ``auth_token=None`` means authentication is disabled and every request
+    passes (local development; the README tells deployments to set
+    ``SGB_SERVER_TOKEN``).
+    """
+    if auth_token is None:
+        return
+    presented = extract_token(request)
+    if presented is None:
+        raise HttpError(401, "missing credentials: pass Authorization: Bearer <token>")
+    if not hmac.compare_digest(presented.encode("utf-8"), auth_token.encode("utf-8")):
+        raise HttpError(403, "invalid token")

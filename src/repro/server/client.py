@@ -1,0 +1,244 @@
+"""A small stdlib client for the service (``http.client`` underneath).
+
+This is what the test suite, the serving benchmark, and the example script
+talk to the server with — and a reasonable starting point for real callers.
+One :class:`ServerClient` holds one keep-alive connection and is therefore
+*not* thread-safe; concurrent callers create one client per thread (cheap —
+the connection dials lazily).
+
+Every helper returns the decoded JSON payload and raises
+:class:`ServerError` (carrying the status and the server's error body) on
+non-2xx responses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        message = status
+        if isinstance(payload, dict) and isinstance(payload.get("error"), dict):
+            message = f"{status}: {payload['error'].get('message')}"
+        super().__init__(str(message))
+        self.status = status
+        self.payload = payload
+
+
+class ServerClient:
+    """HTTP client bound to one server address (single connection, keep-alive)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened lazily on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @staticmethod
+    def _target(path: str, params: Optional[Dict[str, object]]) -> str:
+        if not params:
+            return path
+        from urllib.parse import urlencode
+
+        return f"{path}?{urlencode({k: v for k, v in params.items() if v is not None})}"
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _getresponse(
+        self, method: str, target: str, body: Optional[bytes]
+    ) -> http.client.HTTPResponse:
+        headers = self._headers()
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, target, body=body, headers=headers)
+            return conn.getresponse()
+        except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+            # The keep-alive connection went stale (server restart, timeout);
+            # dial a fresh one and retry once.
+            self.close()
+            conn = self._connection()
+            conn.request(method, target, body=body, headers=headers)
+            return conn.getresponse()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        params: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, object]:
+        """One buffered request; returns ``(status, decoded JSON body)``."""
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        response = self._getresponse(method, self._target(path, params), body)
+        raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else None
+        except ValueError:
+            decoded = raw.decode("utf-8", "replace")
+        return response.status, decoded
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        params: Optional[Dict[str, object]] = None,
+        expect: Tuple[int, ...] = (200,),
+    ) -> object:
+        status, decoded = self.request(method, path, payload, params)
+        if status not in expect:
+            raise ServerError(status, decoded)
+        return decoded
+
+    # -- domain helpers ----------------------------------------------------
+
+    def health(self) -> dict:
+        return self._checked("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/v1/stats")
+
+    def query(
+        self,
+        sql: str,
+        strategy: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> dict:
+        """Run one SQL statement; returns the JSON ``QueryResult`` payload."""
+        body: Dict[str, object] = {"sql": sql}
+        if strategy is not None:
+            body["strategy"] = strategy
+        return self._checked(
+            "POST", "/v1/query", body, params={"limit": limit, "cursor": cursor}
+        )
+
+    def query_async(self, sql: str, strategy: Optional[str] = None) -> str:
+        """Queue one SQL statement; returns the job id."""
+        body: Dict[str, object] = {"sql": sql}
+        if strategy is not None:
+            body["strategy"] = strategy
+        out = self._checked(
+            "POST", "/v1/query", body, params={"mode": "async"}, expect=(202,)
+        )
+        return out["job_id"]
+
+    def query_stream(self, sql: str) -> Iterator[object]:
+        """Run one SQL statement streamed as NDJSON; yields decoded lines.
+
+        The first yielded object is the header (columns, plan, the streamed
+        key under ``"streaming"``); every following one is a row.
+        """
+        body = json.dumps({"sql": sql}).encode("utf-8")
+        response = self._getresponse(
+            "POST", self._target("/v1/query", {"format": "ndjson"}), body
+        )
+        if response.status != 200:
+            raw = response.read()
+            try:
+                decoded = json.loads(raw)
+            except ValueError:
+                decoded = raw.decode("utf-8", "replace")
+            raise ServerError(response.status, decoded)
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+    def load(self, table: str, rows: List[List[object]]) -> int:
+        """Bulk-insert rows; returns the inserted count."""
+        out = self._checked("POST", "/v1/load", {"table": table, "rows": rows})
+        return out["inserted"]
+
+    def sgb(self, points, eps: float, kind: str = "any", **options) -> dict:
+        """Run SGB over a point batch; returns the grouping payload."""
+        body: Dict[str, object] = {"points": points, "eps": eps, "kind": kind}
+        body.update(options)
+        return self._checked("POST", "/v1/sgb", body)
+
+    def join(self, left, right, eps=None, k=None, **options) -> dict:
+        """Similarity-join two point batches; returns the pairs payload."""
+        body: Dict[str, object] = {"left": left, "right": right}
+        if eps is not None:
+            body["eps"] = eps
+        if k is not None:
+            body["k"] = k
+        body.update(options)
+        return self._checked("POST", "/v1/join", body)
+
+    def job(self, job_id: str) -> dict:
+        """Poll one job's status."""
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def job_result(
+        self,
+        job_id: str,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> dict:
+        """Fetch a finished job's spooled payload."""
+        return self._checked(
+            "GET",
+            f"/v1/jobs/{job_id}/result",
+            params={"limit": limit, "cursor": cursor},
+        )
+
+    def wait_job(self, job_id: str, timeout: float = 60.0, poll: float = 0.02) -> dict:
+        """Poll until the job leaves ``queued``/``running``; returns its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] not in ("queued", "running"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {record['status']} after {timeout}s")
+            time.sleep(poll)
+
+    def delete_job(self, job_id: str) -> bool:
+        out = self._checked("DELETE", f"/v1/jobs/{job_id}")
+        return out["deleted"]

@@ -1,0 +1,192 @@
+"""Background job executor: async queries with spooled, durable results.
+
+``POST ...?mode=async`` routes hand their work here instead of blocking the
+HTTP request: the executor runs the same handler function on its own thread
+pool, records the job's lifecycle (``queued → running → done | error``), and
+spools the finished JSON payload through a
+:class:`repro.storage.store.LocalFileStore` — the PR 8 byte-store — so large
+results live on disk, survive being paged, and are served (paginated or
+streamed) by ``GET /v1/jobs/<id>/result`` without re-running the query.
+
+The registry is guarded by one lock; jobs are kept until ``DELETE``\\ d or the
+bounded history evicts the oldest finished ones.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from repro.storage.store import AbstractStore
+
+__all__ = ["Job", "JobExecutor"]
+
+#: Finished jobs kept for polling before the oldest are evicted.
+_HISTORY_LIMIT = 256
+
+
+class Job:
+    """Lifecycle record of one background job."""
+
+    __slots__ = (
+        "id",
+        "kind",
+        "status",
+        "created",
+        "started",
+        "finished",
+        "error",
+        "error_type",
+    )
+
+    def __init__(self, job_id: str, kind: str) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.status = "queued"
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.error: Optional[str] = None
+        self.error_type: Optional[str] = None
+
+    def describe(self) -> Dict[str, object]:
+        """The job's wire form (the ``GET /v1/jobs/<id>`` body)."""
+        out: Dict[str, object] = {
+            "job_id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "created": self.created,
+        }
+        if self.started is not None:
+            out["started"] = self.started
+        if self.finished is not None:
+            out["finished"] = self.finished
+            out["runtime_s"] = round(self.finished - (self.started or self.created), 6)
+        if self.error is not None:
+            out["error"] = {"type": self.error_type, "message": self.error}
+        if self.status == "done":
+            out["result"] = f"/v1/jobs/{self.id}/result"
+        return out
+
+
+class JobExecutor:
+    """Run payload-producing functions in the background, spool their output.
+
+    ``spool`` is any byte store; finished payloads are stored under the job
+    id as UTF-8 JSON.  The executor is content-agnostic: a job function
+    returns the same JSON-ready payload dict its synchronous route would
+    have sent, so an async query's eventual result is bit-identical to the
+    blocking call — the equivalence suite covers exactly that.
+    """
+
+    def __init__(self, spool: AbstractStore, workers: int = 2) -> None:
+        self.spool = spool
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-job"
+        )
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._futures: Dict[str, Future] = {}
+        self._accepting = True
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, kind: str, fn: Callable[[], Dict[str, object]]) -> Job:
+        """Queue ``fn`` and return its job record immediately.
+
+        Raises :class:`RuntimeError` once the executor stopped accepting
+        (drain in progress) — the route maps that to 503.
+        """
+        job = Job(secrets.token_hex(12), kind)
+        with self._lock:
+            if not self._accepting:
+                raise RuntimeError("job executor is draining")
+            self._jobs[job.id] = job
+            self._evict_locked()
+            future = self._executor.submit(self._run, job, fn)
+            self._futures[job.id] = future
+        return job
+
+    def _run(self, job: Job, fn: Callable[[], Dict[str, object]]) -> None:
+        with self._lock:
+            job.status = "running"
+            job.started = time.time()
+        try:
+            payload = fn()
+            blob = json.dumps(payload).encode("utf-8")
+        except Exception as exc:  # noqa: BLE001 - job errors become job state
+            with self._lock:
+                job.status = "error"
+                job.error = str(exc)
+                job.error_type = type(exc).__name__
+                job.finished = time.time()
+            return
+        self.spool.put(job.id, blob)
+        with self._lock:
+            job.status = "done"
+            job.finished = time.time()
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job record, or ``None`` for an unknown (or evicted) id."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The spooled payload of a finished job, or ``None``."""
+        blob = self.spool.get(job_id)
+        if blob is None:
+            return None
+        try:
+            payload = json.loads(blob)
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def delete(self, job_id: str) -> bool:
+        """Forget a job and its spooled result; ``True`` if it existed."""
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            future = self._futures.pop(job_id, None)
+        if future is not None:
+            future.cancel()
+        self.spool.delete(job_id)
+        return job is not None
+
+    def stats(self) -> Dict[str, object]:
+        """Counts per status plus spool usage (the /v1/stats body)."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            accepting = self._accepting
+        return {
+            "jobs": by_status,
+            "accepting": accepting,
+            "spool_bytes": self.spool.total_bytes(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _evict_locked(self) -> None:
+        if len(self._jobs) <= _HISTORY_LIMIT:
+            return
+        finished = sorted(
+            (job for job in self._jobs.values() if job.finished is not None),
+            key=lambda job: job.finished,
+        )
+        for job in finished[: len(self._jobs) - _HISTORY_LIMIT]:
+            self._jobs.pop(job.id, None)
+            self._futures.pop(job.id, None)
+            self.spool.delete(job.id)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) wait for running ones."""
+        with self._lock:
+            self._accepting = False
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)

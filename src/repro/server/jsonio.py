@@ -1,0 +1,184 @@
+"""JSON serialisation of engine results — the service's wire format.
+
+The HTTP equivalence guarantee lives here: every route body is built by
+these functions, and the randomized suite asserts that
+``json.loads(http_body)`` equals ``json.loads(json.dumps(payload(result)))``
+of the corresponding in-process call.  The encoding is therefore chosen to
+round-trip *exactly* through JSON:
+
+* ints, strs, bools, ``None`` are native;
+* floats serialise via ``repr`` (Python's ``json``), which round-trips every
+  finite float bit-identically — and the engine validates inputs finite;
+* SQL ``DATE`` values and the ``ST_Polygon`` aggregate have no JSON native
+  form, so they encode as tagged objects (``{"$date": ...}``,
+  ``{"$polygon": [[x, y], ...]}``) that :func:`decode_value` reverses.
+
+Pagination (``limit``/``cursor``) operates on whichever result list a
+payload carries (rows, groups, or pairs) and annotates the window with
+``offset`` / ``total`` / ``next_cursor`` so clients can walk large results
+without re-running the query.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.geometry.polygon import Polygon
+from repro.server.protocol import HttpError
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "plan_payload",
+    "query_result_payload",
+    "grouping_result_payload",
+    "join_pairs_payload",
+    "paginate_payload",
+    "ndjson_chunks",
+]
+
+
+def encode_value(value: object) -> object:
+    """Encode one SQL result value into its JSON wire form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dt.date):
+        return {"$date": value.isoformat()}
+    if isinstance(value, Polygon):
+        return {"$polygon": [[float(x), float(y)] for x, y in value.vertices]}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    # Unknown engine type: keep the response well-formed rather than failing
+    # the whole result; the tagged string is still deterministic.
+    return {"$str": str(value)}
+
+
+def decode_value(value: object) -> object:
+    """Reverse :func:`encode_value` (client-side convenience)."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if set(value) == {"$date"}:
+            return dt.date.fromisoformat(value["$date"])
+        if set(value) == {"$polygon"}:
+            return Polygon(tuple((x, y) for x, y in value["$polygon"]))
+        if set(value) == {"$str"}:
+            return value["$str"]
+    return value
+
+
+def plan_payload(plan) -> Optional[Dict[str, object]]:
+    """The advisory :class:`~repro.engine.cost.PhysicalPlan`, or ``None``."""
+    if plan is None:
+        return None
+    return {
+        "op": plan.op,
+        "mode": plan.mode,
+        "workers": plan.workers,
+        "shards": plan.shards,
+        "est_cost": plan.est_cost,
+        "est_rows": plan.est_rows,
+        "reason": plan.reason,
+    }
+
+
+def query_result_payload(result) -> Dict[str, object]:
+    """Wire form of a :class:`~repro.minidb.database.QueryResult`."""
+    return {
+        "columns": list(result.columns),
+        "rows": [[encode_value(value) for value in row] for row in result.rows],
+        "rowcount": result.rowcount,
+        "plan": plan_payload(result.plan),
+    }
+
+
+def grouping_result_payload(result) -> Dict[str, object]:
+    """Wire form of a :class:`~repro.core.result.GroupingResult`."""
+    return {
+        "groups": [list(members) for members in result.groups],
+        "eliminated": list(result.eliminated),
+        "points": [list(point) for point in result.points],
+        "group_count": result.group_count,
+        "plan": plan_payload(result.plan),
+    }
+
+
+def join_pairs_payload(pairs) -> Dict[str, object]:
+    """Wire form of a similarity-join pair list."""
+    out = [[int(i), int(j)] for i, j in pairs]
+    return {"pairs": out, "count": len(out)}
+
+
+_PAGEABLE_KEYS = ("rows", "groups", "pairs")
+
+
+def _page_window(
+    params: Dict[str, str], max_page_rows: int
+) -> Tuple[Optional[int], int]:
+    """Parse ``limit``/``cursor`` query parameters into ``(limit, offset)``."""
+    limit: Optional[int] = None
+    offset = 0
+    if "limit" in params:
+        try:
+            limit = int(params["limit"])
+        except ValueError as exc:
+            raise HttpError(400, f"limit must be an integer: {params['limit']!r}") from exc
+        if limit <= 0:
+            raise HttpError(400, "limit must be positive")
+        limit = min(limit, max_page_rows)
+    if "cursor" in params:
+        try:
+            offset = int(params["cursor"])
+        except ValueError as exc:
+            raise HttpError(400, f"malformed cursor: {params['cursor']!r}") from exc
+        if offset < 0:
+            raise HttpError(400, "malformed cursor: negative offset")
+    return limit, offset
+
+
+def paginate_payload(
+    payload: Dict[str, object], params: Dict[str, str], max_page_rows: int
+) -> Dict[str, object]:
+    """Apply the request's page window to the payload's result list.
+
+    Without ``limit``/``cursor`` the payload is returned untouched (the
+    bit-identity the equivalence suite checks).  With a window, the list
+    under the payload's pageable key (``rows``, ``groups``, or ``pairs``) is
+    sliced and the page is annotated with ``offset``, ``total``, and
+    ``next_cursor`` (``None`` on the last page).
+    """
+    if "limit" not in params and "cursor" not in params:
+        return payload
+    limit, offset = _page_window(params, max_page_rows)
+    key = next((k for k in _PAGEABLE_KEYS if k in payload), None)
+    if key is None:
+        raise HttpError(400, "this response has no pageable result list")
+    full: List[object] = payload[key]  # type: ignore[assignment]
+    window = full[offset:] if limit is None else full[offset : offset + limit]
+    paged = dict(payload)
+    paged[key] = window
+    paged["offset"] = offset
+    paged["total"] = len(full)
+    next_offset = offset + len(window)
+    paged["next_cursor"] = str(next_offset) if next_offset < len(full) else None
+    return paged
+
+
+def ndjson_chunks(payload: Dict[str, object]) -> Iterator[bytes]:
+    """Stream a payload as NDJSON: one header line, one line per list item.
+
+    The header is the payload minus its pageable list (plus the list's key
+    under ``"streaming"``); each subsequent line is one element of that
+    list.  Reassembling the lines therefore reproduces the buffered payload
+    exactly — the streaming suite asserts it.
+    """
+    key = next((k for k in _PAGEABLE_KEYS if k in payload), None)
+    if key is None:
+        raise HttpError(400, "this response has no streamable result list")
+    header = {k: v for k, v in payload.items() if k != key}
+    header["streaming"] = key
+    yield json.dumps(header).encode("utf-8") + b"\n"
+    for item in payload[key]:  # type: ignore[union-attr]
+        yield json.dumps(item).encode("utf-8") + b"\n"

@@ -1,0 +1,64 @@
+"""Per-route latency and status counters, safe under concurrent requests.
+
+Request handlers run on the app's thread pool, so every mutation is guarded
+by one lock; the snapshot the ops route serves is a consistent copy, never a
+live view.  Metrics are keyed by the route *template* (``/v1/jobs/{job_id}``,
+not the concrete id) so cardinality stays bounded.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["RouteMetrics"]
+
+
+class _RouteCounter:
+    __slots__ = ("count", "errors", "total_seconds", "max_seconds", "statuses")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self.statuses: Dict[int, int] = {}
+
+
+class RouteMetrics:
+    """Aggregated request counters per ``(method, route-template)``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._routes: Dict[str, _RouteCounter] = {}
+
+    def record(self, method: str, route: str, status: int, seconds: float) -> None:
+        """Record one finished request."""
+        key = f"{method} {route}"
+        with self._lock:
+            counter = self._routes.get(key)
+            if counter is None:
+                counter = self._routes[key] = _RouteCounter()
+            counter.count += 1
+            counter.total_seconds += seconds
+            counter.max_seconds = max(counter.max_seconds, seconds)
+            counter.statuses[status] = counter.statuses.get(status, 0) + 1
+            if status >= 400:
+                counter.errors += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A consistent copy of every route's counters (the /v1/stats body)."""
+        with self._lock:
+            return {
+                key: {
+                    "count": c.count,
+                    "errors": c.errors,
+                    "total_ms": round(c.total_seconds * 1000.0, 3),
+                    "mean_ms": round(c.total_seconds / c.count * 1000.0, 3)
+                    if c.count
+                    else 0.0,
+                    "max_ms": round(c.max_seconds * 1000.0, 3),
+                    "statuses": dict(c.statuses),
+                }
+                for key, c in self._routes.items()
+            }

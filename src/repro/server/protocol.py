@@ -1,0 +1,226 @@
+"""Minimal HTTP/1.1 on asyncio streams: request parsing, response writing.
+
+This is deliberately the smallest protocol surface the service needs — no
+third-party framework, no ``http.server`` thread-per-connection model.  A
+connection is one coroutine: it parses pipelined requests off the
+:class:`asyncio.StreamReader` (request line, headers, ``Content-Length``
+body), hands each to the app, and writes the response back, honouring
+HTTP/1.1 keep-alive.  Responses either carry a ``Content-Length`` or stream
+NDJSON chunks with ``Transfer-Encoding: chunked``.
+
+Malformed input never takes the server down: parse failures map to 4xx
+responses through :class:`HttpError`, and a connection that disappears
+mid-request is simply closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "StreamingResponse",
+    "read_request",
+    "write_response",
+    "json_response",
+    "error_response",
+]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_SUPPORTED_METHODS = {"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH"}
+
+
+class HttpError(Exception):
+    """A request-level failure mapped to an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """Decode the body as JSON; 400 on syntax errors, ``{}`` when empty."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """A buffered response with a known ``Content-Length``."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class StreamingResponse:
+    """A chunked response whose body is produced line by line (NDJSON)."""
+
+    chunks: Iterable[bytes]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def json_response(payload: object, status: int = 200) -> Response:
+    """Encode ``payload`` as a JSON response body."""
+    return Response(status=status, body=json.dumps(payload).encode("utf-8"))
+
+
+def error_response(status: int, message: str, error_type: str = "HttpError") -> Response:
+    """The uniform error body: ``{"error": {"type": ..., "message": ...}}``."""
+    return json_response(
+        {"error": {"type": error_type, "message": message, "status": status}},
+        status=status,
+    )
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = 64 * 1024,
+    max_body_bytes: int = 32 * 1024 * 1024,
+) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` for anything malformed or over the size
+    ceilings — the connection handler turns that into a 4xx response and
+    closes the connection (the stream position is unreliable after a parse
+    failure).
+    """
+    try:
+        request_line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError) as exc:
+        raise HttpError(431, "request line too long") from exc
+    if not request_line:
+        return None  # clean EOF between requests
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {request_line[:80]!r}")
+    method, target, version = parts
+    method = method.upper()
+    if method not in _SUPPORTED_METHODS:
+        raise HttpError(400, f"unsupported method {method!r}")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError) as exc:
+            raise HttpError(431, "header line too long") from exc
+        if line in (b"\r\n", b"\n", b""):
+            break
+        header_bytes += len(line)
+        if header_bytes > max_header_bytes:
+            raise HttpError(431, "request headers too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"request body exceeds {max_body_bytes} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None  # peer went away mid-body
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    params = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method,
+        path=unquote(split.path) or "/",
+        params=params,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, content_type: str, extra: Dict[str, str], keep_alive: bool) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}", f"Content-Type: {content_type}"]
+    lines.extend(f"{name}: {value}" for name, value in extra.items())
+    lines.append("Connection: keep-alive" if keep_alive else "Connection: close")
+    return ("\r\n".join(lines) + "\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: "Response | StreamingResponse",
+    keep_alive: bool = True,
+) -> None:
+    """Serialise one response onto the wire (buffered or chunked)."""
+    if isinstance(response, Response):
+        head = _head(response.status, response.content_type, response.headers, keep_alive)
+        writer.write(
+            head + f"Content-Length: {len(response.body)}\r\n\r\n".encode("latin-1")
+        )
+        writer.write(response.body)
+        await writer.drain()
+        return
+    head = _head(response.status, response.content_type, response.headers, keep_alive)
+    writer.write(head + b"Transfer-Encoding: chunked\r\n\r\n")
+    for chunk in response.chunks:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

@@ -1,0 +1,116 @@
+"""Route table and dispatch: one handler module per service domain.
+
+Handlers are ``async def handler(app, request, params)`` returning a
+:class:`~repro.server.protocol.Response` or ``StreamingResponse``; ``params``
+are the values captured by ``{placeholders}`` in the route template.  The
+router matches on exact segment count, distinguishing 404 (no template fits
+the path) from 405 (the path exists under another method).
+
+Domains:
+
+* :mod:`repro.server.routes.query`  — SQL over HTTP (``/v1/query``) and bulk
+  row loading (``/v1/load``);
+* :mod:`repro.server.routes.points` — the direct point-batch operators
+  (``/v1/sgb``, ``/v1/join``);
+* :mod:`repro.server.routes.jobs`   — background job polling and results;
+* :mod:`repro.server.routes.ops`    — health and stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.server.protocol import (
+    HttpError,
+    Request,
+    Response,
+    StreamingResponse,
+    json_response,
+)
+from repro.server.jsonio import ndjson_chunks, paginate_payload
+
+Handler = Callable[..., Awaitable["Response | StreamingResponse"]]
+
+__all__ = ["Route", "Router", "build_router", "finish"]
+
+
+@dataclass
+class Route:
+    method: str
+    template: str
+    handler: Handler
+
+    def __post_init__(self) -> None:
+        self.segments = [s for s in self.template.split("/") if s]
+
+
+class Router:
+    """Match ``(method, path)`` to a route and its captured parameters."""
+
+    def __init__(self, routes: List[Route]) -> None:
+        self.routes = routes
+
+    def match(self, method: str, path: str) -> Tuple[Route, Dict[str, str]]:
+        segments = [s for s in path.split("/") if s]
+        path_matched = False
+        for route in self.routes:
+            params = _match_segments(route.segments, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if route.method == method:
+                return route, params
+        if path_matched:
+            raise HttpError(405, f"method {method} not allowed for {path}")
+        raise HttpError(404, f"no route for {path}")
+
+
+def _match_segments(
+    template: List[str], segments: List[str]
+) -> Optional[Dict[str, str]]:
+    if len(template) != len(segments):
+        return None
+    params: Dict[str, str] = {}
+    for expected, actual in zip(template, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+def finish(app, request: Request, payload: Dict[str, object], status: int = 200):
+    """Terminate a payload-producing handler uniformly.
+
+    Applies the request's pagination window, then either buffers the JSON
+    body or streams it as NDJSON when ``?format=ndjson`` was asked for.
+    Every payload route funnels through here, so pagination and streaming
+    behave identically across domains.
+    """
+    fmt = request.params.get("format", "json").lower()
+    paged = paginate_payload(payload, request.params, app.settings.max_page_rows)
+    if fmt == "ndjson":
+        return StreamingResponse(ndjson_chunks(paged), status=status)
+    if fmt != "json":
+        raise HttpError(400, f"unknown format {fmt!r} (json or ndjson)")
+    return json_response(paged, status)
+
+
+def build_router() -> Router:
+    """The service's full route table."""
+    from repro.server.routes import jobs, ops, points, query
+
+    return Router(
+        [
+            Route("POST", "/v1/query", query.handle_query),
+            Route("POST", "/v1/load", query.handle_load),
+            Route("POST", "/v1/sgb", points.handle_sgb),
+            Route("POST", "/v1/join", points.handle_join),
+            Route("GET", "/v1/jobs/{job_id}", jobs.handle_status),
+            Route("GET", "/v1/jobs/{job_id}/result", jobs.handle_result),
+            Route("DELETE", "/v1/jobs/{job_id}", jobs.handle_delete),
+            Route("GET", "/v1/health", ops.handle_health),
+            Route("GET", "/v1/stats", ops.handle_stats),
+        ]
+    )

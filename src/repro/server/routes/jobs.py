@@ -1,0 +1,45 @@
+"""Background job routes: poll status, fetch spooled results, clean up.
+
+``GET /v1/jobs/<id>`` is the polling endpoint ``?mode=async`` submissions
+point at; ``GET /v1/jobs/<id>/result`` serves the spooled payload of a
+finished job — with the same pagination (``limit``/``cursor``) and NDJSON
+streaming any synchronous route supports, since the spool stores exactly
+the payload the synchronous response would have carried.
+"""
+
+from __future__ import annotations
+
+from repro.server.protocol import HttpError, Request, json_response
+from repro.server.routes import finish
+
+__all__ = ["handle_status", "handle_result", "handle_delete"]
+
+
+def _require_job(app, job_id: str):
+    job = app.jobs.get(job_id)
+    if job is None:
+        raise HttpError(404, f"unknown job {job_id!r}")
+    return job
+
+
+async def handle_status(app, request: Request, params):
+    job = _require_job(app, params["job_id"])
+    return json_response(job.describe())
+
+
+async def handle_result(app, request: Request, params):
+    job = _require_job(app, params["job_id"])
+    if job.status in ("queued", "running"):
+        raise HttpError(409, f"job {job.id} is still {job.status}; poll /v1/jobs/{job.id}")
+    if job.status == "error":
+        raise HttpError(409, f"job {job.id} failed: {job.error}")
+    payload = app.jobs.result(job.id)
+    if payload is None:
+        # Finished but the spool entry is gone (evicted or tampered with).
+        raise HttpError(404, f"result of job {job.id} is no longer available")
+    return finish(app, request, payload)
+
+
+async def handle_delete(app, request: Request, params):
+    existed = app.jobs.delete(params["job_id"])
+    return json_response({"job_id": params["job_id"], "deleted": existed})

@@ -1,0 +1,46 @@
+"""Ops surface: ``/v1/health`` (unauthenticated probe) and ``/v1/stats``.
+
+Health is what load balancers and the CI smoke step poll: it answers even
+while the server drains (reporting ``"draining"``) and never requires the
+auth token.  Stats aggregates everything the operator needs at a glance:
+per-route latency counters, result-cache hit rates, the shared worker-pool
+state, and the background executor's queue.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import __version__
+from repro.server.protocol import Request, json_response
+
+__all__ = ["handle_health", "handle_stats"]
+
+
+async def handle_health(app, request: Request, params):
+    return json_response(
+        {
+            "status": "draining" if app.draining else "ok",
+            "version": __version__,
+            "uptime_s": round(time.time() - app.started_at, 3),
+            "tables": len(app.db.table_names()),
+        }
+    )
+
+
+async def handle_stats(app, request: Request, params):
+    from repro.engine.workers import pool_stats
+
+    cache = app.result_cache
+    return json_response(
+        {
+            "routes": app.metrics.snapshot(),
+            "cache": None
+            if cache is None
+            else {"hits": cache.hits, "misses": cache.misses, "puts": cache.puts},
+            "pool": pool_stats(),
+            "executor": app.jobs.stats(),
+            "inflight": app.inflight,
+            "draining": app.draining,
+        }
+    )

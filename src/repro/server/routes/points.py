@@ -1,0 +1,146 @@
+"""Direct operator routes: ``/v1/sgb`` and ``/v1/join`` over JSON batches.
+
+These bypass SQL entirely: the client posts raw point batches (lists of
+coordinate arrays — JSON floats round-trip bit-identically) and gets back
+the JSON form of the exact :class:`~repro.core.result.GroupingResult` /
+pair list the in-process :func:`repro.sgb_any` / :func:`repro.sim_join`
+call would return.  Result-changing parameters (eps/k, metric, strategy,
+overlap action, seed) are plumbed through verbatim; the app's result cache
+is shared with the SQL path, so identical batches hit warm entries
+regardless of which route computed them first.  Both routes accept
+``?mode=async`` for long runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.server.jsonio import grouping_result_payload, join_pairs_payload
+from repro.server.protocol import HttpError, Request, json_response
+from repro.server.routes import finish
+
+__all__ = ["handle_sgb", "handle_join"]
+
+
+def _require_points(body: Dict[str, object], key: str) -> List[List[float]]:
+    points = body.get(key)
+    if not isinstance(points, list) or not all(isinstance(p, list) for p in points):
+        raise HttpError(400, f'"{key}" must be a list of coordinate arrays')
+    return points
+
+
+def _require_number(body: Dict[str, object], key: str) -> float:
+    value = body.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise HttpError(400, f'"{key}" must be a number')
+    return value
+
+
+def _maybe_async(app, request: Request, kind: str, run):
+    if request.params.get("mode") == "async":
+        job = app.submit_job(kind, run)
+        return json_response(
+            {"job_id": job.id, "status": job.status, "poll": f"/v1/jobs/{job.id}"},
+            status=202,
+        )
+    return None
+
+
+async def handle_sgb(app, request: Request, params):
+    body = request.json()
+    if not isinstance(body, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    points = _require_points(body, "points")
+    eps = _require_number(body, "eps")
+    kind = body.get("kind", "any")
+    metric = body.get("metric", "L2")
+    workers = body.get("workers")
+
+    if kind == "any":
+        strategy = body.get("strategy", "index")
+
+        def run() -> dict:
+            from repro.core.api import sgb_any
+
+            return grouping_result_payload(
+                sgb_any(
+                    points,
+                    eps,
+                    metric=metric,
+                    strategy=strategy,
+                    workers=workers,
+                    cache=app.settings.cache,
+                )
+            )
+
+    elif kind == "all":
+        strategy = body.get("strategy", "index")
+        on_overlap = body.get("on_overlap", "JOIN-ANY")
+        seed = body.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise HttpError(400, '"seed" must be an integer')
+
+        def run() -> dict:
+            from repro.core.api import sgb_all
+
+            return grouping_result_payload(
+                sgb_all(
+                    points,
+                    eps,
+                    metric=metric,
+                    strategy=strategy,
+                    on_overlap=on_overlap,
+                    seed=seed,
+                    cache=app.settings.cache,
+                )
+            )
+
+    else:
+        raise HttpError(400, f'unknown sgb kind {kind!r} ("any" or "all")')
+
+    queued = _maybe_async(app, request, f"sgb_{kind}", run)
+    if queued is not None:
+        return queued
+    payload = await app.run_sync(run)
+    return finish(app, request, payload)
+
+
+async def handle_join(app, request: Request, params):
+    body = request.json()
+    if not isinstance(body, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    left = _require_points(body, "left")
+    right = _require_points(body, "right")
+    eps = body.get("eps")
+    k = body.get("k")
+    if (eps is None) == (k is None):
+        raise HttpError(400, 'pass exactly one of "eps" (eps-join) or "k" (kNN-join)')
+    if eps is not None:
+        eps = _require_number(body, "eps")
+    if k is not None and (not isinstance(k, int) or isinstance(k, bool)):
+        raise HttpError(400, '"k" must be an integer')
+    metric = body.get("metric", "L2")
+    workers = body.get("workers")
+    backend = body.get("backend")
+
+    def run() -> dict:
+        from repro.core.api import sim_join
+
+        return join_pairs_payload(
+            sim_join(
+                left,
+                right,
+                eps=eps,
+                k=k,
+                metric=metric,
+                workers=workers,
+                backend=backend,
+                cache=app.settings.cache,
+            )
+        )
+
+    queued = _maybe_async(app, request, "join", run)
+    if queued is not None:
+        return queued
+    payload = await app.run_sync(run)
+    return finish(app, request, payload)

@@ -1,0 +1,69 @@
+"""SQL over HTTP: the ``/v1/query`` and ``/v1/load`` handlers.
+
+``POST /v1/query`` runs one statement of the full minidb dialect — plain
+SELECTs, the SGB clauses (``DISTANCE-TO-ANY/ALL``, ``WINDOW``), SIMILARITY
+JOIN, EXPLAIN, and DDL/DML — through the app's shared
+:class:`~repro.minidb.database.Database`.  The response body is the JSON
+form of the in-process :class:`QueryResult`, bit-identical after a JSON
+round trip (the equivalence suite's contract).  ``?mode=async`` queues the
+statement on the background executor instead and returns ``202`` with a job
+id.
+
+``POST /v1/load`` bulk-inserts rows, decoding the tagged wire values
+(``{"$date": ...}``) back into engine types.
+"""
+
+from __future__ import annotations
+
+from repro.server.jsonio import decode_value, query_result_payload
+from repro.server.protocol import HttpError, Request, json_response
+from repro.server.routes import finish
+
+__all__ = ["handle_query", "handle_load"]
+
+
+def _require_sql(body: object) -> "tuple[str, object]":
+    if not isinstance(body, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    sql = body.get("sql")
+    if not isinstance(sql, str) or not sql.strip():
+        raise HttpError(400, 'request body needs a non-empty "sql" string')
+    strategy = body.get("strategy")
+    if strategy is not None and not isinstance(strategy, str):
+        raise HttpError(400, '"strategy" must be a string when given')
+    return sql, strategy
+
+
+async def handle_query(app, request: Request, params):
+    sql, strategy = _require_sql(request.json())
+
+    def run() -> dict:
+        return query_result_payload(app.db.execute(sql, sgb_strategy=strategy))
+
+    if request.params.get("mode") == "async":
+        job = app.submit_job("query", run)
+        return json_response(
+            {"job_id": job.id, "status": job.status, "poll": f"/v1/jobs/{job.id}"},
+            status=202,
+        )
+    payload = await app.run_sync(run)
+    return finish(app, request, payload)
+
+
+async def handle_load(app, request: Request, params):
+    body = request.json()
+    if not isinstance(body, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    table = body.get("table")
+    rows = body.get("rows")
+    if not isinstance(table, str) or not table.strip():
+        raise HttpError(400, 'request body needs a "table" name')
+    if not isinstance(rows, list) or not all(isinstance(r, list) for r in rows):
+        raise HttpError(400, '"rows" must be a list of row arrays')
+    decoded = [[decode_value(value) for value in row] for row in rows]
+
+    def run() -> int:
+        return app.db.insert_rows(table, decoded)
+
+    inserted = await app.run_sync(run)
+    return json_response({"table": table, "inserted": inserted})

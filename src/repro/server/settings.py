@@ -1,0 +1,114 @@
+"""Server configuration: one dataclass, resolved once at app creation.
+
+Settings come from three places, strongest first: keyword overrides passed to
+:meth:`ServerSettings.resolve`, ``SGB_SERVER_*`` environment variables, and
+the dataclass defaults.  The app factory never reads the environment again
+after construction, so a test can freeze a configuration simply by building
+the settings itself.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+from typing import Optional
+
+__all__ = ["ServerSettings"]
+
+_ENV_PREFIX = "SGB_SERVER_"
+
+
+@dataclass
+class ServerSettings:
+    """Configuration of one :class:`~repro.server.app.App` instance.
+
+    Attributes
+    ----------
+    host, port:
+        Listen address.  ``port=0`` binds an ephemeral port (the bound port
+        is published on ``app.port`` once serving starts — tests and the
+        smoke script rely on this).
+    auth_token:
+        When set, every route except ``GET /v1/health`` requires the token
+        via ``Authorization: Bearer <token>`` (or ``X-Auth-Token``);
+        ``None`` disables authentication (local development).
+    data_path:
+        Optional storage directory passed to ``Database.open`` — the served
+        database then loads persistent tables on boot and flushes them on
+        shutdown.  ``None`` serves a fresh in-memory database.
+    cache:
+        Result-cache knob forwarded to the :class:`Database` (same values as
+        ``Database(cache=...)``); cache hit counters surface on
+        ``GET /v1/stats``.
+    sgb_workers:
+        Session default for SGB worker processes, forwarded to the database.
+    request_workers:
+        Size of the thread pool that runs engine work off the event loop —
+        the degree of request concurrency for CPU-bound queries.
+    job_workers:
+        Threads of the background job executor (``?mode=async`` requests).
+    spool_dir:
+        Directory where finished job results are spooled; ``None`` creates a
+        per-app temporary directory.
+    max_body_bytes, max_header_bytes:
+        Request size ceilings (413 / 431 beyond them).
+    max_page_rows:
+        Ceiling for the ``limit`` pagination parameter; a larger request is
+        clamped, and responses always report the effective window.
+    drain_timeout:
+        Seconds the graceful shutdown waits for in-flight requests before
+        closing anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    auth_token: Optional[str] = None
+    data_path: Optional[str] = None
+    cache: object = None
+    sgb_workers: "Optional[int | str]" = None
+    request_workers: int = 8
+    job_workers: int = 2
+    spool_dir: Optional[str] = None
+    max_body_bytes: int = 32 * 1024 * 1024
+    max_header_bytes: int = 64 * 1024
+    max_page_rows: int = 100_000
+    drain_timeout: float = 10.0
+
+    @classmethod
+    def resolve(cls, **overrides) -> "ServerSettings":
+        """Build settings from the environment plus keyword ``overrides``.
+
+        Environment variables are named after the upper-cased field with the
+        ``SGB_SERVER_`` prefix (``SGB_SERVER_PORT``, ``SGB_SERVER_TOKEN`` as
+        the spelling of ``auth_token``, ...).  Unparsable numeric values fall
+        back to the default rather than failing the boot.
+        """
+        values: dict = {}
+        aliases = {"auth_token": "TOKEN", "data_path": "DATA", "spool_dir": "SPOOL"}
+        int_fields = {
+            "port",
+            "request_workers",
+            "job_workers",
+            "max_body_bytes",
+            "max_header_bytes",
+            "max_page_rows",
+        }
+        for field in fields(cls):
+            env_name = _ENV_PREFIX + aliases.get(field.name, field.name.upper())
+            raw = os.environ.get(env_name)
+            if raw is None or raw == "":
+                continue
+            if field.name in int_fields:
+                try:
+                    values[field.name] = int(raw)
+                except ValueError:
+                    continue
+            elif field.name == "drain_timeout":
+                try:
+                    values[field.name] = float(raw)
+                except ValueError:
+                    continue
+            else:
+                values[field.name] = raw
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return cls(**values)

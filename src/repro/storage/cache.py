@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import threading
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.fingerprint import fingerprint_bytes
@@ -65,7 +66,9 @@ class ResultCache:
     The cache stores pickled payloads prefixed with a format magic; loads
     verify the magic and tolerate any decoding failure by deleting the entry
     and reporting a miss.  ``hits`` / ``misses`` / ``puts`` counters make
-    cache behaviour observable to tests and benchmarks.
+    cache behaviour observable to tests and benchmarks; they move under a
+    lock so concurrent server requests never lose increments (the stores
+    guard their own structures — this lock is for the counters only).
     """
 
     def __init__(self, store: AbstractStore) -> None:
@@ -73,6 +76,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self._lock = threading.Lock()
+
+    def _count(self, field: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + delta)
 
     # -- constructors ------------------------------------------------------
 
@@ -102,19 +110,19 @@ class ResultCache:
         """Return the cached object under ``key`` or ``None`` (miss/damage)."""
         blob = self.store.get(key)
         if blob is None:
-            self.misses += 1
+            self._count("misses")
             return None
         if not blob.startswith(_PAYLOAD_MAGIC):
             self.store.delete(key)
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             value = pickle.loads(blob[len(_PAYLOAD_MAGIC) :])
         except Exception:  # noqa: BLE001 - damaged entries degrade to misses
             self.store.delete(key)
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return value
 
     def put(self, key: str, value: object) -> None:
@@ -124,18 +132,20 @@ class ResultCache:
         except Exception:  # noqa: BLE001 - unpicklable values are skipped
             return
         self.store.put(key, blob)
-        self.puts += 1
+        self._count("puts")
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         self.store.clear()
-        self.hits = self.misses = self.puts = 0
+        with self._lock:
+            self.hits = self.misses = self.puts = 0
 
     def _demote(self, key: str) -> None:
         """Reclassify a decodable-but-malformed payload as the miss it is."""
         self.store.delete(key)
-        self.hits -= 1
-        self.misses += 1
+        with self._lock:
+            self.hits -= 1
+            self.misses += 1
 
     # -- typed helpers -----------------------------------------------------
 

@@ -10,11 +10,19 @@ values are opaque byte payloads.
 Every store degrades gracefully: a read that fails for any reason behaves as
 a miss, and eviction never raises — a cache must never be the reason a query
 fails.
+
+Stores are shared across threads (the HTTP server runs many requests against
+one cache), so every mutation path is guarded: :class:`MemStore` serialises
+all access to its LRU dict under one lock, and :class:`TieredStore` locks the
+tier walk so a promotion never interleaves with a concurrent write of the
+same key.  :class:`LocalFileStore` needs no lock of its own — its writes are
+single atomic renames and every read failure already degrades to a miss.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Iterator, List, Optional
 
@@ -62,40 +70,52 @@ class MemStore(AbstractStore):
     ``get`` and ``put`` both refresh recency; inserting past ``max_bytes``
     evicts least-recently-used entries until the store fits.  A single
     payload larger than the whole cap is simply not retained.
+
+    Safe under concurrent access: the LRU order and the byte total move
+    together under one lock, so parallel readers can never corrupt the
+    recency chain or drive ``_total`` out of sync with the entries (which
+    would turn eviction into an over- or under-shooting loop).
     """
 
     def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
         self.max_bytes = int(max_bytes)
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self._total = 0
+        self._lock = threading.Lock()
 
     def get(self, key: str) -> Optional[bytes]:
-        value = self._entries.get(key)
-        if value is not None:
-            self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
 
     def put(self, key: str, value: bytes) -> None:
-        if key in self._entries:
-            self.delete(key)
-        if len(value) > self.max_bytes:
-            return
-        self._entries[key] = value
-        self._total += len(value)
-        while self._total > self.max_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self._total -= len(evicted)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._total -= len(old)
+            if len(value) > self.max_bytes:
+                return
+            self._entries[key] = value
+            self._total += len(value)
+            while self._total > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._total -= len(evicted)
 
     def delete(self, key: str) -> None:
-        value = self._entries.pop(key, None)
-        if value is not None:
-            self._total -= len(value)
+        with self._lock:
+            value = self._entries.pop(key, None)
+            if value is not None:
+                self._total -= len(value)
 
     def keys(self) -> List[str]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def total_bytes(self) -> int:
-        return self._total
+        with self._lock:
+            return self._total
 
 
 class LocalFileStore(AbstractStore):
@@ -205,23 +225,30 @@ class TieredStore(AbstractStore):
         if not tiers:
             raise ValueError("TieredStore needs at least one tier")
         self.tiers = list(tiers)
+        # One lock over the whole tier walk: a get-with-promotion must not
+        # interleave with a concurrent put/delete of the same key, or a
+        # demoted entry could be resurrected into the fast tier.
+        self._lock = threading.Lock()
 
     def get(self, key: str) -> Optional[bytes]:
-        for i, tier in enumerate(self.tiers):
-            value = tier.get(key)
-            if value is not None:
-                for faster in self.tiers[:i]:
-                    faster.put(key, value)
-                return value
-        return None
+        with self._lock:
+            for i, tier in enumerate(self.tiers):
+                value = tier.get(key)
+                if value is not None:
+                    for faster in self.tiers[:i]:
+                        faster.put(key, value)
+                    return value
+            return None
 
     def put(self, key: str, value: bytes) -> None:
-        for tier in self.tiers:
-            tier.put(key, value)
+        with self._lock:
+            for tier in self.tiers:
+                tier.put(key, value)
 
     def delete(self, key: str) -> None:
-        for tier in self.tiers:
-            tier.delete(key)
+        with self._lock:
+            for tier in self.tiers:
+                tier.delete(key)
 
     def keys(self) -> List[str]:
         seen: "dict[str, None]" = {}

@@ -24,7 +24,7 @@ class TestInterpreterExit:
         instead of racing ProcessPoolExecutor against interpreter teardown —
         the scenario a Database.close() inside someone's atexit hook hits.
         """
-        W._atexit_shutdown()
+        W.begin_shutdown()
         try:
             assert W.get_worker_pool(2) is None
             assert W.get_worker_pool(8) is None
@@ -36,7 +36,7 @@ class TestInterpreterExit:
 
         points = [(0.0, 0.0), (0.1, 0.1), (5.0, 5.0), (5.1, 5.1)]
         serial = sgb_any(points, eps=1.0)
-        W._atexit_shutdown()
+        W.begin_shutdown()
         try:
             during = sgb_any(points, eps=1.0, workers=2)
         finally:

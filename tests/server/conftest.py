@@ -1,0 +1,37 @@
+"""Shared fixtures for the HTTP service suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minidb.database import Database
+from repro.server.testing import running_server
+from repro.workloads.synthetic import clustered_points
+
+
+def build_database(n: int = 60, seed: int = 11) -> Database:
+    """A database with one point table the whole suite queries."""
+    db = Database()
+    db.execute("CREATE TABLE pts (id INT, x DOUBLE, y DOUBLE)")
+    points = clustered_points(n, clusters=5, spread=0.05, seed=seed)
+    db.insert_rows("pts", [(i, float(x), float(y)) for i, (x, y) in enumerate(points)])
+    return db
+
+
+@pytest.fixture(scope="session")
+def make_db():
+    """The database builder itself (server-per-module fixtures rebuild)."""
+    return build_database
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One served app per test module (ephemeral port, no auth)."""
+    with running_server(database=build_database()) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with server.client() as c:
+        yield c

@@ -1,0 +1,201 @@
+"""The service's core contract: every HTTP response is bit-identical (after
+a JSON round trip) to the corresponding in-process call.
+
+Randomized: point batches and parameters are drawn from seeded RNGs, the
+in-process result is pushed through the same payload builders the routes
+use, both sides are canonicalised with ``json.loads(json.dumps(...))``, and
+the decoded HTTP body must equal the canonical in-process payload exactly —
+floats, group orders, pair orders, everything.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.api import sgb_all, sgb_any, sim_join
+from repro.core.pointset import HAVE_NUMPY
+from repro.server.jsonio import (
+    grouping_result_payload,
+    join_pairs_payload,
+    query_result_payload,
+)
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+def canon(payload: object) -> object:
+    """The JSON round trip both sides of every comparison go through."""
+    return json.loads(json.dumps(payload))
+
+
+def random_points(rng: random.Random, n: int, dims: int = 2):
+    return [
+        [round(rng.uniform(0.0, 10.0), 6) for _ in range(dims)] for _ in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SQL route vs Database.execute
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT id, x, y FROM pts",
+        "SELECT count(*) FROM pts",
+        "SELECT x + y, x * 2 FROM pts LIMIT 7",
+        "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.3",
+        "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY LINF WITHIN 0.2",
+        "SELECT count(*) FROM pts "
+        "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 0.3 ON-OVERLAP JOIN-ANY",
+        "SELECT count(*) FROM pts "
+        "GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 0.3 ON-OVERLAP ELIMINATE",
+        "SELECT count(*) FROM pts "
+        "GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 0.25 ON-OVERLAP FORM-NEW-GROUP",
+        "SELECT a.id, b.id FROM pts a SIMILARITY JOIN pts b "
+        "ON DISTANCE(a.x, a.y, b.x, b.y) L2 WITHIN 0.2",
+        "SELECT a.id, b.id FROM pts a SIMILARITY JOIN pts b "
+        "ON DISTANCE(a.x, a.y, b.x, b.y) KNN 2",
+        "EXPLAIN SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.3",
+        "EXPLAIN SELECT a.id FROM pts a SIMILARITY JOIN pts b "
+        "ON DISTANCE(a.x, a.y, b.x, b.y) L2 WITHIN 0.2",
+    ],
+)
+def test_sql_over_http_matches_in_process(server, client, sql):
+    expected = canon(query_result_payload(server.app.db.execute(sql)))
+    assert client.query(sql) == expected
+
+
+def test_sql_strategy_override_matches(server, client):
+    sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.3"
+    expected = canon(
+        query_result_payload(server.app.db.execute(sql, sgb_strategy="all-pairs"))
+    )
+    assert client.query(sql, strategy="all-pairs") == expected
+
+
+def test_randomized_sql_filters_match(server, client):
+    rng = random.Random(4242)
+    for _ in range(10):
+        lo = round(rng.uniform(0.0, 0.8), 3)
+        sql = f"SELECT id, x FROM pts WHERE x > {lo} LIMIT {rng.randint(1, 50)}"
+        expected = canon(query_result_payload(server.app.db.execute(sql)))
+        assert client.query(sql) == expected
+
+
+# ---------------------------------------------------------------------------
+# /v1/sgb vs sgb_any / sgb_all
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("metric", ["L2", "LINF"])
+def test_randomized_sgb_any_matches(client, metric):
+    rng = random.Random(hash(metric) & 0xFFFF)
+    for trial in range(5):
+        points = random_points(rng, rng.randint(2, 40))
+        eps = round(rng.uniform(0.2, 2.0), 3)
+        expected = canon(
+            grouping_result_payload(sgb_any(points, eps, metric=metric))
+        )
+        got = client.sgb(points, eps, kind="any", metric=metric)
+        assert got == expected, f"sgb_any diverged on trial {trial}"
+
+
+@pytest.mark.parametrize("on_overlap", ["JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP"])
+def test_randomized_sgb_all_matches(client, on_overlap):
+    rng = random.Random(len(on_overlap))
+    for trial in range(5):
+        points = random_points(rng, rng.randint(2, 30))
+        eps = round(rng.uniform(0.2, 1.5), 3)
+        seed = rng.randint(0, 999)
+        expected = canon(
+            grouping_result_payload(
+                sgb_all(points, eps, on_overlap=on_overlap, seed=seed)
+            )
+        )
+        got = client.sgb(points, eps, kind="all", on_overlap=on_overlap, seed=seed)
+        assert got == expected, f"sgb_all/{on_overlap} diverged on trial {trial}"
+
+
+@pytest.mark.parametrize("strategy", ["all-pairs", "index"])
+def test_sgb_any_strategy_parameter_matches(client, strategy):
+    rng = random.Random(77)
+    points = random_points(rng, 25)
+    expected = canon(
+        grouping_result_payload(sgb_any(points, 0.5, strategy=strategy))
+    )
+    assert client.sgb(points, 0.5, kind="any", strategy=strategy) == expected
+
+
+# ---------------------------------------------------------------------------
+# /v1/join vs sim_join
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_randomized_eps_join_matches(client, backend):
+    rng = random.Random(101 + len(backend))
+    for trial in range(5):
+        left = random_points(rng, rng.randint(1, 25))
+        right = random_points(rng, rng.randint(1, 25))
+        eps = round(rng.uniform(0.3, 3.0), 3)
+        expected = canon(
+            join_pairs_payload(sim_join(left, right, eps=eps, backend=backend))
+        )
+        got = client.join(left, right, eps=eps, backend=backend)
+        assert got == expected, f"eps-join/{backend} diverged on trial {trial}"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_randomized_knn_join_matches(client, backend):
+    rng = random.Random(202 + len(backend))
+    for trial in range(5):
+        left = random_points(rng, rng.randint(1, 20))
+        right = random_points(rng, rng.randint(1, 20))
+        k = rng.randint(1, 4)
+        expected = canon(
+            join_pairs_payload(sim_join(left, right, k=k, backend=backend))
+        )
+        got = client.join(left, right, k=k, backend=backend)
+        assert got == expected, f"knn-join/{backend} diverged on trial {trial}"
+
+
+def test_linf_join_matches(client):
+    rng = random.Random(31)
+    left = random_points(rng, 15)
+    right = random_points(rng, 15)
+    expected = canon(
+        join_pairs_payload(sim_join(left, right, eps=1.0, metric="LINF"))
+    )
+    assert client.join(left, right, eps=1.0, metric="LINF") == expected
+
+
+# ---------------------------------------------------------------------------
+# async jobs return the same bytes the blocking route would have
+# ---------------------------------------------------------------------------
+
+
+def test_async_query_result_matches_blocking(server, client):
+    sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.3"
+    expected = canon(query_result_payload(server.app.db.execute(sql)))
+    job_id = client.query_async(sql)
+    record = client.wait_job(job_id)
+    assert record["status"] == "done"
+    assert client.job_result(job_id) == expected
+    assert client.query(sql) == expected  # and the blocking route agrees
+
+
+def test_float_values_round_trip_bit_identically(client):
+    # Values with no short decimal form must survive the JSON round trip.
+    points = [[0.1 + 0.2, 1.0 / 3.0], [2.0**-30, 9876.543209876543]]
+    expected = canon(grouping_result_payload(sgb_any(points, 0.5)))
+    got = client.sgb(points, 0.5, kind="any")
+    assert got == expected
+    assert got["points"] == [
+        [0.30000000000000004, 0.3333333333333333],
+        [2.0**-30, 9876.543209876543],
+    ]

@@ -1,0 +1,99 @@
+"""Background jobs: the async flow, failure capture, deletion, 409 states."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server.client import ServerError
+
+
+def test_async_query_lifecycle(client):
+    job_id = client.query_async("SELECT count(*) FROM pts")
+    record = client.wait_job(job_id)
+    assert record["status"] == "done"
+    assert record["kind"] == "query"
+    assert record["result"] == f"/v1/jobs/{job_id}/result"
+    assert record["runtime_s"] >= 0.0
+    result = client.job_result(job_id)
+    assert result["rows"] == [[60]]
+
+
+def test_async_sgb_route(client):
+    points = [[0.0, 0.0], [0.1, 0.1], [9.0, 9.0]]
+    status, body = client.request(
+        "POST",
+        "/v1/sgb",
+        {"points": points, "eps": 0.5, "kind": "any"},
+        params={"mode": "async"},
+    )
+    assert status == 202
+    assert body["status"] == "queued"
+    record = client.wait_job(body["job_id"])
+    assert record["status"] == "done"
+    assert client.job_result(body["job_id"])["groups"] == [[0, 1], [2]]
+
+
+def test_failing_job_records_the_error(client):
+    job_id = client.query_async("SELECT boom FROM nowhere")
+    record = client.wait_job(job_id)
+    assert record["status"] == "error"
+    assert record["error"]["type"]
+    assert "result" not in record
+    with pytest.raises(ServerError) as err:
+        client.job_result(job_id)
+    assert err.value.status == 409
+
+
+def test_unknown_job_is_404(client):
+    with pytest.raises(ServerError) as err:
+        client.job("deadbeef")
+    assert err.value.status == 404
+    with pytest.raises(ServerError) as err:
+        client.job_result("deadbeef")
+    assert err.value.status == 404
+
+
+def test_delete_job_forgets_it(client):
+    job_id = client.query_async("SELECT count(*) FROM pts")
+    client.wait_job(job_id)
+    assert client.delete_job(job_id) is True
+    with pytest.raises(ServerError) as err:
+        client.job(job_id)
+    assert err.value.status == 404
+
+
+def test_result_before_completion_is_409(server, client):
+    """A job still running answers 409 on its result route."""
+    release = threading.Event()
+    entered = threading.Event()
+
+    def slow() -> dict:
+        entered.set()
+        release.wait(timeout=30)
+        return {"rows": [], "columns": [], "rowcount": 0, "plan": None}
+
+    job = server.app.jobs.submit("slow", slow)
+    try:
+        assert entered.wait(timeout=10)
+        record = client.job(job.id)
+        assert record["status"] == "running"
+        with pytest.raises(ServerError) as err:
+            client.job_result(job.id)
+        assert err.value.status == 409
+    finally:
+        release.set()
+    record = client.wait_job(job.id)
+    assert record["status"] == "done"
+
+
+def test_job_results_are_spooled_to_disk(server, client):
+    """Finished payloads live in the LocalFileStore spool, not in memory."""
+    job_id = client.query_async("SELECT id FROM pts LIMIT 3")
+    client.wait_job(job_id)
+    spooled = server.app.jobs.spool.get(job_id)
+    assert spooled is not None
+    import json
+
+    assert json.loads(spooled) == client.job_result(job_id)

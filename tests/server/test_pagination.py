@@ -1,0 +1,100 @@
+"""Pagination and NDJSON streaming: windows reassemble to the full payload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.client import ServerError
+
+SQL_ALL = "SELECT id, x, y FROM pts"
+
+
+def test_no_window_means_untouched_payload(client):
+    out = client.query(SQL_ALL)
+    assert set(out) == {"columns", "rows", "rowcount", "plan"}  # no page keys
+    assert len(out["rows"]) == 60
+
+
+def test_cursor_walk_reassembles_the_full_result(client):
+    full = client.query(SQL_ALL)["rows"]
+    rows, cursor, pages = [], None, 0
+    while True:
+        page = client.query(SQL_ALL, limit=7, cursor=cursor)
+        assert page["total"] == len(full)
+        assert page["offset"] == (int(cursor) if cursor else 0)
+        rows.extend(page["rows"])
+        pages += 1
+        cursor = page["next_cursor"]
+        if cursor is None:
+            break
+    assert rows == full
+    assert pages == 9  # ceil(60 / 7)
+
+
+def test_last_page_has_no_next_cursor(client):
+    page = client.query(SQL_ALL, limit=100)
+    assert page["next_cursor"] is None
+    assert page["rows"] == client.query(SQL_ALL)["rows"]
+
+
+def test_cursor_beyond_the_end_is_an_empty_page(client):
+    page = client.query(SQL_ALL, limit=5, cursor="999")
+    assert page["rows"] == []
+    assert page["next_cursor"] is None
+    assert page["total"] == 60
+
+
+def test_sgb_groups_paginate_too(client):
+    points = [[float(i), 0.0] for i in range(10)]
+    full = client.sgb(points, 0.1, kind="any")["groups"]
+    assert len(full) == 10
+    status, page = client.request(
+        "POST",
+        "/v1/sgb",
+        {"points": points, "eps": 0.1, "kind": "any"},
+        params={"limit": 4},
+    )
+    assert status == 200
+    assert page["groups"] == full[:4]
+    assert page["next_cursor"] == "4"
+
+
+def test_invalid_windows_are_400(client):
+    for params in ({"limit": "nope"}, {"limit": "0"}, {"cursor": "-3"}, {"cursor": "x"}):
+        status, _ = client.request(
+            "POST", "/v1/query", {"sql": SQL_ALL}, params=params
+        )
+        assert status == 400, params
+
+
+def test_limit_is_clamped_to_the_server_ceiling(server, client):
+    assert server.app.settings.max_page_rows >= 60
+    page = client.query(SQL_ALL, limit=10**9)
+    assert len(page["rows"]) == 60  # clamped limit still covers the result
+
+
+def test_ndjson_stream_reassembles_to_the_buffered_payload(client):
+    buffered = client.query(SQL_ALL)
+    lines = list(client.query_stream(SQL_ALL))
+    header, rows = lines[0], lines[1:]
+    assert header["streaming"] == "rows"
+    assert rows == buffered["rows"]
+    rebuilt = {k: v for k, v in header.items() if k != "streaming"}
+    rebuilt["rows"] = rows
+    assert rebuilt == buffered
+
+
+def test_streaming_an_error_still_reports_json(client):
+    with pytest.raises(ServerError) as err:
+        list(client.query_stream("SELEKT nope"))
+    assert err.value.status == 400
+
+
+def test_job_results_paginate(client):
+    job_id = client.query_async(SQL_ALL)
+    client.wait_job(job_id)
+    full = client.job_result(job_id)["rows"]
+    page = client.job_result(job_id, limit=10, cursor="55")
+    assert page["rows"] == full[55:60]
+    assert page["next_cursor"] is None
+    assert page["total"] == 60

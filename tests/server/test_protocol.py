@@ -1,0 +1,185 @@
+"""Unit tests of the hand-rolled HTTP/1.1 parser and response writer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    HttpError,
+    Request,
+    Response,
+    StreamingResponse,
+    error_response,
+    json_response,
+    read_request,
+    write_response,
+)
+
+
+def parse(raw: bytes, **limits):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **limits)
+
+    return asyncio.run(go())
+
+
+def render(response, keep_alive=True) -> bytes:
+    """Serialise a response through a real (memory-backed) stream pair."""
+
+    async def go():
+        chunks = []
+
+        class _Transport:
+            def write(self, data):
+                chunks.append(data)
+
+        class _Writer:
+            transport = _Transport()
+
+            def write(self, data):
+                chunks.append(data)
+
+            async def drain(self):
+                pass
+
+        await write_response(_Writer(), response, keep_alive=keep_alive)
+        return b"".join(chunks)
+
+    return asyncio.run(go())
+
+
+# ---------------------------------------------------------------------------
+# request parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_get_with_params_and_headers():
+    req = parse(
+        b"GET /v1/jobs/abc?limit=5&cursor=10 HTTP/1.1\r\n"
+        b"Host: localhost\r\nX-Auth-Token: s3cret\r\n\r\n"
+    )
+    assert req.method == "GET"
+    assert req.path == "/v1/jobs/abc"
+    assert req.params == {"limit": "5", "cursor": "10"}
+    assert req.headers["host"] == "localhost"  # header names lower-cased
+    assert req.headers["x-auth-token"] == "s3cret"
+    assert req.body == b""
+    assert req.keep_alive
+
+
+def test_parse_post_body_by_content_length():
+    body = json.dumps({"sql": "SELECT 1"}).encode()
+    req = parse(
+        b"POST /v1/query HTTP/1.1\r\n"
+        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+        + body
+    )
+    assert req.method == "POST"
+    assert req.body == body
+    assert req.json() == {"sql": "SELECT 1"}
+
+
+def test_connection_close_header_disables_keep_alive():
+    req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+    assert not req.keep_alive
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_truncated_body_returns_none():
+    raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+    assert parse(raw) is None
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        b"NONSENSE\r\n\r\n",  # not three request-line parts
+        b"FROB / HTTP/1.1\r\n\r\n",  # unknown method
+        b"GET / SPDY/3\r\n\r\n",  # unsupported protocol
+        b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",  # malformed header
+        b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",  # bad length
+        b"POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n",  # negative length
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",  # unsupported
+    ],
+)
+def test_malformed_requests_are_400(raw):
+    with pytest.raises(HttpError) as err:
+        parse(raw)
+    assert err.value.status == 400
+
+
+def test_oversized_headers_are_431():
+    raw = b"GET / HTTP/1.1\r\n" + b"X-Pad: " + b"a" * 4096 + b"\r\n\r\n"
+    with pytest.raises(HttpError) as err:
+        parse(raw, max_header_bytes=1024)
+    assert err.value.status == 431
+
+
+def test_oversized_body_is_413():
+    raw = b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+    with pytest.raises(HttpError) as err:
+        parse(raw, max_body_bytes=1024)
+    assert err.value.status == 413
+
+
+def test_request_json_rejects_syntax_errors_and_allows_empty():
+    assert Request(method="POST", path="/").json() == {}
+    bad = Request(method="POST", path="/", body=b"{nope")
+    with pytest.raises(HttpError) as err:
+        bad.json()
+    assert err.value.status == 400
+
+
+# ---------------------------------------------------------------------------
+# response writing
+# ---------------------------------------------------------------------------
+
+
+def test_buffered_response_carries_content_length():
+    wire = render(json_response({"ok": True}), keep_alive=True)
+    head, _, body = wire.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK")
+    assert f"Content-Length: {len(body)}".encode() in head
+    assert b"Connection: keep-alive" in head
+    assert json.loads(body) == {"ok": True}
+
+
+def test_close_response_advertises_connection_close():
+    wire = render(Response(body=b"{}"), keep_alive=False)
+    assert b"Connection: close" in wire
+
+
+def test_error_response_body_shape():
+    wire = render(error_response(404, "no such route"))
+    body = json.loads(wire.partition(b"\r\n\r\n")[2])
+    assert body == {
+        "error": {"type": "HttpError", "message": "no such route", "status": 404}
+    }
+    assert wire.startswith(b"HTTP/1.1 404 Not Found")
+
+
+def test_streaming_response_is_chunked_and_reassembles():
+    lines = [b'{"streaming": "rows"}\n', b"[1]\n", b"[2]\n"]
+    wire = render(StreamingResponse(chunks=iter(lines)))
+    head, _, payload = wire.partition(b"\r\n\r\n")
+    assert b"Transfer-Encoding: chunked" in head
+    assert b"Content-Length" not in head
+    # De-chunk and compare with the original lines.
+    out = b""
+    rest = payload
+    while rest:
+        size_hex, _, rest = rest.partition(b"\r\n")
+        size = int(size_hex, 16)
+        if size == 0:
+            break
+        out, rest = out + rest[:size], rest[size + 2 :]
+    assert out == b"".join(lines)

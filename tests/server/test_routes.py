@@ -1,0 +1,219 @@
+"""Route behaviour over a live server: auth, errors, ops surface, loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server.client import ServerError
+from repro.server.testing import running_server
+
+
+# ---------------------------------------------------------------------------
+# auth
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def auth_server(make_db):
+    with running_server(database=make_db(), auth_token="hunter2") as srv:
+        yield srv
+
+
+def test_missing_token_is_401(auth_server):
+    with auth_server.app.client() as anon:
+        anon.token = None
+        with pytest.raises(ServerError) as err:
+            anon.query("SELECT count(*) FROM pts")
+        assert err.value.status == 401
+
+
+def test_wrong_token_is_403(auth_server):
+    with auth_server.app.client() as bad:
+        bad.token = "wrong"
+        with pytest.raises(ServerError) as err:
+            bad.stats()
+        assert err.value.status == 403
+
+
+def test_right_token_succeeds(auth_server):
+    with auth_server.client() as c:  # app.client() carries the token
+        out = c.query("SELECT count(*) FROM pts")
+        assert out["rows"] == [[60]]
+
+
+def test_x_auth_token_header_also_works(auth_server):
+    import http.client
+
+    conn = http.client.HTTPConnection(auth_server.host, auth_server.port, timeout=10)
+    try:
+        conn.request(
+            "GET", "/v1/stats", headers={"X-Auth-Token": "hunter2"}
+        )
+        assert conn.getresponse().status == 200
+    finally:
+        conn.close()
+
+
+def test_health_never_requires_auth(auth_server):
+    with auth_server.app.client() as anon:
+        anon.token = None
+        assert anon.health()["status"] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# routing + error mapping (unauthenticated server from conftest)
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_path_is_404(client):
+    status, body = client.request("GET", "/v1/nope")
+    assert status == 404
+    assert body["error"]["status"] == 404
+
+
+def test_wrong_method_is_405(client):
+    status, _ = client.request("GET", "/v1/query")
+    assert status == 405
+
+
+def test_invalid_json_body_is_400(client):
+    import http.client
+
+    conn = http.client.HTTPConnection(client.host, client.port, timeout=10)
+    try:
+        conn.request(
+            "POST",
+            "/v1/query",
+            body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 400
+        assert b"not valid JSON" in response.read()
+    finally:
+        conn.close()
+
+
+def test_sql_error_maps_to_400_with_engine_type(client):
+    status, body = client.request("POST", "/v1/query", {"sql": "SELEKT zap"})
+    assert status == 400
+    assert body["error"]["status"] == 400
+    assert body["error"]["type"] != "HttpError"  # the engine's own exception type
+
+
+def test_missing_sql_field_is_400(client):
+    status, _ = client.request("POST", "/v1/query", {"nope": 1})
+    assert status == 400
+
+
+def test_sgb_requires_points_and_eps(client):
+    status, _ = client.request("POST", "/v1/sgb", {"eps": 1.0})
+    assert status == 400
+    status, _ = client.request("POST", "/v1/sgb", {"points": [[0, 0]]})
+    assert status == 400
+    status, _ = client.request(
+        "POST", "/v1/sgb", {"points": [[0, 0]], "eps": 1.0, "kind": "bogus"}
+    )
+    assert status == 400
+
+
+def test_join_requires_exactly_one_of_eps_or_k(client):
+    base = {"left": [[0.0, 0.0]], "right": [[0.0, 0.0]]}
+    status, _ = client.request("POST", "/v1/join", base)
+    assert status == 400
+    status, _ = client.request("POST", "/v1/join", {**base, "eps": 1.0, "k": 2})
+    assert status == 400
+
+
+def test_unknown_format_parameter_is_400(client):
+    status, _ = client.request(
+        "POST", "/v1/query", {"sql": "SELECT id FROM pts"}, params={"format": "xml"}
+    )
+    assert status == 400
+
+
+def test_malformed_request_line_gets_answered_then_closed(server):
+    import socket
+
+    with socket.create_connection((server.host, server.port), timeout=10) as sock:
+        sock.sendall(b"GARBAGE\r\n\r\n")
+        raw = b""
+        while b"\r\n\r\n" not in raw:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            raw += chunk
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"Connection: close" in raw
+
+
+# ---------------------------------------------------------------------------
+# ops surface
+# ---------------------------------------------------------------------------
+
+
+def test_health_shape(client):
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["tables"] == 1
+    assert isinstance(health["uptime_s"], float)
+
+
+def test_stats_counts_routes_and_exposes_pool_state(client):
+    client.query("SELECT count(*) FROM pts")
+    stats = client.stats()
+    assert stats["draining"] is False
+    assert isinstance(stats["inflight"], int)
+    assert stats["pool"]["shutting_down"] is False
+    assert stats["executor"]["accepting"] is True
+    query_stats = stats["routes"]["POST /v1/query"]
+    assert query_stats["count"] >= 1
+    assert query_stats["mean_ms"] >= 0.0
+    # The stats request itself is metered too, on its template.
+    assert "GET /v1/stats" in client.stats()["routes"]
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+
+def test_load_inserts_decoded_rows(client):
+    client.query("CREATE TABLE loaded (d DATE, x DOUBLE)")
+    inserted = client.load(
+        "loaded", [[{"$date": "2016-05-16"}, 1.5], [{"$date": "2016-05-17"}, 2.5]]
+    )
+    assert inserted == 2
+    out = client.query("SELECT d, x FROM loaded")
+    assert out["rows"] == [[{"$date": "2016-05-16"}, 1.5], [{"$date": "2016-05-17"}, 2.5]]
+
+
+def test_load_unknown_table_is_400(client):
+    status, _ = client.request(
+        "POST", "/v1/load", {"table": "missing", "rows": [[1]]}
+    )
+    assert status == 400
+
+
+def test_keep_alive_reuses_one_connection(client):
+    client.health()
+    assert client._conn is not None
+    conn_id = id(client._conn)
+    for _ in range(3):
+        client.health()
+    assert id(client._conn) == conn_id
+
+
+def test_response_is_valid_json_bytes(server):
+    import http.client
+
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("GET", "/v1/health")
+        response = conn.getresponse()
+        assert response.getheader("Content-Type") == "application/json"
+        json.loads(response.read())
+    finally:
+        conn.close()

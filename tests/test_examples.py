@@ -57,6 +57,17 @@ class TestExamples:
         assert "1 hits" in output
         assert "the next query recomputed" in output
 
+    def test_serve_checkins(self):
+        output = run_example("serve_checkins.py")
+        assert "serving on http://127.0.0.1:" in output
+        assert "identical to the in-process call" in output
+        assert "identical to sgb_any()" in output
+        # The async job, pagination, and streaming sections assert
+        # bit-identity in-process; reaching these lines means they held.
+        assert "spooled result identical to the blocking route" in output
+        assert "bit-identically" in output
+        assert "server drained cleanly" in output
+
     def test_location_privacy_groups(self):
         output = run_example("location_privacy_groups.py")
         assert "ON-OVERLAP JOIN-ANY" in output
