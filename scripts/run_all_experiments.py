@@ -91,6 +91,7 @@ def main(
             sizes=(5_000 * k, 10_000 * k), worker_counts=worker_counts)),
         ("cache_warm_vs_cold", lambda: E.cache_warm_vs_cold(sizes=(10_000 * k, 25_000 * k))),
         ("serving_overhead", lambda: E.serving_overhead(sizes=(2_000 * k, 5_000 * k))),
+        ("optimizer_rewrites", lambda: E.optimizer_rewrites(n=5_000 * k)),
         ("table1", lambda: E.table1_scaling_exponents(sizes=(500 * k, 1000 * k, 2000 * k))),
         ("table2", lambda: E.table2_tpch_queries(scale_factor=0.002 * k)),
         ("fig12", lambda: E.fig12_overhead(scale_factors=(0.001 * k, 0.002 * k))),

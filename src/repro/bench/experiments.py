@@ -40,6 +40,7 @@ __all__ = [
     "fig10_sgb_any_scale",
     "fig11_vs_clustering",
     "fig12_overhead",
+    "optimizer_rewrites",
     "table1_scaling_exponents",
     "table2_tpch_queries",
 ]
@@ -911,8 +912,11 @@ def fig11_vs_clustering(
 def _tpch_database(scale_factor: float, strategy: str = "index") -> Database:
     # sgb_workers=1: the Table 2 / Figure 12 runners reproduce the paper's
     # serial operator costs, so an SGB_WORKERS environment default must not
-    # switch their SGB-Any plans onto the sharded engine.
-    db = Database(sgb_strategy=strategy, sgb_workers=1)
+    # switch their SGB-Any plans onto the sharded engine.  optimizer=False
+    # pins the logical plans the same way: the figure/table runners measure
+    # the reference plans, and the rewrite layer (optimizer_rewrites owns
+    # that comparison) may not re-place filters or reorder joins under them.
+    db = Database(sgb_strategy=strategy, sgb_workers=1, optimizer=False)
     load_tpch(db, scale_factor=scale_factor)
     return db
 
@@ -992,6 +996,110 @@ def fig12_overhead(
                         "overhead_pct": round(overhead, 1),
                     }
                 )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Cost-driven rewrite layer: optimized vs reference logical plans
+# ---------------------------------------------------------------------------
+
+
+def _optimizer_tables(db: Database, n: int, seed: int) -> None:
+    rng = random.Random(seed)
+    db.execute("CREATE TABLE pa (x FLOAT, y FLOAT)")
+    db.execute("CREATE TABLE pb (x FLOAT, y FLOAT)")
+    db.insert_rows(
+        "pa", [(rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)) for _ in range(n)]
+    )
+    db.insert_rows(
+        "pb", [(rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)) for _ in range(n)]
+    )
+    db.execute("CREATE TABLE r1 (k INT, v FLOAT)")
+    db.execute("CREATE TABLE r2 (k INT, j INT)")
+    db.execute("CREATE TABLE r3 (j INT, w FLOAT)")
+    m = max(200, n // 2)
+    db.insert_rows("r1", [(i % 10, float(i)) for i in range(m)])
+    db.insert_rows("r2", [(i % 10, i) for i in range(m)])
+    db.insert_rows("r3", [(j, float(j) * 0.5) for j in range(20)])
+
+
+def _optimizer_queries(eps: float) -> Dict[str, str]:
+    # Workload 1: a selective predicate over a derived similarity join —
+    # the push-down rule sinks it through the derived table into the
+    # eps-join's left input, shrinking the pair enumeration itself.
+    filtered_sim = (
+        "SELECT d.ax, d.ay, d.bx FROM "
+        "(SELECT a.x AS ax, a.y AS ay, b.x AS bx FROM pa AS a "
+        f"SIMILARITY JOIN pb AS b ON DISTANCE(a.x, a.y, b.x, b.y) WITHIN {eps}) AS d "
+        "WHERE d.ax < 5.0"
+    )
+    # Workload 2: a 3-relation chain written worst-first — r1 >< r2 explodes
+    # (both keys take 10 values), while r2 >< r3 is tiny.  The reorder rule
+    # moves r3 forward using histogram-overlap selectivities.
+    join_chain = (
+        "SELECT r1.v, r3.w FROM r1, r2, r3 "
+        "WHERE r1.k = r2.k AND r2.j = r3.j"
+    )
+    return {"filtered-sim-join": filtered_sim, "join-reorder": join_chain}
+
+
+def optimizer_rewrites(
+    n: int = 5_000,
+    eps: float = 3.0,
+    seed: int = 47,
+) -> List[Dict[str, object]]:
+    """Rewrite-layer speedups: optimized plans vs ``SGB_OPTIMIZER=off``.
+
+    Two workloads, each run through a database with the optimizer on and an
+    identically loaded one with ``optimizer=False``: a selective filter over
+    a derived similarity join (filter push-down) and a 3-relation join chain
+    written in the worst order (join reordering).  Both arms must return
+    bit-identical rows — the runner re-checks the equivalence contract on
+    every measured query and records the applied rewrite trace.
+    """
+    optimized = Database(optimizer=True)
+    reference = Database(optimizer=False)
+    for db in (optimized, reference):
+        _optimizer_tables(db, n, seed)
+    rows: List[Dict[str, object]] = []
+    for name, sql in _optimizer_queries(eps).items():
+        results: Dict[str, object] = {}
+
+        def run(db: Database, store: str):
+            result = db.execute(sql)
+            results[store] = result
+            return result
+
+        measurements = compare(
+            {
+                "optimized": lambda: run(optimized, "optimized"),
+                "reference": lambda: run(reference, "reference"),
+            },
+            baseline="reference",
+        )
+        opt, ref = results["optimized"], results["reference"]
+        if opt.rows != ref.rows:
+            raise AssertionError(
+                f"optimizer changed the output of {name!r}: "
+                f"{len(opt.rows)} vs {len(ref.rows)} rows"
+            )
+        for m in measurements:
+            rewrites = list(opt.rewrites) if m.label == "optimized" else []
+            rows.append(
+                {
+                    "experiment": "optimizer-rewrites",
+                    "workload": name,
+                    "arm": m.label,
+                    "n": n,
+                    "eps": eps,
+                    "backend": "numpy" if HAVE_NUMPY else "python",
+                    "output_rows": len(m.value.rows),
+                    "bit_identical": True,
+                    "rewrites": rewrites,
+                    "seconds": m.seconds,
+                    "speedup": m.params.get("speedup"),
+                }
+            )
     return rows
 
 

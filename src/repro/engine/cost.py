@@ -53,6 +53,7 @@ __all__ = [
     "plan_eps_join",
     "plan_knn_join",
     "plan_stream_flush",
+    "filter_placement_gain",
 ]
 
 #: Estimated serial runtimes below this are not worth parallelising no
@@ -430,6 +431,33 @@ def fused_join_group_gain(
     profile = profile or load_profile()
     est_pairs = left.estimated_join_pairs(right, eps)
     return profile.c_ship * 2.0 * est_pairs + profile.c_point * est_pairs
+
+
+def filter_placement_gain(
+    side: PointStats,
+    other: PointStats,
+    eps: float,
+    selectivity: float,
+    profile: Optional[CostProfile] = None,
+) -> float:
+    """Estimated seconds saved by filtering one eps-join input *first*.
+
+    Compares the join priced on the unfiltered side against the filter pass
+    (one predicate evaluation per input row) plus the join priced on the
+    side shrunk to ``selectivity`` of its rows.  Positive means push the
+    filter below the join; negative or zero means defer it above (e.g. a
+    non-selective predicate whose early evaluation buys nothing but still
+    costs a pass).  The rewrite layer records either decision in its trace.
+    """
+    profile = profile or load_profile()
+    selectivity = max(0.0, min(1.0, selectivity))
+    unfiltered = plan_eps_join(side, other, eps, profile=profile).est_cost
+    shrunk = side.scaled(side.count * selectivity)
+    filtered = (
+        profile.c_point * side.count
+        + plan_eps_join(shrunk, other, eps, profile=profile).est_cost
+    )
+    return unfiltered - filtered
 
 
 def slab_histogram(stats: PointStats, fanout: int) -> List[int]:

@@ -208,6 +208,121 @@ class PointStats:
                 break
         return fraction * self.count * other.count
 
+    # -- derivation --------------------------------------------------------
+
+    def range_fraction(
+        self, axis: int, low: Optional[float] = None, high: Optional[float] = None
+    ) -> float:
+        """Estimated fraction of points with ``low <= coord[axis] <= high``.
+
+        ``None`` on either side means unbounded.  Reads the axis histogram at
+        bin granularity (a bin partially covered by the range contributes its
+        covered share), so the estimate reflects real skew, not a uniformity
+        assumption.
+        """
+        if self.count == 0 or not self.histograms:
+            return 0.0
+        lo_bound = self.low[axis] if low is None else low
+        hi_bound = self.high[axis] if high is None else high
+        if hi_bound < lo_bound:
+            return 0.0
+        width = self.bin_width(axis)
+        if width <= 0.0:
+            # Degenerate axis: all mass shares one coordinate.
+            value = self.low[axis]
+            return 1.0 if lo_bound <= value <= hi_bound else 0.0
+        histogram = self.histograms[axis]
+        total = 0.0
+        for b, count in enumerate(histogram):
+            if not count:
+                continue
+            bin_lo = self.low[axis] + b * width
+            bin_hi = bin_lo + width
+            overlap = min(bin_hi, hi_bound) - max(bin_lo, lo_bound)
+            if overlap <= 0.0:
+                continue
+            total += count * min(1.0, overlap / width)
+        return min(1.0, total / self.count)
+
+    def clipped(
+        self, axis: int, low: Optional[float] = None, high: Optional[float] = None
+    ) -> "PointStats":
+        """Summary of the points surviving a range predicate on ``axis``.
+
+        The clipped axis keeps only the bins inside ``[low, high]`` (partially
+        covered boundary bins keep their covered share) and tightens its
+        bounding box; every other axis scales its histogram by the kept
+        fraction (independence assumption, same as the selectivity model).
+        """
+        if self.count == 0 or not self.histograms:
+            return self
+        fraction = self.range_fraction(axis, low, high)
+        if fraction >= 1.0:
+            return self
+        lo_bound = self.low[axis] if low is None else max(low, self.low[axis])
+        hi_bound = self.high[axis] if high is None else min(high, self.high[axis])
+        new_count = max(0, int(round(self.count * fraction)))
+        if new_count == 0 or hi_bound < lo_bound:
+            return PointStats(
+                count=0, dims=self.dims, low=(), high=(), histograms=()
+            )
+        width = self.bin_width(axis)
+        new_histograms: List[Tuple[int, ...]] = []
+        for a, histogram in enumerate(self.histograms):
+            if a == axis and width > 0.0:
+                clipped_bins: List[int] = []
+                for b, count in enumerate(histogram):
+                    bin_lo = self.low[axis] + b * width
+                    overlap = min(bin_lo + width, hi_bound) - max(bin_lo, lo_bound)
+                    share = max(0.0, min(1.0, overlap / width))
+                    clipped_bins.append(int(round(count * share)))
+                new_histograms.append(tuple(clipped_bins))
+            else:
+                new_histograms.append(
+                    tuple(int(round(c * fraction)) for c in histogram)
+                )
+        new_low = list(self.low)
+        new_high = list(self.high)
+        new_low[axis] = lo_bound
+        new_high[axis] = hi_bound
+        return PointStats(
+            count=new_count,
+            dims=self.dims,
+            low=tuple(new_low),
+            high=tuple(new_high),
+            histograms=tuple(new_histograms),
+        )
+
+    def scaled(self, new_count: int) -> "PointStats":
+        """The same distribution re-weighted to ``new_count`` points.
+
+        Used to propagate statistics through operators that keep a column's
+        value distribution but change the cardinality (filters on *other*
+        columns, joins fanning the side in or out).
+        """
+        new_count = max(0, int(round(new_count)))
+        if new_count == self.count:
+            return self
+        if new_count == 0 or self.count == 0 or not self.histograms:
+            return PointStats(
+                count=new_count,
+                dims=self.dims,
+                low=self.low if new_count else (),
+                high=self.high if new_count else (),
+                histograms=self.histograms if new_count else (),
+            )
+        ratio = new_count / self.count
+        return PointStats(
+            count=new_count,
+            dims=self.dims,
+            low=self.low,
+            high=self.high,
+            histograms=tuple(
+                tuple(int(round(c * ratio)) for c in histogram)
+                for histogram in self.histograms
+            ),
+        )
+
     # -- skew --------------------------------------------------------------
 
     def axis_imbalance(self, axis: Optional[int] = None) -> float:

@@ -40,6 +40,9 @@ class QueryResult:
     #: (mode, worker/shard fan-out, estimated cost), when one delegated to
     #: it at execution time; None for forced WORKERS paths and plain queries.
     plan: "Optional[PhysicalPlan]" = None
+    #: The logical rewrite rules applied to this statement's plan (one trace
+    #: line per rule), empty when the optimizer is off or found nothing.
+    rewrites: List[str] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -111,6 +114,11 @@ class Database:
         mem → local-file cache), a :class:`repro.storage.ResultCache`, or
         ``None``/``False`` (off unless ``SGB_CACHE`` enables it).
         ``SGB_CACHE=off`` bypasses the cache regardless.
+    optimizer:
+        Whether the cost-driven logical rewrite layer (filter placement,
+        join reordering — :mod:`repro.minidb.plan.rewrite`) runs on SELECT
+        plans.  ``SGB_OPTIMIZER=off`` disables it regardless, so the
+        paper-figure runners stay on the un-rewritten reference path.
     """
 
     def __init__(
@@ -120,6 +128,7 @@ class Database:
         sgb_workers: "Optional[int | str]" = None,
         path: Optional[str] = None,
         cache: object = None,
+        optimizer: bool = True,
     ) -> None:
         self.catalog = Catalog()
         self.settings = PlannerSettings(
@@ -127,6 +136,7 @@ class Database:
             sgb_seed=sgb_seed,
             sgb_workers=sgb_workers,
             cache=cache,
+            optimizer=optimizer,
         )
         self.store = None
         #: table name -> version last written to (or loaded from) the store
@@ -292,7 +302,9 @@ class Database:
         if not isinstance(statement, SelectStatement):
             raise PlanningError("EXPLAIN is only supported for SELECT statements")
         planner = self._planner(sgb_strategy)
-        return planner.plan_select(statement).explain()
+        plan = planner.plan_select(statement)
+        plan, rewrites = self._maybe_optimize(plan)
+        return "\n".join(self._explain_lines(plan, rewrites))
 
     # ------------------------------------------------------------------
     # internals
@@ -306,8 +318,33 @@ class Database:
                 sgb_seed=self.settings.sgb_seed,
                 sgb_workers=self.settings.sgb_workers,
                 cache=self.settings.cache,
+                optimizer=self.settings.optimizer,
             )
         return Planner(self.catalog, settings)
+
+    def _maybe_optimize(self, plan) -> "Tuple[object, List[str]]":
+        """Run the logical rewrite layer unless the session or env disables it.
+
+        The gate check happens *here*, before the rewrite module is entered,
+        so a bypassed session (``optimizer=False`` / ``SGB_OPTIMIZER=off``)
+        provably never calls into :func:`repro.minidb.plan.rewrite.optimize_plan`
+        — the figure-pin tests spy on exactly that entry point.
+        """
+        from repro.minidb.plan.rewrite import optimizer_enabled
+
+        if not optimizer_enabled(self.settings.optimizer):
+            return plan, []
+        from repro.minidb.plan.rewrite import optimize_plan
+
+        return optimize_plan(plan)
+
+    @staticmethod
+    def _explain_lines(plan, rewrites: List[str]) -> List[str]:
+        """The EXPLAIN rendering: plan tree, then one line per rewrite rule."""
+        lines = plan.explain().splitlines()
+        for entry in rewrites:
+            lines.append(f"rewrite: {entry}")
+        return lines
 
     def _execute_statement(
         self, statement: Statement, sql: str, sgb_strategy: Optional[str]
@@ -315,16 +352,19 @@ class Database:
         if isinstance(statement, ExplainStatement):
             planner = self._planner(sgb_strategy)
             plan = planner.plan_select(statement.query)
-            lines = plan.explain().splitlines()
+            plan, rewrites = self._maybe_optimize(plan)
+            lines = self._explain_lines(plan, rewrites)
             return QueryResult(
                 columns=["QUERY PLAN"],
                 rows=[(line,) for line in lines],
                 rowcount=len(lines),
                 statement=sql,
+                rewrites=rewrites,
             )
         if isinstance(statement, SelectStatement):
             planner = self._planner(sgb_strategy)
             plan = planner.plan_select(statement)
+            plan, rewrites = self._maybe_optimize(plan)
             rows = list(plan.rows())
             return QueryResult(
                 columns=[c.name for c in plan.schema.columns],
@@ -332,6 +372,7 @@ class Database:
                 rowcount=len(rows),
                 statement=sql,
                 plan=_collect_last_plan(plan),
+                rewrites=rewrites,
             )
         if isinstance(statement, CreateTableStatement):
             self.create_table(

@@ -25,6 +25,8 @@ __all__ = [
     "Filter",
     "Project",
     "Rename",
+    "TagRows",
+    "RestoreOrder",
     "NestedLoopJoin",
     "HashJoin",
     "Sort",
@@ -151,6 +153,78 @@ class Rename(PhysicalOperator):
         return f"Rename(AS {self.qualifier})"
 
 
+class TagRows(PhysicalOperator):
+    """Append the child's 0-based row index as a trailing integer column.
+
+    The rewrite layer tags every join leaf with a row id before reordering;
+    :class:`RestoreOrder` then sorts the reordered join's output back into
+    the order the original left-deep plan would have produced.  The rid
+    column name must be unique within the final join schema (the planner
+    uses ``#rid0``, ``#rid1``, ... — ``#`` keeps them out of SQL's lexical
+    namespace).
+    """
+
+    def __init__(self, child: PhysicalOperator, name: str) -> None:
+        self.child = child
+        self.rid_name = name.lower()
+        self.schema = Schema(
+            list(child.schema.columns) + [Column(self.rid_name, DataType.INT, None)]
+        )
+
+    def rows(self) -> Iterator[Row]:
+        for index, row in enumerate(self.child.rows()):
+            yield row + (index,)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"TagRows({self.rid_name})"
+
+
+class RestoreOrder(PhysicalOperator):
+    """Sort by row-id columns and project them away.
+
+    Placed above a reordered join tree: the stable ascending sort on the
+    original leaves' row ids (most significant first, in the original FROM
+    order) restores the exact row sequence a left-deep plan over those
+    leaves enumerates, and the positional projection restores the original
+    column layout while dropping the rid columns.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        rid_positions: Sequence[int],
+        output_positions: Sequence[int],
+    ) -> None:
+        self.child = child
+        self.rid_positions = list(rid_positions)
+        self.output_positions = list(output_positions)
+        self.schema = Schema(
+            [child.schema.columns[p] for p in self.output_positions]
+        )
+
+    def rows(self) -> Iterator[Row]:
+        rows = list(self.child.rows())
+        rid_positions = self.rid_positions
+        rows.sort(key=lambda row: tuple(row[p] for p in rid_positions))
+        output_positions = self.output_positions
+        for row in rows:
+            yield tuple(row[p] for p in output_positions)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"RestoreOrder({len(self.rid_positions)} keys)"
+
+    def estimated_rows(self) -> Optional[int]:
+        from repro.minidb.exec.statics import estimated_subtree_rows
+
+        return estimated_subtree_rows(self.child)
+
+
 class Filter(PhysicalOperator):
     """Keep rows for which the predicate evaluates to SQL TRUE."""
 
@@ -171,6 +245,11 @@ class Filter(PhysicalOperator):
 
     def describe(self) -> str:
         return f"Filter({self.predicate})"
+
+    def estimated_rows(self) -> Optional[int]:
+        from repro.minidb.exec.statics import estimate_filter_rows
+
+        return estimate_filter_rows(self)
 
 
 class Project(PhysicalOperator):
@@ -237,6 +316,11 @@ class NestedLoopJoin(PhysicalOperator):
     def describe(self) -> str:
         return f"NestedLoopJoin({self.condition})" if self.condition else "NestedLoopJoin(cross)"
 
+    def estimated_rows(self) -> Optional[int]:
+        from repro.minidb.exec.statics import estimate_join_rows
+
+        return estimate_join_rows(self)
+
 
 class HashJoin(PhysicalOperator):
     """Equi-join: build a hash table on the right side, probe with the left."""
@@ -287,6 +371,11 @@ class HashJoin(PhysicalOperator):
         keys = ", ".join(str(k) for k in self.left_keys)
         return f"HashJoin(keys=[{keys}])"
 
+    def estimated_rows(self) -> Optional[int]:
+        from repro.minidb.exec.statics import estimate_join_rows
+
+        return estimate_join_rows(self)
+
 
 class Sort(PhysicalOperator):
     """Materialising sort on the compiled sort keys."""
@@ -299,6 +388,8 @@ class Sort(PhysicalOperator):
     ) -> None:
         self.child = child
         self.schema = child.schema
+        self.keys = list(keys)
+        self.ascending = list(ascending)
         self._key_fns = [compile_expression(e, child.schema) for e in keys]
         self._ascending = list(ascending)
 
@@ -340,6 +431,14 @@ class Limit(PhysicalOperator):
 
     def describe(self) -> str:
         return f"Limit({self.limit})"
+
+    def estimated_rows(self) -> Optional[int]:
+        from repro.minidb.exec.statics import estimated_subtree_rows
+
+        child_rows = estimated_subtree_rows(self.child)
+        if child_rows is None:
+            return self.limit
+        return min(child_rows, self.limit)
 
 
 class Distinct(PhysicalOperator):

@@ -340,12 +340,18 @@ class SGBAggregate(PhysicalOperator):
         aggregate states provably reproduces the coordinator replay (see
         :mod:`repro.minidb.exec.pushdown`).  Under a forced numeric WORKERS
         count, every mergeable aggregate list qualifies (the legacy
-        behaviour); under cost-planner delegation only ``COUNT(*)``-style
-        star lists push down — no value columns are shipped, so the win is
-        unconditional — and only when the planner shards the grouping
-        anyway.  SGB-All — including its ELIMINATE arbitration — never
-        reaches this path: it always groups serially and replays
-        row-at-a-time.
+        behaviour); under cost-planner delegation ``COUNT(*)``-style star
+        lists always push down — no value columns are shipped, so the win
+        is unconditional — while non-COUNT aggregate lists are *costed*:
+        shipping one value column per aggregate to the workers must be
+        cheaper than the coordinator replay it replaces, with the input
+        cardinality read from the statistics propagated through the child
+        plan (:func:`~repro.minidb.exec.statics.trace_point_stats`, so
+        filtered and joined inputs are priced at their derived counts, not
+        a synthetic guess).  Either way push-down happens only when the
+        planner shards the grouping anyway.  SGB-All — including its
+        ELIMINATE arbitration — never reaches this path: it always groups
+        serially and replays row-at-a-time.
         """
         if (
             not buffered
@@ -357,7 +363,8 @@ class SGBAggregate(PhysicalOperator):
         delegated = planner_delegated(self.workers)
         if delegated:
             if not all(spec.star for spec in self.aggregates):
-                return None
+                if not self._pushdown_profitable(len(buffered)):
+                    return None
         elif resolve_workers(self.workers) < 2:
             return None
         agg_columns = self._evaluator.value_columns(buffered)
@@ -389,6 +396,32 @@ class SGBAggregate(PhysicalOperator):
         return sgb_any_pushdown(
             points, self.eps, self.metric, self.workers, self.aggregates, agg_columns
         )
+
+    def _pushdown_profitable(self, buffered_rows: int) -> bool:
+        """Cost gate for delegated non-COUNT push-down.
+
+        The replay this would replace walks every input row once per
+        aggregate on the coordinator (``c_point`` each); pushing down
+        instead ships one value column per non-star aggregate to the pool
+        (``c_ship`` per cell).  The input cardinality comes from the
+        statistics derived through the child plan when they are available —
+        a filtered or joined input is priced at its propagated count — with
+        the actual buffered row count as the floor (the estimate can only
+        have been too low once the rows are in hand).
+        """
+        from repro.engine.calibrate import load_profile
+        from repro.minidb.exec.statics import trace_point_stats
+
+        stats = trace_point_stats(self.child, self.key_exprs, len(self.key_exprs))
+        rows = max(buffered_rows, stats.count if stats.count > 0 else 0)
+        profile = load_profile()
+        value_columns = sum(1 for spec in self.aggregates if not spec.star)
+        ship_cost = profile.c_ship * rows * value_columns
+        replay_cost = profile.c_point * rows * max(1, len(self.aggregates))
+        # The net win must also clear the fixed partial-state merge overhead,
+        # so small inputs — where the replay is near-free anyway — keep the
+        # reference replay path.
+        return replay_cost - ship_cost > profile.c_task
 
     # ------------------------------------------------------------------
     # fused SIMILARITY JOIN -> SGB route

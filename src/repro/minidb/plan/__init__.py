@@ -1,10 +1,15 @@
-"""Query planning: statement AST -> physical operator tree."""
+"""Query planning: statement AST -> physical operator tree (+ rewrites)."""
 
 from repro.minidb.plan.planner import Planner, PlannerSettings
 from repro.minidb.plan.optimizer import (
     collect_column_refs,
     expression_sources,
     split_conjuncts,
+)
+from repro.minidb.plan.rewrite import (
+    ENV_OPTIMIZER,
+    optimize_plan,
+    optimizer_enabled,
 )
 
 __all__ = [
@@ -13,4 +18,7 @@ __all__ = [
     "split_conjuncts",
     "collect_column_refs",
     "expression_sources",
+    "ENV_OPTIMIZER",
+    "optimize_plan",
+    "optimizer_enabled",
 ]

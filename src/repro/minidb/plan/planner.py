@@ -89,13 +89,16 @@ class PlannerSettings:
     defers to the ``SGB_WORKERS`` environment variable, then serial);
     ``cache`` is the result-cache knob handed to the similarity operators
     (resolved at execution time by :func:`repro.storage.resolve_cache`, so
-    ``SGB_CACHE=off`` always wins).
+    ``SGB_CACHE=off`` always wins); ``optimizer`` enables the cost-driven
+    logical rewrite layer (:mod:`repro.minidb.plan.rewrite` — checked by
+    ``Database`` after planning, with ``SGB_OPTIMIZER=off`` always winning).
     """
 
     sgb_strategy: str = "index"
     sgb_seed: int = 0
     sgb_workers: "Optional[int | str]" = None
     cache: object = None
+    optimizer: bool = True
     extra: Dict[str, object] = field(default_factory=dict)
 
 

@@ -91,6 +91,7 @@ def query_result_payload(result) -> Dict[str, object]:
         "rows": [[encode_value(value) for value in row] for row in result.rows],
         "rowcount": result.rowcount,
         "plan": plan_payload(result.plan),
+        "rewrites": list(getattr(result, "rewrites", ())),
     }
 
 

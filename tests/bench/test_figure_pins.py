@@ -109,3 +109,47 @@ class TestPlannerBypass:
         E.table1_scaling_exponents(sizes=(100, 200))
         E.batch_vs_scalar(sizes=(150,))
         assert planner_spy == [], f"planner engaged by a pinned runner: {planner_spy}"
+
+
+class TestOptimizerBypass:
+    """The SQL figure/table runners must never enter the rewrite layer.
+
+    ``_tpch_database`` builds its databases with ``optimizer=False``, and the
+    gate in :meth:`Database._maybe_optimize` checks the setting *before*
+    calling :func:`repro.minidb.plan.rewrite.optimize_plan` — so a spy on
+    ``optimize_plan`` proves Table 2 / Figure 12 measure the un-rewritten
+    reference plans.
+    """
+
+    @pytest.fixture()
+    def optimizer_spy(self, monkeypatch):
+        import repro.minidb.plan.rewrite as rewrite_mod
+
+        calls = []
+        real = rewrite_mod.optimize_plan
+
+        def spy(plan):
+            calls.append(type(plan).__name__)
+            return real(plan)
+
+        monkeypatch.setattr(rewrite_mod, "optimize_plan", spy)
+        return calls
+
+    def test_table2_never_enters_rewrite_layer(self, optimizer_spy):
+        E.table2_tpch_queries(scale_factor=0.001)
+        assert optimizer_spy == [], f"rewrite layer engaged: {optimizer_spy}"
+
+    def test_fig12_never_enters_rewrite_layer(self, optimizer_spy):
+        E.fig12_overhead(scale_factors=(0.001,))
+        assert optimizer_spy == [], f"rewrite layer engaged: {optimizer_spy}"
+
+    def test_spy_wiring_sees_an_optimized_query(self, optimizer_spy):
+        """Counter-test: the spy does fire for an optimizer-on database, so
+        the empty call lists above are meaningful."""
+        from repro.minidb.database import Database
+
+        db = Database(optimizer=True)
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        db.execute("SELECT x FROM t WHERE x > 1")
+        assert optimizer_spy, "spy never fired — the bypass tests prove nothing"

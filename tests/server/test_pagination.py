@@ -11,7 +11,7 @@ SQL_ALL = "SELECT id, x, y FROM pts"
 
 def test_no_window_means_untouched_payload(client):
     out = client.query(SQL_ALL)
-    assert set(out) == {"columns", "rows", "rowcount", "plan"}  # no page keys
+    assert set(out) == {"columns", "rows", "rowcount", "plan", "rewrites"}  # no page keys
     assert len(out["rows"]) == 60
 
 

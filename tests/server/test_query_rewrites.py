@@ -1,0 +1,84 @@
+"""``/v1/query`` exposes the executed plan and the optimizer's rewrite trace.
+
+The wire payload must be bit-identical to the JSON form of the in-process
+``QueryResult`` — same plan object fields, same rewrite entries in the same
+order — so a client sees exactly what ``Database.execute`` saw.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.minidb.database import Database
+from repro.server.jsonio import query_result_payload
+from repro.server.testing import running_server
+
+CHAIN = "SELECT t1.v, t3.w FROM t1, t2, t3 WHERE t1.k = t2.k AND t2.j = t3.j"
+SIM = (
+    "SELECT d.ax FROM "
+    "(SELECT a.x AS ax, a.y AS ay FROM pa AS a "
+    "SIMILARITY JOIN pb AS b ON DISTANCE(a.x, a.y, b.x, b.y) WITHIN 0.5) AS d "
+    "WHERE d.ax < 2.0"
+)
+SGB = (
+    "SELECT count(*) FROM pa GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1"
+)
+
+
+def _build_db() -> Database:
+    rng = random.Random(29)
+    db = Database()
+    db.execute("CREATE TABLE t1 (k INT, v FLOAT)")
+    db.execute("CREATE TABLE t2 (k INT, j INT)")
+    db.execute("CREATE TABLE t3 (j INT, w FLOAT)")
+    db.insert_rows("t1", [(i % 6, float(i)) for i in range(100)])
+    db.insert_rows("t2", [(i % 6, i) for i in range(100)])
+    db.insert_rows("t3", [(j, float(j)) for j in range(10)])
+    db.execute("CREATE TABLE pa (x FLOAT, y FLOAT)")
+    db.execute("CREATE TABLE pb (x FLOAT, y FLOAT)")
+    for name in ("pa", "pb"):
+        db.insert_rows(
+            name,
+            [(rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)) for _ in range(80)],
+        )
+    return db
+
+
+@pytest.fixture(scope="module")
+def rewrite_server():
+    with running_server(database=_build_db()) as srv:
+        yield srv
+
+
+@pytest.fixture
+def rewrite_client(rewrite_server):
+    with rewrite_server.client() as c:
+        yield c
+
+
+@pytest.mark.parametrize("sql", [CHAIN, SIM, SGB], ids=["chain", "sim", "sgb"])
+def test_payload_matches_in_process_result(rewrite_client, sql):
+    local = _build_db()
+    expected = query_result_payload(local.execute(sql))
+    got = rewrite_client.query(sql)
+    assert got == expected
+
+
+def test_rewrites_key_present_and_ordered(rewrite_client):
+    got = rewrite_client.query(CHAIN)
+    assert "rewrites" in got and "plan" in got
+    assert got["rewrites"], "optimizer trace missing from the wire payload"
+    assert all(isinstance(entry, str) for entry in got["rewrites"])
+    local = _build_db()
+    assert got["rewrites"] == list(local.execute(CHAIN).rewrites)
+
+
+def test_optimizer_off_database_reports_empty_trace():
+    with running_server(database=Database(optimizer=False)) as srv:
+        with srv.client() as c:
+            c.query("CREATE TABLE t (x INT)")
+            c.query("INSERT INTO t VALUES (1), (2), (3)")
+            got = c.query("SELECT x FROM t WHERE x > 1")
+            assert got["rewrites"] == []
